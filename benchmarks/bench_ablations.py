@@ -1,0 +1,133 @@
+"""Ablation benches for the design choices DESIGN.md §4 calls out.
+
+Not paper artifacts — these quantify the contribution of individual design
+decisions: early-selection pruning in the OOE, NSGA-II vs random search,
+the HW proxy vs HW-in-the-loop, and per-exit DVFS vs the single searched
+setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.cost import estimate_cost
+from repro.baselines.attentivenas import attentivenas_model, attentivenas_models
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.eval.static import StaticEvaluator
+from repro.exits.placement import ExitPlacement
+from repro.hardware.dvfs import DvfsSpace
+from repro.hardware.measurement import HardwareInTheLoop
+from repro.hardware.platform import get_platform
+from repro.hardware.proxy import HardwareProxy
+from repro.metrics.hypervolume import hypervolume
+from repro.metrics.pareto import pareto_front
+from repro.runtime.planner import plan_per_exit_dvfs
+from repro.search.hadas import HadasConfig, HadasSearch
+from repro.search.ioe import InnerEngine
+from repro.search.nsga2 import NSGA2, Nsga2Config
+from repro.search.random_search import RandomSearch
+
+
+def test_ablation_early_selection_pruning(benchmark):
+    """P'_B pruning: granting every backbone an IOE run must cost far more
+    dynamic evaluations without a commensurate quality gain."""
+
+    def run(candidates: int):
+        config = HadasConfig(
+            platform="tx2-gpu", seed=19,
+            outer_population=8, outer_generations=3,
+            inner_population=8, inner_generations=3,
+            ioe_candidates=candidates, oracle_samples=512,
+        )
+        return HadasSearch(config).run()
+
+    pruned = benchmark(run, 2)
+    unpruned = run(8)
+    print()
+    print(f"pruned  (P'_B=2): {pruned.num_evaluations[1]:4d} dynamic evals")
+    print(f"unpruned (P'_B=8): {unpruned.num_evaluations[1]:4d} dynamic evals")
+    assert unpruned.num_evaluations[1] > 2 * pruned.num_evaluations[1]
+    # The pruned run still finds a competitive best model (within 25% of the
+    # unpruned energy gain).
+    best_pruned = pruned.selected_model().payload["evaluation"].energy_gain
+    best_unpruned = unpruned.selected_model().payload["evaluation"].energy_gain
+    print(f"best energy gain: pruned {best_pruned:.3f} vs unpruned {best_unpruned:.3f}")
+    assert best_pruned > best_unpruned - 0.25
+
+
+def test_ablation_nsga2_vs_random(benchmark):
+    """NSGA-II covers more (X, F) hypervolume than random at equal budget."""
+    backbone = attentivenas_model("a3")
+    platform = get_platform("tx2-gpu")
+    surrogate = AccuracySurrogate(seed=7)
+    static_eval = StaticEvaluator(platform, surrogate, seed=7)
+    # 400 evaluations: enough selection pressure for a decisive margin
+    # (at ~150 evals random search is still competitive in 3-D).
+    budget = Nsga2Config(population=20, generations=20)
+    engine = InnerEngine(
+        backbone, static_eval, surrogate.accuracy_fraction(backbone),
+        nsga=budget, seed=7,
+    )
+
+    def evolved():
+        nsga = NSGA2(engine.problem, budget, rng=1)
+        nsga.run()
+        return np.stack([ind.objectives for ind in nsga.history])
+
+    evolved_points = benchmark(evolved)
+    random = RandomSearch(engine.problem, budget=budget.iterations, rng=1)
+    random.run()
+    random_points = np.stack([ind.objectives for ind in random.history])
+
+    reference = np.minimum(evolved_points.min(axis=0), random_points.min(axis=0)) - 0.01
+    hv_evolved = hypervolume(pareto_front(evolved_points), reference)
+    hv_random = hypervolume(pareto_front(random_points), reference)
+    print(f"\nIOE hypervolume: NSGA-II {hv_evolved:.4f} vs random {hv_random:.4f}")
+    assert hv_evolved > hv_random
+    assert len(pareto_front(evolved_points)) >= 3
+
+
+def test_ablation_hw_proxy(benchmark):
+    """The paper's proxy-model extension: a regression proxy fitted on a few
+    measured points predicts latency/energy within ~10% MAPE."""
+    platform = get_platform("tx2-gpu")
+    hwil = HardwareInTheLoop(platform, noise_cv=0.01, seed=0)
+    models = attentivenas_models()
+    train_costs = [estimate_cost(models[n]) for n in ("a0", "a2", "a4", "a6")]
+    test_costs = [estimate_cost(models[n]) for n in ("a1", "a3", "a5")]
+
+    def fit():
+        proxy = HardwareProxy(platform)
+        proxy.fit(train_costs, hwil, settings_per_network=10, seed=0)
+        return proxy
+
+    proxy = benchmark(fit)
+    accuracy = proxy.validate(test_costs, hwil, settings_per_network=6, seed=1)
+    print(f"\nproxy MAPE: latency {accuracy.latency_mape * 100:.1f}% "
+          f"energy {accuracy.energy_mape * 100:.1f}% "
+          f"({proxy.num_training_points} training measurements)")
+    assert accuracy.latency_mape < 0.15
+    assert accuracy.energy_mape < 0.15
+
+
+def test_ablation_per_exit_dvfs(benchmark):
+    """Per-exit frequency scaling saves energy beyond the single setting."""
+    backbone = attentivenas_model("a3")
+    platform = get_platform("tx2-gpu")
+    surrogate = AccuracySurrogate(seed=7)
+    static_eval = StaticEvaluator(platform, surrogate, seed=7)
+    engine = InnerEngine(
+        backbone, static_eval, surrogate.accuracy_fraction(backbone),
+        nsga=Nsga2Config(population=8, generations=3), seed=7,
+    )
+    placement = ExitPlacement(backbone.total_mbconv_layers, (6, 10, 14, 18))
+
+    plan = benchmark(
+        plan_per_exit_dvfs, engine.evaluator, placement, DvfsSpace(platform)
+    )
+    print(f"\nsingle setting: {plan.single_setting_energy_j * 1e3:.1f} mJ | "
+          f"per-exit table: {plan.per_exit_energy_j * 1e3:.1f} mJ | "
+          f"extra gain {plan.extra_gain * 100:.1f}%")
+    assert plan.per_exit_energy_j <= plan.single_setting_energy_j + 1e-12
+    assert len(plan.settings) == placement.num_exits + 1

@@ -1,0 +1,125 @@
+"""Component performance benches: the substrate costs bounding search time.
+
+Not a paper artifact — these measure the building blocks so regressions in
+the hot paths (NSGA-II iteration, the roofline model, the numpy NN) are
+caught by ``pytest benchmarks/ --benchmark-only`` alongside the artifact
+benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.cost import estimate_cost
+from repro.arch.space import BackboneSpace
+from repro.baselines.attentivenas import attentivenas_model
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.eval.static import StaticEvaluator
+from repro.exits.placement import ExitPlacement
+from repro.hardware.dvfs import DvfsSpace
+from repro.hardware.energy import EnergyModel
+from repro.hardware.platform import get_platform
+from repro.metrics.hypervolume import hypervolume
+from repro.metrics.pareto import non_dominated_sort
+from repro.nn import Conv2d, Tensor
+from repro.search.ioe import InnerEngine
+from repro.search.nsga2 import Nsga2Config
+
+
+def test_bench_cost_model(benchmark):
+    """Per-layer cost lowering of the largest baseline."""
+    config = attentivenas_model("a6")
+    cost = benchmark(estimate_cost, config)
+    assert cost.total_macs > 5e8
+
+
+def test_bench_energy_model(benchmark):
+    """Full-network roofline + power evaluation at one DVFS setting."""
+    platform = get_platform("tx2-gpu")
+    model = EnergyModel(platform)
+    cost = estimate_cost(attentivenas_model("a6"))
+    setting = DvfsSpace(platform).default_setting()
+    report = benchmark(model.network_report, cost, setting)
+    assert report.energy_j > 0
+
+
+def test_bench_dvfs_sweep(benchmark):
+    """Exhaustive DVFS-grid sweep for one network (143 settings on TX2)."""
+    platform = get_platform("tx2-gpu")
+    model = EnergyModel(platform)
+    cost = estimate_cost(attentivenas_model("a0"))
+    dvfs = DvfsSpace(platform)
+
+    def sweep() -> float:
+        return min(model.network_energy_j(cost, s) for s in dvfs.all_settings())
+
+    best = benchmark(sweep)
+    assert best > 0
+
+
+def test_bench_nsga2_sort(benchmark):
+    """Non-dominated sort of a 200-point, 3-objective population."""
+    rng = np.random.default_rng(0)
+    points = rng.random((200, 3))
+    fronts = benchmark(non_dominated_sort, points)
+    assert sum(len(f) for f in fronts) == 200
+
+
+def test_bench_hypervolume_3d(benchmark):
+    """Exact 3-D hypervolume of a 100-point front."""
+    rng = np.random.default_rng(1)
+    points = rng.random((100, 3))
+    value = benchmark(hypervolume, points, np.zeros(3))
+    assert 0 < value < 1
+
+
+def test_bench_dynamic_evaluation(benchmark):
+    """One full D(x, f | b) evaluation (oracle + composite energy paths)."""
+    backbone = attentivenas_model("a3")
+    platform = get_platform("tx2-gpu")
+    surrogate = AccuracySurrogate(seed=0)
+    static_eval = StaticEvaluator(platform, surrogate, seed=0)
+    engine = InnerEngine(
+        backbone, static_eval, surrogate.accuracy_fraction(backbone),
+        nsga=Nsga2Config(population=8, generations=2), seed=0,
+    )
+    total = backbone.total_mbconv_layers
+    placement = ExitPlacement(total, (5, 9, 13, 17))
+    setting = static_eval.default_setting
+
+    def evaluate():
+        engine.evaluator._eval_cache.clear()
+        return engine.evaluator.evaluate(placement, setting)
+
+    evaluation = benchmark(evaluate)
+    assert evaluation.energy_gain > 0
+
+
+def test_bench_nn_forward_backward(benchmark):
+    """Forward+backward of a conv layer on a small batch (training step cost)."""
+    conv = Conv2d(8, 16, 3, rng=0)
+    x = np.random.default_rng(2).normal(size=(8, 8, 16, 16))
+
+    def step():
+        t = Tensor(x, requires_grad=True)
+        out = conv(t)
+        (out * out).sum().backward()
+        return out
+
+    out = benchmark(step)
+    assert out.shape == (8, 16, 16, 16)
+
+
+def test_bench_backbone_sampling(benchmark):
+    """Genome sample + decode + encode round-trip throughput."""
+    space = BackboneSpace()
+    rng = np.random.default_rng(3)
+
+    def roundtrip():
+        genome = space.sample_genome(rng)
+        config = space.decode(genome)
+        return space.encode(config)
+
+    genome = benchmark(roundtrip)
+    assert len(genome) == space.genome_length

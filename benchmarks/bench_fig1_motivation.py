@@ -1,0 +1,33 @@
+"""Fig. 1 bench: the motivational example (a0, a6 vs a HADAS model)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig1
+
+
+def test_fig1_motivation(benchmark, profile):
+    result = benchmark(fig1.run, profile)
+    print()
+    print(fig1.render(result))
+
+    hadas = result.model("HADAS")
+    a0 = result.model("a0")
+    a6 = result.model("a6")
+
+    # Left barplot: HADAS outperforms a0 and is on par with a6 after the
+    # static + dynamic optimisations.
+    assert hadas.static_acc > a0.static_acc
+    assert hadas.dyn_acc >= a6.dyn_acc - 0.75
+    # Dynamicity improves accuracy for the HADAS model.
+    assert hadas.dyn_acc > hadas.static_acc
+
+    # Right barplot: a0 (most compact) wins at the Static stage...
+    assert a0.static_energy_mj < hadas.static_energy_mj
+    # ... but every Dyn/HW optimisation narrows HADAS's gap or flips it.
+    assert hadas.dyn_energy_mj < hadas.static_energy_mj
+    assert hadas.dyn_hw_energy_mj <= hadas.dyn_energy_mj
+    static_gap = hadas.static_energy_mj / a0.static_energy_mj
+    dyn_hw_gap = hadas.dyn_hw_energy_mj / a0.dyn_hw_energy_mj
+    assert dyn_hw_gap < static_gap
+    # And HADAS ends far ahead of a6 (paper: 57%).
+    assert result.dyn_hw_gain_vs_a6() > 0.20

@@ -1,0 +1,33 @@
+"""Fig. 5 (bottom row) bench: IOE dynamic Paretos, HADAS vs optimized
+baselines, with the ratio-of-dominance annotations.
+
+Paper RoD per platform: 51.9 / 37.5 / 82.4 / 62.1 % (mean 58.4 %).  The
+shape requirement: HADAS's front dominates the baselines' more than the
+reverse on every platform, with a paper-scale mean.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig5
+
+
+def test_fig5_ioe(benchmark, profile):
+    result = benchmark(fig5.run, profile)
+    print()
+    print(fig5.render(result).split("Fig.5 top")[0])
+    for platform, panel in result.panels.items():
+        dom = panel.experiment.dominance()
+        print(
+            f"{platform}: RoD ours {dom.rod_a_over_b * 100:5.1f}% / theirs "
+            f"{dom.rod_b_over_a * 100:5.1f}% (paper ours: "
+            f"{fig5.PAPER_ROD[platform] * 100:.1f}%)"
+        )
+    mean_rod = result.mean_rod()
+    print(f"mean RoD = {mean_rod * 100:.1f}% (paper: 58.4%)")
+
+    for platform, panel in result.panels.items():
+        dom = panel.experiment.dominance()
+        # HADAS dominates more than it is dominated, everywhere.
+        assert dom.rod_a_over_b > dom.rod_b_over_a, platform
+    # Mean RoD lands in the paper's neighbourhood (58.4 +- ~20 points).
+    assert 0.30 < mean_rod < 0.90

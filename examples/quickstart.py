@@ -1,0 +1,65 @@
+"""Quickstart: run a HADAS search on a simulated Jetson TX2 GPU.
+
+Runs the full bi-level co-optimisation (backbone x exits x DVFS) at a small
+budget, then prints the backbone Pareto, the selected DyNN and its dynamic
+behaviour.  Takes a few seconds on a laptop.
+
+Usage::
+
+    python examples/quickstart.py [platform]
+
+where ``platform`` is one of agx-gpu, carmel-cpu, tx2-gpu (default),
+denver-cpu.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import HadasConfig, HadasSearch
+
+
+def main(platform: str = "tx2-gpu") -> None:
+    config = HadasConfig(
+        platform=platform,
+        seed=7,
+        outer_population=12,
+        outer_generations=4,
+        inner_population=14,
+        inner_generations=5,
+        ioe_candidates=3,
+    )
+    print(f"Running HADAS on {platform} "
+          f"(OOE {config.outer_iterations} iters, IOE {config.inner_iterations} iters/backbone)")
+    result = HadasSearch(config).run()
+
+    static_evals, dynamic_evals = result.num_evaluations
+    print(f"\nEvaluations: {static_evals} static (S), {dynamic_evals} dynamic (D)")
+
+    print(f"\nBackbone Pareto front ({len(result.backbone_pareto())} members):")
+    for ind in sorted(result.backbone_pareto(), key=lambda i: -i.payload["static"].accuracy)[:8]:
+        st = ind.payload["static"]
+        print(
+            f"  acc {st.accuracy:5.2f}%  latency {st.latency_s * 1e3:6.1f} ms  "
+            f"energy {st.energy_j * 1e3:6.1f} mJ   {ind.payload['config'].describe()}"
+        )
+
+    best = result.selected_model()
+    ev = best.payload["evaluation"]
+    st = best.payload["static"]
+    print("\nSelected DyNN (utopia point of the dynamic Pareto):")
+    print(f"  backbone            : {best.payload['config'].describe()}")
+    print(f"  static accuracy     : {st.accuracy:.2f}%")
+    print(f"  dynamic accuracy    : {ev.dynamic_accuracy * 100:.2f}% (ideal mapping)")
+    print(f"  exits at layers     : {ev.placement.positions}")
+    print(f"  DVFS setting        : {ev.setting}")
+    print(f"  energy              : {st.energy_j * 1e3:.1f} -> {ev.dynamic_energy_j * 1e3:.1f} mJ "
+          f"({ev.energy_gain * 100:.1f}% gain)")
+    print(f"  latency             : {st.latency_s * 1e3:.1f} -> {ev.dynamic_latency_s * 1e3:.1f} ms "
+          f"({ev.latency_gain * 100:.1f}% gain)")
+    print(f"  per-exit N_i        : {[round(float(n), 3) for n in ev.exit_stats.n_i]}")
+    print(f"  exit usage fractions: {[round(float(u), 3) for u in ev.exit_stats.usage]}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tx2-gpu")

@@ -1,0 +1,87 @@
+"""The trainable path end-to-end: supernet -> frozen backbone -> exits.
+
+Reproduces the paper's training mechanics at miniature scale, with real
+gradient descent on the numpy substrate:
+
+1. generate a synthetic class-conditional dataset with per-sample difficulty
+   (the CIFAR-100 stand-in);
+2. pretrain a weight-sharing supernet with sandwich sampling;
+3. sample a subnet backbone, freeze it, attach exit branches at searched
+   positions and train them with the hybrid NLL + KD loss (paper eq. 4);
+4. evaluate N_i, ideal-mapping usage and union accuracy — the same
+   statistics the surrogate oracle produces for the CIFAR-100-scale search.
+
+Takes ~1-2 minutes (pure numpy).  Shrink ``--steps`` to go faster.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.arch.space import miniature_space
+from repro.data import SyntheticVisionDataset
+from repro.exits.multi_exit import MultiExitNetwork
+from repro.exits.placement import ExitPlacement
+from repro.exits.training import train_exits
+from repro.supernet.pretrain import pretrain_supernet
+from repro.supernet.supernet import MiniSupernet
+
+
+def main(pretrain_steps: int = 40, exit_steps: int = 60, n_train: int = 512) -> None:
+    space = miniature_space(num_classes=8)
+    dataset = SyntheticVisionDataset(num_classes=8, image_size=32, seed=3)
+    train_x, train_y, _ = dataset.generate(n_train, split="train")
+    eval_x, eval_y, _ = dataset.generate(256, split="val")
+    print(f"dataset: {n_train} train / 256 eval samples, "
+          f"nearest-prototype reference accuracy "
+          f"{dataset.bayes_reference_accuracy(eval_x, eval_y):.3f}")
+
+    supernet = MiniSupernet(space, seed=0)
+    print(f"supernet parameters: {supernet.num_parameters():,}")
+    pre = pretrain_supernet(
+        supernet, train_x, train_y, steps=pretrain_steps, batch_size=32, seed=0
+    )
+    print(f"pretraining: loss {pre.losses[0]:.3f} -> {pre.final_loss:.3f}; "
+          f"min-subnet acc {pre.min_subnet_accuracy:.3f}, "
+          f"max-subnet acc {pre.max_subnet_accuracy:.3f}")
+
+    # Sample a mid-size subnet as the backbone and freeze it (paper: exits
+    # train without touching backbone weights).
+    backbone = space.decode(space.max_genome())
+    total = backbone.total_mbconv_layers
+    placement = ExitPlacement(total, tuple(range(5, total)))
+    network = MultiExitNetwork(supernet, backbone, placement, freeze_backbone=True, seed=1)
+    print(f"\nbackbone: {backbone.describe()} ({total} MBConv layers)")
+    print(f"exits at layers {placement.positions}")
+
+    result = train_exits(
+        network, train_x, train_y, eval_x, eval_y,
+        steps=exit_steps, batch_size=32, kd_weight=1.0, temperature=4.0, seed=2,
+    )
+    print(f"exit training: hybrid loss {result.losses[0]:.3f} -> {result.final_loss:.3f}")
+
+    stats = result.evaluation
+    print("\nheld-out evaluation (ideal input-to-exit mapping):")
+    print(f"  final accuracy      : {stats.final_accuracy:.3f}")
+    print(f"  dynamic accuracy    : {stats.dynamic_accuracy:.3f} (union of all heads)")
+    print(f"  per-exit N_i        : {[round(float(n), 3) for n in stats.n_i]}")
+    print(f"  dissimilarity (eq.7): {[round(float(d), 3) for d in stats.dissimilarity]}")
+    print(f"  usage fractions     : {[round(float(u), 3) for u in stats.usage]}")
+    print(f"  early-exit fraction : {stats.early_exit_fraction:.3f}")
+
+    # The monotone-coverage property the surrogate oracle assumes.
+    n_i = stats.n_i
+    spearman = np.corrcoef(np.argsort(np.argsort(n_i)), np.arange(len(n_i)))[0, 1]
+    print(f"\nN_i grows with depth (rank correlation {spearman:.2f}) — the "
+          "property the CIFAR-100-scale exit oracle encodes analytically.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pretrain-steps", type=int, default=40)
+    parser.add_argument("--exit-steps", type=int, default=60)
+    parser.add_argument("--train-samples", type=int, default=512)
+    args = parser.parse_args()
+    main(args.pretrain_steps, args.exit_steps, args.train_samples)

@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs in offline environments
+(where the `wheel` package needed by PEP 660 editable builds is absent)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""HADAS reproduction: hardware-aware dynamic neural architecture search.
+
+A from-scratch reproduction of *HADAS: Hardware-Aware Dynamic Neural
+Architecture Search for Edge Performance Scaling* (DATE 2023,
+arXiv:2212.03354) — the bi-level co-optimisation of backbone architecture,
+early-exit placement and DVFS settings for dynamic neural networks on edge
+devices — together with every substrate it needs offline: a numpy autograd
+NN library, an AttentiveNAS-style search space, analytical Jetson hardware
+models, calibrated accuracy surrogates, NSGA-II, runtime controllers and the
+full experiment/benchmark harness.
+
+Quickstart::
+
+    from repro import HadasConfig, HadasSearch
+
+    result = HadasSearch(HadasConfig(platform="tx2-gpu")).run()
+    best = result.selected_model()
+    print(best.payload["evaluation"].energy_gain)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.arch.config import BackboneConfig, StageConfig
+from repro.arch.space import BackboneSpace
+from repro.exits.placement import ExitPlacement, ExitSpace
+from repro.hardware.dvfs import DvfsSetting, DvfsSpace
+from repro.hardware.platform import HardwarePlatform, get_platform, list_platforms
+from repro.search.hadas import HadasConfig, HadasResult, HadasSearch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "HadasConfig",
+    "HadasResult",
+    "HadasSearch",
+    "BackboneConfig",
+    "StageConfig",
+    "BackboneSpace",
+    "ExitPlacement",
+    "ExitSpace",
+    "DvfsSetting",
+    "DvfsSpace",
+    "HardwarePlatform",
+    "get_platform",
+    "list_platforms",
+]

@@ -1,0 +1,83 @@
+"""Command-line entry point: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table2
+    python -m repro table3 --profile fast --platform tx2-gpu
+    python -m repro fig5 --platforms tx2-gpu agx-gpu
+    python -m repro all --profile fast
+
+Artifacts print the paper-style rows/series (the same renderers the
+benchmark suite uses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import fig1, fig5, fig6, fig7, table1, table2, table3
+from repro.experiments.config import Profile
+from repro.hardware.platform import PAPER_PLATFORM_ORDER
+
+_ARTIFACTS = ("table1", "table2", "fig1", "fig5", "fig6", "fig7", "table3")
+
+
+def _profile(name: str, seed: int) -> Profile:
+    if name == "fast":
+        return Profile.fast(seed)
+    if name == "paper":
+        return Profile.paper(seed)
+    raise SystemExit(f"unknown profile {name!r}; expected fast or paper")
+
+
+def _run_artifact(name: str, profile: Profile, platform: str, platforms: tuple[str, ...]) -> str:
+    if name == "table1":
+        return table1.render(table1.run())
+    if name == "table2":
+        return table2.render(table2.run())
+    if name == "fig1":
+        return fig1.render(fig1.run(profile, platform))
+    if name == "fig5":
+        return fig5.render(fig5.run(profile, platforms))
+    if name == "fig6":
+        return fig6.render(fig6.run(profile, platforms))
+    if name == "fig7":
+        return fig7.render(fig7.run(profile, platform))
+    if name == "table3":
+        return table3.render(table3.run(profile, platform))
+    raise SystemExit(f"unknown artifact {name!r}; see `python -m repro list`")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("artifact", help="one of: list, all, " + ", ".join(_ARTIFACTS))
+    parser.add_argument("--profile", default="fast", help="fast (default) or paper")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--platform", default="tx2-gpu",
+                        help="platform for single-platform artifacts")
+    parser.add_argument("--platforms", nargs="+", default=list(PAPER_PLATFORM_ORDER),
+                        help="platforms for fig5/fig6")
+    args = parser.parse_args(argv)
+
+    if args.artifact == "list":
+        print("available artifacts:", ", ".join(_ARTIFACTS), "or 'all'")
+        return 0
+
+    profile = _profile(args.profile, args.seed)
+    names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        start = time.time()
+        output = _run_artifact(name, profile, args.platform, tuple(args.platforms))
+        print(f"\n===== {name} ({time.time() - start:.1f}s) =====")
+        print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Accuracy surrogates for CIFAR-100-scale evaluation.
+
+The paper fine-tunes the AttentiveNAS supernet on CIFAR-100 and trains exit
+heads on a 32-GPU cluster; neither is available offline.  These surrogates
+replace them (DESIGN.md §1):
+
+* :class:`~repro.accuracy.surrogate.AccuracySurrogate` — backbone static
+  accuracy as a calibrated, saturating function of architecture capacity,
+  anchored to the paper's published a0/a6 accuracies (Table III), with
+  seeded per-architecture residuals;
+* :class:`~repro.accuracy.exit_model.BackboneExitOracle` — per-exit
+  correctness columns from a sample-difficulty model, giving every N_i,
+  ideal-mapping usage fraction and union (dynamic) accuracy the IOE needs.
+"""
+
+from repro.accuracy.calibration import CalibrationAnchors, DEFAULT_ANCHORS
+from repro.accuracy.exit_model import BackboneExitOracle, ExitCapabilityModel
+from repro.accuracy.surrogate import AccuracySurrogate
+
+__all__ = [
+    "AccuracySurrogate",
+    "ExitCapabilityModel",
+    "BackboneExitOracle",
+    "CalibrationAnchors",
+    "DEFAULT_ANCHORS",
+]

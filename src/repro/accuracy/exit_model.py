@@ -1,0 +1,183 @@
+"""Exit-capability oracle: per-exit correctness without GPU training.
+
+Model (DESIGN.md §1): every sample carries a Beta-distributed difficulty; a
+head at relative depth ``u`` with capability ``cap`` classifies correctly the
+``cap`` fraction of samples with the lowest *perceived* difficulty
+
+    score_n(u) = difficulty_n - eta_n(u)
+
+where ``eta_n`` is a per-sample smooth Gaussian-process perturbation over
+depth.  The GP is the load-bearing choice: heads at *nearby* depths see
+almost identical perturbations (their errors are highly correlated — an
+exit adjacent to another is redundant), while heads far apart decorrelate
+(a spread of exits catches samples the final classifier misses).  This is
+precisely the behaviour the paper's dissimilarity regulariser (eq. 7)
+exploits: clustered exits waste branches without extending coverage.
+
+Capability grows with depth as ``cap(u) = acc * head_quality * maturity(u)``
+with saturating maturity — diminishing returns per extra layer.  Marginals
+are exact (an exit of capability c classifies exactly a fraction c), so the
+oracle's N_i and final accuracy line up with the accuracy surrogate.
+
+A :class:`BackboneExitOracle` caches one correctness column per position, so
+the inner engine's thousands of placement evaluations per backbone reuse the
+same columns — and exits at the same position are identical across
+placements, which keeps the dissimilarity signal consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.difficulty import DifficultyDistribution
+from repro.exits.evaluation import ExitEvaluation, ideal_mapping_stats
+from repro.exits.placement import ExitPlacement
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class ExitCapabilityModel:
+    """Parameters of the capability model.
+
+    Attributes
+    ----------
+    maturity_k:
+        Saturation rate of feature maturity vs relative depth.
+    head_quality:
+        Capability of the fixed exit head relative to the full final head.
+    idiosyncratic_sigma:
+        Std-dev of the per-(depth, sample) GP perturbation in difficulty
+        units; controls how much *spread* exits can extend coverage (the
+        union/EEx accuracy gain).
+    correlation_length:
+        Length scale (in relative depth) of the GP: heads closer than this
+        are nearly redundant.
+    """
+
+    maturity_k: float = 2.5
+    head_quality: float = 0.965
+    idiosyncratic_sigma: float = 0.18
+    correlation_length: float = 0.18
+    num_basis: int = 9
+
+    def __post_init__(self):
+        check_positive("maturity_k", self.maturity_k)
+        check_probability("head_quality", self.head_quality)
+        check_positive("idiosyncratic_sigma", self.idiosyncratic_sigma)
+        check_positive("correlation_length", self.correlation_length)
+        check_positive("num_basis", self.num_basis)
+
+    def maturity(self, u: float | np.ndarray) -> float | np.ndarray:
+        """Feature maturity at relative depth ``u`` in (0, 1]."""
+        return (1.0 - np.exp(-self.maturity_k * np.asarray(u))) / (
+            1.0 - math.exp(-self.maturity_k)
+        )
+
+    def capability(self, backbone_accuracy: float, u: float | np.ndarray):
+        """Marginal correct fraction a head at depth ``u`` can reach."""
+        check_probability("backbone_accuracy", backbone_accuracy)
+        return backbone_accuracy * self.head_quality * self.maturity(u)
+
+    def basis(self, u: float) -> np.ndarray:
+        """Unit-norm RBF feature vector of depth ``u`` (GP weights)."""
+        centers = np.linspace(0.0, 1.0, self.num_basis)
+        phi = np.exp(-((u - centers) ** 2) / (2.0 * self.correlation_length**2))
+        return phi / np.linalg.norm(phi)
+
+    def head_correlation(self, u1: float, u2: float) -> float:
+        """Error-perturbation correlation between heads at two depths."""
+        return float(self.basis(u1) @ self.basis(u2))
+
+
+class BackboneExitOracle:
+    """Per-backbone cache of simulated exit-correctness columns.
+
+    Parameters
+    ----------
+    backbone_key:
+        Stable identity of the backbone (keys the random streams).
+    total_layers:
+        Σ l_i of the backbone — defines relative depths.
+    backbone_accuracy:
+        Static accuracy fraction from the accuracy surrogate.
+    model, difficulty:
+        Capability model and sample-difficulty distribution.
+    n_samples:
+        Monte-Carlo population size (2048 keeps N_i std below 1 point).
+    """
+
+    def __init__(
+        self,
+        backbone_key: str,
+        total_layers: int,
+        backbone_accuracy: float,
+        model: ExitCapabilityModel | None = None,
+        difficulty: DifficultyDistribution | None = None,
+        n_samples: int = 2048,
+        seed: int = 0,
+    ):
+        check_probability("backbone_accuracy", backbone_accuracy)
+        check_positive("n_samples", n_samples)
+        self.backbone_key = backbone_key
+        self.total_layers = total_layers
+        self.backbone_accuracy = backbone_accuracy
+        self.model = model or ExitCapabilityModel()
+        self.difficulty = difficulty or DifficultyDistribution()
+        self.n_samples = n_samples
+        self.seed = seed
+        rng = child_rng(seed, "difficulties", backbone_key)
+        self._difficulties = self.difficulty.sample(n_samples, rng)
+        gp_rng = child_rng(seed, "exit-gp", backbone_key)
+        self._latent = gp_rng.normal(0.0, 1.0, size=(n_samples, self.model.num_basis))
+        self._columns: dict[int | str, np.ndarray] = {}
+
+    def _perturbation(self, u: float) -> np.ndarray:
+        """Per-sample GP perturbation at relative depth ``u``."""
+        weights = self.model.basis(u)
+        return (self._latent @ weights) * self.model.idiosyncratic_sigma
+
+    def _column(self, key: int | str, capability: float, u: float) -> np.ndarray:
+        if key in self._columns:
+            return self._columns[key]
+        # The head ranks samples by perceived difficulty and classifies
+        # exactly its capability fraction: marginals are exact while the GP
+        # keeps correctness strongly correlated between nearby depths.
+        score = self._difficulties - self._perturbation(u)
+        n_correct = int(round(np.clip(capability, 0.0, 1.0) * self.n_samples))
+        column = np.zeros(self.n_samples, dtype=bool)
+        if n_correct > 0:
+            easiest = np.argpartition(score, max(n_correct - 1, 0))[:n_correct]
+            column[easiest] = True
+        self._columns[key] = column
+        return column
+
+    def exit_column(self, position: int) -> np.ndarray:
+        """Boolean correctness column of an exit at MBConv ``position``."""
+        if not 1 <= position <= self.total_layers:
+            raise ValueError(f"position {position} outside [1, {self.total_layers}]")
+        u = position / self.total_layers
+        cap = float(self.model.capability(self.backbone_accuracy, u))
+        return self._column(position, cap, u)
+
+    def final_column(self) -> np.ndarray:
+        """Boolean correctness column of the backbone's final classifier."""
+        return self._column("final", self.backbone_accuracy, 1.0)
+
+    def n_i(self, position: int) -> float:
+        """Marginal correct fraction of an exit (the paper's N_i)."""
+        return float(self.exit_column(position).mean())
+
+    def evaluate_placement(self, placement: ExitPlacement) -> ExitEvaluation:
+        """Ideal-mapping statistics for a full placement."""
+        if placement.total_layers != self.total_layers:
+            raise ValueError(
+                f"placement assumes {placement.total_layers} layers, oracle has "
+                f"{self.total_layers}"
+            )
+        columns = [self.exit_column(p) for p in placement.positions]
+        columns.append(self.final_column())
+        return ideal_mapping_stats(np.stack(columns, axis=1))

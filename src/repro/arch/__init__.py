@@ -1,0 +1,29 @@
+"""Backbone architecture space B (paper Table II).
+
+This package defines the AttentiveNAS-style once-for-all search space the
+paper reuses: seven MBConv stages with per-stage width/depth/kernel/expand
+choices, a stem and head width choice, and four input resolutions.  The
+distinct width values across the whole network span [16, 1984] with exactly
+16 distinct values, matching Table II row-for-row.
+
+:mod:`~repro.arch.space` owns the genome encoding consumed by the outer
+search engine; :mod:`~repro.arch.cost` lowers a concrete
+:class:`~repro.arch.config.BackboneConfig` into a per-layer FLOPs/params/
+bytes profile consumed by the hardware models.
+"""
+
+from repro.arch.config import BackboneConfig, LayerSpec, StageConfig
+from repro.arch.cost import LayerCost, NetworkCost, estimate_cost, exit_branch_cost
+from repro.arch.space import BackboneSpace, StageChoices
+
+__all__ = [
+    "StageConfig",
+    "BackboneConfig",
+    "LayerSpec",
+    "BackboneSpace",
+    "StageChoices",
+    "LayerCost",
+    "NetworkCost",
+    "estimate_cost",
+    "exit_branch_cost",
+]

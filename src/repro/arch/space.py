@@ -1,0 +1,223 @@
+"""The backbone search space B and its genome encoding (paper Table II).
+
+The per-stage choice tables follow the AttentiveNAS supernet the paper builds
+on.  The union of width values across stem, stages and head is exactly the 16
+distinct values in [16, 1984] that Table II reports; depths span {1..8},
+kernels {3, 5}, expand ratios {1, 4, 5, 6}; input resolution is one of
+{192, 224, 256, 288}.  The resulting cardinality exceeds the paper's quoted
+2.94e11 (see :meth:`BackboneSpace.cardinality`).
+
+A genome is a flat integer vector of choice indices:
+
+    [resolution, stem, (width, depth, kernel, expand) x 7 stages, head]
+
+— 31 genes.  The encoding is position-independent of actual values, so
+mutation/crossover operate uniformly on index ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import STAGE_STRIDES, BackboneConfig, StageConfig
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class StageChoices:
+    """Per-stage option lists."""
+
+    widths: tuple[int, ...]
+    depths: tuple[int, ...]
+    kernels: tuple[int, ...]
+    expands: tuple[int, ...]
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.widths) * len(self.depths) * len(self.kernels) * len(self.expands)
+
+
+#: AttentiveNAS-A per-stage choice tables (width/depth/kernel/expand).
+ATTENTIVENAS_STAGES: tuple[StageChoices, ...] = (
+    StageChoices((16, 24), (1, 2), (3, 5), (1,)),
+    StageChoices((24, 32), (3, 4, 5), (3, 5), (4, 5, 6)),
+    StageChoices((32, 40), (3, 4, 5, 6), (3, 5), (4, 5, 6)),
+    StageChoices((64, 72), (3, 4, 5, 6), (3, 5), (4, 5, 6)),
+    StageChoices((112, 120, 128), (3, 4, 5, 6, 7, 8), (3, 5), (4, 5, 6)),
+    StageChoices((192, 200, 208, 216), (3, 4, 5, 6, 7, 8), (3, 5), (6,)),
+    StageChoices((216, 224), (1, 2), (3, 5), (6,)),
+)
+
+RESOLUTIONS: tuple[int, ...] = (192, 224, 256, 288)
+STEM_WIDTHS: tuple[int, ...] = (16, 24)
+HEAD_WIDTHS: tuple[int, ...] = (1792, 1984)
+
+GENES_PER_STAGE = 4
+
+
+class BackboneSpace:
+    """Encodes/decodes/samples backbone genomes (the B subspace).
+
+    Parameters
+    ----------
+    num_classes:
+        Classifier width attached to decoded configs (100 for the CIFAR-100
+        reproduction).
+    stages, resolutions, stem_widths, head_widths:
+        Override the choice tables (used by the miniature trainable profile
+        and by tests); defaults reproduce Table II.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 100,
+        stages: tuple[StageChoices, ...] = ATTENTIVENAS_STAGES,
+        resolutions: tuple[int, ...] = RESOLUTIONS,
+        stem_widths: tuple[int, ...] = STEM_WIDTHS,
+        head_widths: tuple[int, ...] = HEAD_WIDTHS,
+    ):
+        if len(stages) != len(STAGE_STRIDES):
+            raise ValueError(f"expected {len(STAGE_STRIDES)} stage tables, got {len(stages)}")
+        self.num_classes = num_classes
+        self.stages = stages
+        self.resolutions = resolutions
+        self.stem_widths = stem_widths
+        self.head_widths = head_widths
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def genome_length(self) -> int:
+        return 2 + GENES_PER_STAGE * len(self.stages) + 1
+
+    def gene_bounds(self) -> np.ndarray:
+        """Number of options for each gene (exclusive upper bound, len G)."""
+        bounds = [len(self.resolutions), len(self.stem_widths)]
+        for stage in self.stages:
+            bounds.extend(
+                [len(stage.widths), len(stage.depths), len(stage.kernels), len(stage.expands)]
+            )
+        bounds.append(len(self.head_widths))
+        return np.asarray(bounds, dtype=np.int64)
+
+    def cardinality(self) -> int:
+        """Exact number of distinct backbones in the space."""
+        return int(np.prod([int(b) for b in self.gene_bounds()], dtype=object))
+
+    def distinct_widths(self) -> tuple[int, ...]:
+        """Sorted distinct width values across stem/stages/head (Table II)."""
+        values = set(self.stem_widths) | set(self.head_widths)
+        for stage in self.stages:
+            values |= set(stage.widths)
+        return tuple(sorted(values))
+
+    def depth_values(self) -> tuple[int, ...]:
+        """Sorted distinct depth options across stages."""
+        values: set[int] = set()
+        for stage in self.stages:
+            values |= set(stage.depths)
+        return tuple(sorted(values))
+
+    # ------------------------------------------------------------- encoding
+    def validate_genome(self, genome: np.ndarray) -> np.ndarray:
+        genome = np.asarray(genome, dtype=np.int64)
+        bounds = self.gene_bounds()
+        if genome.shape != bounds.shape:
+            raise ValueError(f"genome length {genome.shape} != {bounds.shape}")
+        if (genome < 0).any() or (genome >= bounds).any():
+            bad = np.nonzero((genome < 0) | (genome >= bounds))[0]
+            raise ValueError(f"genome genes out of range at positions {bad.tolist()}")
+        return genome
+
+    def decode(self, genome: np.ndarray) -> BackboneConfig:
+        """Turn a genome index vector into a concrete BackboneConfig."""
+        genome = self.validate_genome(genome)
+        resolution = self.resolutions[genome[0]]
+        stem = self.stem_widths[genome[1]]
+        stages = []
+        cursor = 2
+        for stage_choices, stride in zip(self.stages, STAGE_STRIDES):
+            w_idx, d_idx, k_idx, e_idx = genome[cursor : cursor + GENES_PER_STAGE]
+            stages.append(
+                StageConfig(
+                    width=stage_choices.widths[w_idx],
+                    depth=stage_choices.depths[d_idx],
+                    kernel=stage_choices.kernels[k_idx],
+                    expand=stage_choices.expands[e_idx],
+                    stride=stride,
+                )
+            )
+            cursor += GENES_PER_STAGE
+        head = self.head_widths[genome[cursor]]
+        return BackboneConfig(
+            resolution=resolution,
+            stem_width=stem,
+            stages=tuple(stages),
+            head_width=head,
+            num_classes=self.num_classes,
+        )
+
+    def encode(self, config: BackboneConfig) -> np.ndarray:
+        """Inverse of :meth:`decode`."""
+        genome = [
+            self.resolutions.index(config.resolution),
+            self.stem_widths.index(config.stem_width),
+        ]
+        for stage, choices in zip(config.stages, self.stages):
+            genome.extend(
+                [
+                    choices.widths.index(stage.width),
+                    choices.depths.index(stage.depth),
+                    choices.kernels.index(stage.kernel),
+                    choices.expands.index(stage.expand),
+                ]
+            )
+        genome.append(self.head_widths.index(config.head_width))
+        return np.asarray(genome, dtype=np.int64)
+
+    # ------------------------------------------------------------- sampling
+    def sample_genome(self, rng=None) -> np.ndarray:
+        """Uniform random genome."""
+        rng = make_rng(rng)
+        bounds = self.gene_bounds()
+        return (rng.random(len(bounds)) * bounds).astype(np.int64)
+
+    def sample(self, rng=None) -> BackboneConfig:
+        """Uniform random backbone."""
+        return self.decode(self.sample_genome(rng))
+
+    def min_genome(self) -> np.ndarray:
+        """Genome of the most compact backbone (all-minimum choices)."""
+        return np.zeros(self.genome_length, dtype=np.int64)
+
+    def max_genome(self) -> np.ndarray:
+        """Genome of the largest backbone (all-maximum choices)."""
+        return self.gene_bounds() - 1
+
+
+def miniature_space(num_classes: int = 8) -> BackboneSpace:
+    """A tiny but structurally faithful space for the trainable pipeline.
+
+    Same seven-stage macro structure and genome layout as the full space, but
+    channel counts small enough that the numpy supernet trains in seconds.
+    """
+    stages = (
+        StageChoices((8,), (1, 2), (3,), (1,)),
+        # The kernel choice sits on an early, high-resolution stage so the
+        # OFA centre-slice path is exercised where 3x3 and 5x5 genuinely
+        # differ (at tiny spatial sizes they coincide).
+        StageChoices((8, 12), (1, 2), (3, 5), (1, 4)),
+        StageChoices((12, 16), (1, 2), (3,), (1, 4)),
+        StageChoices((16, 24), (1, 2), (3,), (1, 4)),
+        StageChoices((24,), (1, 2), (3,), (4,)),
+        StageChoices((32,), (1, 2), (3,), (4,)),
+        StageChoices((32,), (1,), (3,), (4,)),
+    )
+    return BackboneSpace(
+        num_classes=num_classes,
+        stages=stages,
+        resolutions=(32,),
+        stem_widths=(8,),
+        head_widths=(64,),
+    )

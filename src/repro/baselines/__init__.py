@@ -1,0 +1,27 @@
+"""Baselines the paper compares against.
+
+* :mod:`~repro.baselines.attentivenas` — the a0..a6 reference subnets of the
+  AttentiveNAS framework (the paper's static baselines; a0 is the most
+  compact, a6 the most accurate).
+* :mod:`~repro.baselines.optimized_baseline` — the paper's "optimized
+  baselines": the IOE run on a fixed baseline backbone with the same budget
+  HADAS gets, isolating the value of backbone co-search.
+* :mod:`~repro.baselines.branchynet` — a BranchyNet-style heuristic that
+  places exits uniformly with no search, as a lower anchor.
+"""
+
+from repro.baselines.attentivenas import (
+    ATTENTIVENAS_MODELS,
+    attentivenas_model,
+    attentivenas_models,
+)
+from repro.baselines.branchynet import branchynet_exits
+from repro.baselines.optimized_baseline import optimize_baseline_backbones
+
+__all__ = [
+    "ATTENTIVENAS_MODELS",
+    "attentivenas_model",
+    "attentivenas_models",
+    "optimize_baseline_backbones",
+    "branchynet_exits",
+]

@@ -1,0 +1,30 @@
+"""BranchyNet-style heuristic exit placement (no search).
+
+BranchyNet attaches a small number of exits at hand-picked, roughly uniform
+depths of a fixed backbone.  We reproduce that heuristic as a lower anchor:
+it respects the paper's position constraint (no exit before layer 5) but
+performs no optimisation of count, position, or DVFS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import BackboneConfig
+from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
+
+
+def branchynet_exits(config: BackboneConfig, num_exits: int = 2) -> ExitPlacement:
+    """Place ``num_exits`` exits uniformly over the valid depth range."""
+    last = config.total_mbconv_layers - 1
+    if last < MIN_EXIT_POSITION:
+        raise ValueError(
+            f"backbone too shallow for exits: {config.total_mbconv_layers} layers"
+        )
+    available = last - MIN_EXIT_POSITION + 1
+    num_exits = max(1, min(num_exits, available))
+    positions = np.unique(
+        np.round(np.linspace(MIN_EXIT_POSITION, last, num_exits)).astype(int)
+    )
+    return ExitPlacement(total_layers=config.total_mbconv_layers,
+                         positions=tuple(int(p) for p in positions))

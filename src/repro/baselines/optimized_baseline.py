@@ -1,0 +1,46 @@
+"""The paper's "optimized baselines": IOE applied to fixed backbones.
+
+For the IOE comparison (Fig. 5 bottom, Fig. 6) the paper gives the baselines
+a fair chance: the a0..a6 backbones keep their architecture, but their exit
+placement and DVFS settings are optimised with the *same* inner-engine budget
+HADAS uses.  Any remaining gap is therefore attributable to HADAS's backbone
+co-search — its OOE samples backbones "more poised to benefit from the IOE
+optimizations".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.arch.config import BackboneConfig
+from repro.baselines.attentivenas import attentivenas_models
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.search.ioe import InnerEngine, InnerResult
+
+
+def optimize_baseline_backbones(
+    make_inner_engine,
+    models: dict[str, BackboneConfig] | None = None,
+) -> dict[str, "InnerResult"]:
+    """Run the inner engine on each fixed baseline backbone.
+
+    Parameters
+    ----------
+    make_inner_engine:
+        Callable ``(name, BackboneConfig) -> InnerEngine`` so the caller
+        controls budget/platform/seeding (and can match HADAS's IOE budget
+        exactly, as the paper does).
+    models:
+        Backbones to optimise; defaults to the a0..a6 family.
+
+    Returns
+    -------
+    dict mapping model name to its inner-engine result (exits/DVFS Pareto).
+    """
+    models = models if models is not None else attentivenas_models()
+    results = {}
+    for name, config in models.items():
+        engine = make_inner_engine(name, config)
+        results[name] = engine.run()
+    return results

@@ -1,0 +1,16 @@
+"""Synthetic vision data standing in for CIFAR-100.
+
+The paper trains and evaluates on CIFAR-100, which is unavailable offline.
+This package provides a procedurally generated class-conditional image
+dataset with an explicit *per-sample difficulty* scalar — the property that
+makes early exiting meaningful (easy samples are classifiable from shallow
+features).  The dataset feeds the miniature trainable pipeline; the same
+difficulty distribution drives the analytical exit model in
+:mod:`repro.accuracy.exit_model` (see DESIGN.md §1).
+"""
+
+from repro.data.difficulty import DifficultyDistribution
+from repro.data.splits import train_val_test_split
+from repro.data.synthetic import SyntheticVisionDataset
+
+__all__ = ["SyntheticVisionDataset", "DifficultyDistribution", "train_val_test_split"]

@@ -1,0 +1,32 @@
+"""Dataset split helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def train_val_test_split(
+    images: np.ndarray,
+    labels: np.ndarray,
+    val_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    rng=None,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Shuffle and split arrays into train/val/test dictionaries."""
+    if not 0 < val_fraction + test_fraction < 1:
+        raise ValueError("val_fraction + test_fraction must lie in (0, 1)")
+    rng = make_rng(rng)
+    n = len(images)
+    order = rng.permutation(n)
+    n_val = int(round(n * val_fraction))
+    n_test = int(round(n * test_fraction))
+    val_idx = order[:n_val]
+    test_idx = order[n_val : n_val + n_test]
+    train_idx = order[n_val + n_test :]
+    return {
+        "train": (images[train_idx], labels[train_idx]),
+        "val": (images[val_idx], labels[val_idx]),
+        "test": (images[test_idx], labels[test_idx]),
+    }

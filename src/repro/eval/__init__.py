@@ -1,0 +1,21 @@
+"""Static (S) and dynamic (D) evaluation of candidate designs.
+
+:class:`~repro.eval.static.StaticEvaluator` produces the paper's S(b) vector
+(eq. 3): accuracy, latency and energy of a backbone as a standalone model at
+default hardware settings.
+
+:class:`~repro.eval.dynamic.DynamicEvaluator` produces the D(x, f | b)
+evaluations (eqs. 5–7): per-exit N_i, ideal-mapping usage, expected dynamic
+energy/latency of the multi-exit network at a DVFS setting, the per-exit
+scores with the dissimilarity regulariser, and the aggregate D score.
+"""
+
+from repro.eval.dynamic import DynamicEvaluation, DynamicEvaluator
+from repro.eval.static import StaticEvaluation, StaticEvaluator
+
+__all__ = [
+    "StaticEvaluation",
+    "StaticEvaluator",
+    "DynamicEvaluation",
+    "DynamicEvaluator",
+]

@@ -1,0 +1,199 @@
+"""Dynamic evaluation D(x, f | b): paper eqs. 5–7.
+
+Given a backbone, an exit placement x and a DVFS setting f, this evaluator
+computes:
+
+* per-exit N_i and ideal-mapping usage fractions (from the exit oracle);
+* the early-exit execution costs E_{x_i,f}, L_{x_i,f} — the backbone prefix
+  up to the exit *plus every earlier exit branch* (rejected inputs pay for
+  the branches they traversed);
+* expected dynamic energy/latency of the DyNN under ideal mapping, and the
+  corresponding gains over the backbone at default clocks;
+* per-exit scores (eq. 6) and the aggregate D (eq. 5).
+
+Score semantics: eq. 6 multiplies N_i by "normalized dynamic energy ...
+relative to the backbone" terms.  Since the engines *maximise* D and the
+paper's Fig. 5 reports energy-efficiency *gains*, the normalised terms are
+implemented as savings, ``1 - E_{x_i,f}/E_b`` (clamped at 0) — an exit only
+scores when it actually saves energy/latency.  Set
+``literal_ratios=True`` to use the raw ratios instead (paper-literal
+reading; documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accuracy.exit_model import BackboneExitOracle
+from repro.arch.config import BackboneConfig
+from repro.arch.cost import LayerCost, NetworkCost, exit_branch_cost
+from repro.exits.evaluation import ExitEvaluation
+from repro.exits.placement import ExitPlacement
+from repro.hardware.dvfs import DvfsSetting
+from repro.hardware.energy import EnergyModel
+from repro.utils.validation import check_nonneg
+
+
+@dataclass(frozen=True)
+class DynamicEvaluation:
+    """Full D-side evaluation of one (x, f | b) candidate."""
+
+    placement: ExitPlacement
+    setting: DvfsSetting
+    exit_stats: ExitEvaluation
+    exit_energy_j: np.ndarray  # E_{x_i,f} per exit
+    exit_latency_s: np.ndarray  # L_{x_i,f} per exit
+    dynamic_energy_j: float  # expected energy under ideal mapping
+    dynamic_latency_s: float
+    energy_gain: float  # 1 - E_dyn / E_b(default)
+    latency_gain: float
+    scores: np.ndarray  # eq. 6 per exit
+    d_score: float  # eq. 5 aggregate
+
+    @property
+    def mean_n_i(self) -> float:
+        return self.exit_stats.mean_n_i
+
+    @property
+    def dynamic_accuracy(self) -> float:
+        """Union accuracy (fraction) under ideal mapping."""
+        return self.exit_stats.dynamic_accuracy
+
+
+@dataclass
+class DynamicEvaluator:
+    """Evaluates D(x, f | b) for one backbone on one platform.
+
+    Parameters
+    ----------
+    config:
+        The backbone b'.
+    cost:
+        Its per-layer cost profile.
+    oracle:
+        Per-backbone exit-correctness oracle (surrogate or trained).
+    energy_model:
+        Platform energy model.
+    baseline_energy_j, baseline_latency_s:
+        E_b, L_b — the backbone at *default* clocks (from the static
+        evaluation), the normalisers of eq. 6.
+    gamma:
+        The dissimilarity trade-off exponent γ (0 disables the regulariser —
+        the paper's Fig. 7 ablation).
+    literal_ratios:
+        Use eq. 6's ratios verbatim instead of savings (see module note).
+    """
+
+    config: BackboneConfig
+    cost: NetworkCost
+    oracle: BackboneExitOracle
+    energy_model: EnergyModel
+    baseline_energy_j: float
+    baseline_latency_s: float
+    gamma: float = 1.0
+    literal_ratios: bool = False
+    _branch_cache: dict[int, LayerCost] = field(default_factory=dict, repr=False)
+    _eval_cache: dict[tuple, DynamicEvaluation] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        check_nonneg("gamma", self.gamma)
+        self._channels = {
+            spec.index: (spec.out_channels, spec.out_resolution)
+            for spec in self.config.layers()
+            if spec.kind == "mbconv"
+        }
+
+    def branch_cost(self, position: int) -> LayerCost:
+        """Cost profile of the exit branch attached at ``position``."""
+        if position not in self._branch_cache:
+            channels, resolution = self._channels[position]
+            self._branch_cache[position] = exit_branch_cost(
+                channels, resolution, self.config.num_classes
+            )
+        return self._branch_cache[position]
+
+    def _exit_path_report(self, positions: tuple[int, ...], upto: int, setting: DvfsSetting):
+        """Energy report of executing to exit index ``upto`` (inclusive)."""
+        layers = list(self.cost.prefix(positions[upto]))
+        layers.extend(self.branch_cost(p) for p in positions[: upto + 1])
+        return self.energy_model.composite_report(layers, setting)
+
+    def _full_path_report(self, positions: tuple[int, ...], setting: DvfsSetting):
+        """Energy report of the full network plus all exit branches."""
+        layers = list(self.cost.layers)
+        layers.extend(self.branch_cost(p) for p in positions)
+        return self.energy_model.composite_report(layers, setting)
+
+    def evaluate(self, placement: ExitPlacement, setting: DvfsSetting) -> DynamicEvaluation:
+        """Full dynamic evaluation of (x, f | b) (cached)."""
+        key = (placement.key, setting.core_ghz, setting.emc_ghz)
+        if key in self._eval_cache:
+            return self._eval_cache[key]
+
+        stats = self.oracle.evaluate_placement(placement)
+        positions = placement.positions
+        exit_reports = [
+            self._exit_path_report(positions, i, setting) for i in range(len(positions))
+        ]
+        full_report = self._full_path_report(positions, setting)
+
+        exit_energy = np.asarray([r.energy_j for r in exit_reports])
+        exit_latency = np.asarray([r.latency_s for r in exit_reports])
+        usage = stats.usage
+        dynamic_energy = float(usage[:-1] @ exit_energy + usage[-1] * full_report.energy_j)
+        dynamic_latency = float(usage[:-1] @ exit_latency + usage[-1] * full_report.latency_s)
+
+        energy_ratio = exit_energy / self.baseline_energy_j
+        latency_ratio = exit_latency / self.baseline_latency_s
+        if self.literal_ratios:
+            energy_term = energy_ratio
+            latency_term = latency_ratio
+        else:
+            energy_term = np.clip(1.0 - energy_ratio, 0.0, None)
+            latency_term = np.clip(1.0 - latency_ratio, 0.0, None)
+        dissim = stats.dissimilarity
+        scores = stats.n_i * energy_term * latency_term * dissim**self.gamma
+
+        evaluation = DynamicEvaluation(
+            placement=placement,
+            setting=setting,
+            exit_stats=stats,
+            exit_energy_j=exit_energy,
+            exit_latency_s=exit_latency,
+            dynamic_energy_j=dynamic_energy,
+            dynamic_latency_s=dynamic_latency,
+            energy_gain=float(1.0 - dynamic_energy / self.baseline_energy_j),
+            latency_gain=float(1.0 - dynamic_latency / self.baseline_latency_s),
+            scores=scores,
+            d_score=float(scores.mean()),
+        )
+        self._eval_cache[key] = evaluation
+        return evaluation
+
+    def objectives(self, evaluation: DynamicEvaluation) -> tuple[float, float, float]:
+        """IOE maximisation vector for one evaluation (paper eqs. 5-6).
+
+        All three components are *per-exit proxy averages*, exactly as the
+        paper's D formulation: the accuracy side folds the dissimilarity
+        regulariser in (mean of N_i * dissim_i^gamma), and the energy/
+        latency sides average the per-exit normalised savings.  None of them
+        is an ideal-mapping aggregate — which is precisely why, without the
+        dissimilarity term, the search degenerates to clustered exits (the
+        proxies do not punish redundancy; the paper's Fig. 7 ablation shows
+        the same failure).  Deployment metrics (``energy_gain`` etc.) are
+        still the physical ideal-mapping aggregates.
+        """
+        stats = evaluation.exit_stats
+        dissim = stats.dissimilarity**self.gamma
+        d_acc = float(np.mean(stats.n_i * dissim))
+        energy_ratio = evaluation.exit_energy_j / self.baseline_energy_j
+        latency_ratio = evaluation.exit_latency_s / self.baseline_latency_s
+        if self.literal_ratios:
+            d_energy = float(np.mean(energy_ratio))
+            d_latency = float(np.mean(latency_ratio))
+        else:
+            d_energy = float(np.mean(np.clip(1.0 - energy_ratio, 0.0, None)))
+            d_latency = float(np.mean(np.clip(1.0 - latency_ratio, 0.0, None)))
+        return (d_acc, d_energy, d_latency)

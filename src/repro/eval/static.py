@@ -1,0 +1,75 @@
+"""Static backbone evaluation: the S(b) fitness vector of paper eq. 3.
+
+Accuracy comes from the calibrated surrogate; latency and energy come from
+the simulated hardware-in-the-loop measurement at the platform's *default*
+DVFS setting — the paper explicitly leaves DVFS exploration to the IOE.
+Evaluations are cached by backbone key (the paper's supernet makes backbone
+evaluation cheap; measurement is the bottleneck their LUT/caching amortises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.arch.config import BackboneConfig
+from repro.arch.cost import NetworkCost, estimate_cost
+from repro.hardware.dvfs import DvfsSetting, DvfsSpace
+from repro.hardware.measurement import HardwareInTheLoop
+from repro.hardware.platform import HardwarePlatform
+
+
+@dataclass(frozen=True)
+class StaticEvaluation:
+    """S(b): static accuracy / latency / energy of a standalone backbone."""
+
+    accuracy: float  # percent
+    latency_s: float
+    energy_j: float
+
+    def objectives(self) -> tuple[float, float, float]:
+        """Maximisation vector (accuracy, -latency, -energy) for NSGA-II."""
+        return (self.accuracy, -self.latency_s, -self.energy_j)
+
+
+class StaticEvaluator:
+    """Evaluates S(b) for backbones on one platform, with caching."""
+
+    def __init__(
+        self,
+        platform: HardwarePlatform,
+        surrogate: AccuracySurrogate,
+        hwil: HardwareInTheLoop | None = None,
+        seed: int = 0,
+    ):
+        self.platform = platform
+        self.surrogate = surrogate
+        self.hwil = hwil or HardwareInTheLoop(platform, seed=seed)
+        self.dvfs_space = DvfsSpace(platform)
+        self.default_setting: DvfsSetting = self.dvfs_space.default_setting()
+        self._cache: dict[str, StaticEvaluation] = {}
+        self._cost_cache: dict[str, NetworkCost] = {}
+
+    def cost(self, config: BackboneConfig) -> NetworkCost:
+        """Cost profile of a backbone (cached)."""
+        if config.key not in self._cost_cache:
+            self._cost_cache[config.key] = estimate_cost(config)
+        return self._cost_cache[config.key]
+
+    def evaluate(self, config: BackboneConfig) -> StaticEvaluation:
+        """S(b) at default hardware settings (cached per backbone)."""
+        if config.key in self._cache:
+            return self._cache[config.key]
+        measurement = self.hwil.measure(self.cost(config), self.default_setting)
+        evaluation = StaticEvaluation(
+            accuracy=self.surrogate.accuracy(config),
+            latency_s=measurement.latency_s_mean,
+            energy_j=measurement.energy_j_mean,
+        )
+        self._cache[config.key] = evaluation
+        return evaluation
+
+    @property
+    def num_evaluations(self) -> int:
+        """Distinct backbones evaluated so far."""
+        return len(self._cache)

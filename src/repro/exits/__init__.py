@@ -1,0 +1,36 @@
+"""Early-exit machinery: the X subspace, exit branches, training, evaluation.
+
+The X subspace (paper §IV-B1, Table II) is conditioned on a backbone: exits
+may attach after any MBConv layer from position 5 up to the penultimate
+layer, encoded as an indicator vector [I_5 .. I_{L-1}].  The exit branch
+structure is fixed — one conv-BN-activation block plus a classifier — for
+re-usability, small search overhead, and cheap training (paper's three
+stated reasons).
+
+Two evaluation paths share one interface:
+
+* the *trainable* path (:mod:`~repro.exits.multi_exit`,
+  :mod:`~repro.exits.training`) builds real numpy networks, trains exits with
+  the frozen-backbone hybrid NLL+KD loss (eq. 4) and measures exit accuracy;
+* the *surrogate* path (:mod:`repro.accuracy.exit_model`) produces the same
+  per-exit correctness statistics analytically for CIFAR-100-scale search.
+"""
+
+from repro.exits.branch import ExitBranch
+from repro.exits.evaluation import ExitEvaluation, evaluate_exit_logits, ideal_mapping_stats
+from repro.exits.multi_exit import MultiExitNetwork
+from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement, ExitSpace
+from repro.exits.training import ExitTrainingResult, train_exits
+
+__all__ = [
+    "MIN_EXIT_POSITION",
+    "ExitPlacement",
+    "ExitSpace",
+    "ExitBranch",
+    "MultiExitNetwork",
+    "train_exits",
+    "ExitTrainingResult",
+    "ExitEvaluation",
+    "evaluate_exit_logits",
+    "ideal_mapping_stats",
+]

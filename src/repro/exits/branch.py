@@ -1,0 +1,48 @@
+"""The fixed exit-branch structure (paper §IV-B1).
+
+One sequential computing block — convolution, batch normalisation, activation
+— followed by global pooling and a classifier.  The paper fixes this simple
+structure across all positions for re-usability, small search overhead, and
+cheap training.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    Swish,
+)
+from repro.nn.tensor import Tensor
+from repro.utils.rng import child_rng
+
+
+class ExitBranch(Module):
+    """conv3x3 -> BN -> Swish -> GAP -> Linear classifier."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        branch_width: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        width = branch_width or in_channels
+        rng_conv = child_rng(seed, "exit-conv")
+        rng_fc = child_rng(seed, "exit-fc")
+        self.conv = Conv2d(in_channels, width, 3, rng=rng_conv)
+        self.bn = BatchNorm2d(width)
+        self.act = Swish()
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(width, num_classes, rng=rng_fc)
+        self.in_channels = in_channels
+        self.width = width
+        self.num_classes = num_classes
+
+    def forward(self, features: Tensor) -> Tensor:
+        h = self.act(self.bn(self.conv(features)))
+        return self.fc(self.pool(h))

@@ -1,0 +1,112 @@
+"""Exit evaluation under the paper's ideal input-to-exit mapping.
+
+The design-time objective maps every input to the *first* exit that
+classifies it correctly (paper §IV-C); inputs no exit can handle run the full
+network and are classified (or not) by the final head.  All statistics derive
+from a boolean *correctness matrix* ``C`` of shape ``(n_samples, E + 1)``
+whose last column is the final classifier — this interface is shared by the
+trainable path (real logits) and the surrogate path (simulated correctness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExitEvaluation:
+    """Per-exit and aggregate statistics of a multi-exit network.
+
+    Attributes
+    ----------
+    n_i:
+        Paper's N_i — fraction of samples each exit classifies correctly,
+        shape ``(E,)``.
+    final_accuracy:
+        Static accuracy of the backbone's own classifier.
+    dynamic_accuracy:
+        Accuracy under ideal mapping (union of all heads).
+    usage:
+        Fraction of inputs leaving at each exit, shape ``(E + 1,)`` — the
+        last entry is the full-network remainder.
+    dissimilarity:
+        Paper eq. 7 per exit: ``1 - max(N_0 .. N_{i-1})`` with the convention
+        ``dissim_0 = 1``.
+    """
+
+    n_i: np.ndarray
+    final_accuracy: float
+    dynamic_accuracy: float
+    usage: np.ndarray
+
+    @property
+    def num_exits(self) -> int:
+        return len(self.n_i)
+
+    @property
+    def mean_n_i(self) -> float:
+        """Average of the N_i values (the paper's Fig. 5 bottom y-axis)."""
+        return float(self.n_i.mean()) if len(self.n_i) else 0.0
+
+    @property
+    def dissimilarity(self) -> np.ndarray:
+        dissim = np.ones(self.num_exits)
+        for i in range(1, self.num_exits):
+            dissim[i] = 1.0 - float(self.n_i[:i].max())
+        return dissim
+
+    @property
+    def early_exit_fraction(self) -> float:
+        """Fraction of inputs that leave before the final classifier."""
+        return float(self.usage[:-1].sum())
+
+
+def ideal_mapping_stats(correct: np.ndarray) -> ExitEvaluation:
+    """Compute :class:`ExitEvaluation` from a correctness matrix.
+
+    ``correct[n, i]`` — exit ``i`` (columns ordered by position; final
+    classifier last) classifies sample ``n`` correctly.
+    """
+    correct = np.asarray(correct, dtype=bool)
+    if correct.ndim != 2 or correct.shape[1] < 1:
+        raise ValueError(f"correctness matrix must be (n, E+1), got {correct.shape}")
+    n_samples, num_heads = correct.shape
+    num_exits = num_heads - 1
+
+    n_i = correct[:, :num_exits].mean(axis=0) if num_exits else np.zeros(0)
+    final_accuracy = float(correct[:, -1].mean())
+    dynamic_accuracy = float(correct.any(axis=1).mean())
+
+    usage = np.zeros(num_exits + 1)
+    remaining = np.ones(n_samples, dtype=bool)
+    for i in range(num_exits):
+        takes = remaining & correct[:, i]
+        usage[i] = takes.mean()
+        remaining &= ~takes
+    usage[-1] = remaining.mean()
+    return ExitEvaluation(
+        n_i=np.asarray(n_i, dtype=float),
+        final_accuracy=final_accuracy,
+        dynamic_accuracy=dynamic_accuracy,
+        usage=usage,
+    )
+
+
+def evaluate_exit_logits(
+    exit_logits: np.ndarray, final_logits: np.ndarray, labels: np.ndarray
+) -> ExitEvaluation:
+    """Evaluate real logits from a trained multi-exit network.
+
+    ``exit_logits`` has shape ``(E, n, classes)``; ``final_logits`` is
+    ``(n, classes)``.
+    """
+    exit_logits = np.asarray(exit_logits)
+    labels = np.asarray(labels)
+    if exit_logits.ndim != 3:
+        raise ValueError(f"exit_logits must be (E, n, classes), got {exit_logits.shape}")
+    pred_exits = exit_logits.argmax(axis=-1)  # (E, n)
+    correct_exits = (pred_exits == labels[None, :]).T  # (n, E)
+    correct_final = (np.asarray(final_logits).argmax(axis=-1) == labels)[:, None]
+    return ideal_mapping_stats(np.concatenate([correct_exits, correct_final], axis=1))

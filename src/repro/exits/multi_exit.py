@@ -1,0 +1,88 @@
+"""Multi-exit dynamic network: backbone taps + exit branches.
+
+Wraps a supernet-activated backbone and attaches
+:class:`~repro.exits.branch.ExitBranch` heads at the placement's positions.
+The backbone is frozen by default — the paper keeps backbone weights frozen
+during exit training so the static accuracy of b' is never degraded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import BackboneConfig
+from repro.exits.branch import ExitBranch
+from repro.exits.placement import ExitPlacement
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.supernet.supernet import MiniSupernet
+
+
+class MultiExitNetwork(Module):
+    """A backbone subnet with trained exit heads at chosen positions."""
+
+    def __init__(
+        self,
+        supernet: MiniSupernet,
+        config: BackboneConfig,
+        placement: ExitPlacement,
+        freeze_backbone: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if placement.total_layers != config.total_mbconv_layers:
+            raise ValueError(
+                f"placement is for a {placement.total_layers}-layer backbone but the "
+                f"config has {config.total_mbconv_layers} MBConv layers"
+            )
+        self.supernet = supernet
+        self.config = config
+        self.placement = placement
+        if freeze_backbone:
+            supernet.freeze()
+
+        channels_at = {
+            spec.index: spec.out_channels
+            for spec in config.layers()
+            if spec.kind == "mbconv"
+        }
+        self.branches = [
+            ExitBranch(channels_at[pos], config.num_classes, seed=seed * 1000 + pos)
+            for pos in placement.positions
+        ]
+
+    def exit_parameters(self) -> list[Tensor]:
+        """Trainable parameters of the exit heads only."""
+        params: list[Tensor] = []
+        for branch in self.branches:
+            params.extend(p for p in branch.parameters() if p.requires_grad)
+        return params
+
+    def forward(self, x: Tensor) -> tuple[list[Tensor], Tensor]:
+        """Return ``(exit_logits_per_branch, final_logits)``."""
+        out = self.supernet(x, self.config)
+        exit_logits = []
+        for pos, branch in zip(self.placement.positions, self.branches):
+            exit_logits.append(branch(out.taps[pos - 1]))
+        return exit_logits, out.logits
+
+    def predict_all(self, images: np.ndarray, batch_size: int = 64) -> tuple[np.ndarray, np.ndarray]:
+        """Inference over an array: stacked exit logits + final logits.
+
+        Returns ``(exit_logits, final_logits)`` with shapes
+        ``(num_exits, n, classes)`` and ``(n, classes)``.
+        """
+        was_training = self.training
+        self.eval()
+        exit_chunks: list[list[np.ndarray]] = [[] for _ in self.branches]
+        final_chunks: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = Tensor(images[start : start + batch_size])
+                exit_logits, final_logits = self.forward(batch)
+                for i, logit in enumerate(exit_logits):
+                    exit_chunks[i].append(logit.data)
+                final_chunks.append(final_logits.data)
+        self.train(was_training)
+        stacked = np.stack([np.concatenate(chunks) for chunks in exit_chunks])
+        return stacked, np.concatenate(final_chunks)

@@ -1,0 +1,122 @@
+"""The exits subspace X: placement indicator vectors conditioned on a backbone.
+
+Paper Table II:  number of exits n_X in [1, (Σ l_i) − 5]; positions in
+[5, Σ l_i).  We realise this as an indicator vector over MBConv layer
+positions 5 .. L−1 (position L is the backbone's own final classifier), so
+``max(n_X) = L − 5`` — consistent with both Table II rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+#: Earliest legal exit position (paper: from the fifth layer on).
+MIN_EXIT_POSITION = 5
+
+
+@dataclass(frozen=True)
+class ExitPlacement:
+    """A concrete exit configuration for a backbone of ``total_layers``.
+
+    ``positions`` are 1-based MBConv layer indices, strictly increasing,
+    each in [5, total_layers − 1].
+    """
+
+    total_layers: int
+    positions: tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.positions:
+            raise ValueError("an exit placement requires at least one exit")
+        if list(self.positions) != sorted(set(self.positions)):
+            raise ValueError(f"positions must be strictly increasing, got {self.positions}")
+        lo, hi = MIN_EXIT_POSITION, self.total_layers - 1
+        for p in self.positions:
+            if not lo <= p <= hi:
+                raise ValueError(
+                    f"exit position {p} outside [{lo}, {hi}] for a "
+                    f"{self.total_layers}-layer backbone"
+                )
+
+    @property
+    def num_exits(self) -> int:
+        return len(self.positions)
+
+    @property
+    def indicators(self) -> np.ndarray:
+        """Paper-style indicator vector [I_5 .. I_{L-1}] (0/1 ints)."""
+        vec = np.zeros(self.total_layers - MIN_EXIT_POSITION, dtype=np.int64)
+        for p in self.positions:
+            vec[p - MIN_EXIT_POSITION] = 1
+        return vec
+
+    @classmethod
+    def from_indicators(cls, total_layers: int, indicators: np.ndarray) -> "ExitPlacement":
+        """Inverse of :attr:`indicators`."""
+        indicators = np.asarray(indicators)
+        expected = total_layers - MIN_EXIT_POSITION
+        if len(indicators) != expected:
+            raise ValueError(f"expected {expected} indicators, got {len(indicators)}")
+        positions = tuple(int(i + MIN_EXIT_POSITION) for i in np.flatnonzero(indicators))
+        return cls(total_layers=total_layers, positions=positions)
+
+    def relative_depths(self) -> np.ndarray:
+        """Exit positions as fractions of the full depth (u_i in (0, 1))."""
+        return np.asarray(self.positions, dtype=float) / self.total_layers
+
+    @property
+    def key(self) -> str:
+        return "x" + "-".join(str(p) for p in self.positions)
+
+
+class ExitSpace:
+    """The X subspace for a backbone with ``total_layers`` MBConv layers."""
+
+    def __init__(self, total_layers: int):
+        if total_layers < MIN_EXIT_POSITION + 1:
+            raise ValueError(
+                f"backbone must have at least {MIN_EXIT_POSITION + 1} layers to host "
+                f"an exit, got {total_layers}"
+            )
+        self.total_layers = total_layers
+
+    @property
+    def num_slots(self) -> int:
+        """Number of candidate positions (indicator-vector length)."""
+        return self.total_layers - MIN_EXIT_POSITION
+
+    @property
+    def max_exits(self) -> int:
+        """Paper Table II: max(n_X) = Σ l_i − 5."""
+        return self.num_slots
+
+    def cardinality(self) -> int:
+        """Number of non-empty exit subsets: 2^slots − 1."""
+        return 2**self.num_slots - 1
+
+    def count_with_exits(self, n: int) -> int:
+        """Number of placements with exactly ``n`` exits (Table II binomial)."""
+        return comb(self.num_slots, n)
+
+    def sample(self, rng=None, density: float = 0.35) -> ExitPlacement:
+        """Random placement: each slot on with probability ``density``
+        (repaired to ensure at least one exit)."""
+        rng = make_rng(rng)
+        indicators = (rng.random(self.num_slots) < density).astype(np.int64)
+        if indicators.sum() == 0:
+            indicators[rng.integers(0, self.num_slots)] = 1
+        return ExitPlacement.from_indicators(self.total_layers, indicators)
+
+    def repair(self, indicators: np.ndarray, rng=None) -> np.ndarray:
+        """Force validity: at least one active indicator."""
+        indicators = np.asarray(indicators).astype(np.int64).clip(0, 1)
+        if indicators.sum() == 0:
+            rng = make_rng(rng)
+            indicators = indicators.copy()
+            indicators[rng.integers(0, len(indicators))] = 1
+        return indicators

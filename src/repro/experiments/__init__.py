@@ -1,0 +1,26 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module owns one artifact and exposes ``run(profile) -> result`` plus a
+``render(result) -> str`` that prints the paper-style rows/series next to
+the paper's published numbers (recorded in EXPERIMENTS.md):
+
+======================  =====================================================
+module                  paper artifact
+======================  =====================================================
+``fig1``                Fig. 1 — motivational accuracy/energy bars
+``table1``              Table I — related-work feature matrix
+``table2``              Table II — joint search-space definition/cardinality
+``fig5``                Fig. 5 — OOE static Paretos + IOE dynamic Paretos
+``fig6``                Fig. 6 — hypervolume + ratio-of-dominance bars
+``fig7``                Fig. 7 — dissimilarity-regulariser ablation
+``table3``              Table III — DyNN comparison on the TX2 Pascal GPU
+======================  =====================================================
+
+``config.Profile`` selects the search budget: ``fast`` for tests/benches,
+``paper`` for budgets close to the published 450/3500 iterations.
+"""
+
+from repro.experiments.config import Profile
+from repro.experiments.runner import PlatformExperiment, run_platform_experiment
+
+__all__ = ["Profile", "PlatformExperiment", "run_platform_experiment"]

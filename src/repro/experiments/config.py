@@ -1,0 +1,65 @@
+"""Experiment budget profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.search.hadas import HadasConfig
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Search budget profile for experiment drivers.
+
+    ``fast`` runs every artifact in seconds (tests, CI, benches); ``paper``
+    approaches the published 450-iteration OOE / 3500-iteration IOE budget.
+    """
+
+    name: str
+    outer_population: int
+    outer_generations: int
+    inner_population: int
+    inner_generations: int
+    ioe_candidates: int
+    oracle_samples: int
+    seed: int = 7
+
+    @staticmethod
+    def fast(seed: int = 7) -> "Profile":
+        return Profile(
+            name="fast",
+            outer_population=12,
+            outer_generations=4,
+            inner_population=14,
+            inner_generations=5,
+            ioe_candidates=3,
+            oracle_samples=1024,
+            seed=seed,
+        )
+
+    @staticmethod
+    def paper(seed: int = 7) -> "Profile":
+        return Profile(
+            name="paper",
+            outer_population=30,
+            outer_generations=15,
+            inner_population=50,
+            inner_generations=70,
+            ioe_candidates=5,
+            oracle_samples=4096,
+            seed=seed,
+        )
+
+    def hadas_config(self, platform: str, gamma: float = 1.0) -> HadasConfig:
+        """Materialise a :class:`HadasConfig` for a platform."""
+        return HadasConfig(
+            platform=platform,
+            seed=self.seed,
+            gamma=gamma,
+            outer_population=self.outer_population,
+            outer_generations=self.outer_generations,
+            inner_population=self.inner_population,
+            inner_generations=self.inner_generations,
+            ioe_candidates=self.ioe_candidates,
+            oracle_samples=self.oracle_samples,
+        )

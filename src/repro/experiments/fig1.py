@@ -1,0 +1,110 @@
+"""Fig. 1: motivational comparison of a0, a6 and a HADAS model (TX2 GPU).
+
+Three optimisation stages are applied to each model:
+
+* **Static** — the backbone alone at default clocks;
+* **Dyn** — early-exiting integrated (ideal mapping, default clocks);
+* **Dyn w/ HW** — early-exiting plus the searched DVFS setting.
+
+The paper's annotations: after Static, a0 is ~22 % more energy-efficient
+than HADAS's (larger) model; after Dyn they tie; after Dyn w/ HW the HADAS
+model is ~19 % more efficient than a0 — while matching a6's accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import table3 as table3_mod
+from repro.experiments.config import Profile
+from repro.utils.ascii_plot import bars
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Fig1Stage:
+    """One model's metrics across the three stages."""
+
+    name: str
+    static_acc: float
+    dyn_acc: float
+    static_energy_mj: float
+    dyn_energy_mj: float
+    dyn_hw_energy_mj: float
+
+
+@dataclass
+class Fig1Result:
+    """Per-model stage metrics plus the derived annotations."""
+
+    stages: list[Fig1Stage]
+
+    def model(self, name: str) -> Fig1Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(name)
+
+    def static_efficiency_vs_a0(self) -> float:
+        """a0's energy advantage over HADAS at the Static stage (paper ~22%)."""
+        hadas = self.model("HADAS")
+        a0 = self.model("a0")
+        return 1.0 - a0.static_energy_mj / hadas.static_energy_mj
+
+    def dyn_hw_gain_vs_a0(self) -> float:
+        """HADAS's energy advantage over a0 after Dyn w/ HW (paper ~19%)."""
+        hadas = self.model("HADAS")
+        a0 = self.model("a0")
+        return 1.0 - hadas.dyn_hw_energy_mj / a0.dyn_hw_energy_mj
+
+    def dyn_hw_gain_vs_a6(self) -> float:
+        """HADAS's energy advantage over a6 after Dyn w/ HW (paper ~57%)."""
+        hadas = self.model("HADAS")
+        a6 = self.model("a6")
+        return 1.0 - hadas.dyn_hw_energy_mj / a6.dyn_hw_energy_mj
+
+
+def run(profile: Profile | None = None, platform: str = "tx2-gpu") -> Fig1Result:
+    """Regenerate the motivational example from the Table III computation."""
+    table3 = table3_mod.run(profile, platform)
+    rows = {
+        "a0": table3.row("AttentiveNAS-a0"),
+        "a6": table3.row("AttentiveNAS-a6"),
+        "HADAS": table3.row("HADAS-b1"),
+    }
+    stages = [
+        Fig1Stage(
+            name=name,
+            static_acc=row.baseline_acc,
+            dyn_acc=row.eex_acc,
+            static_energy_mj=row.baseline_energy_mj,
+            dyn_energy_mj=row.eex_energy_mj,
+            dyn_hw_energy_mj=row.eex_dvfs_energy_mj,
+        )
+        for name, row in rows.items()
+    ]
+    return Fig1Result(stages=stages)
+
+
+def render(result: Fig1Result) -> str:
+    """Accuracy table + energy bars, with the paper's annotations."""
+    acc_table = format_table(
+        ["Model", "Static Acc(%)", "Dyn Acc(%)"],
+        [[s.name, s.static_acc, s.dyn_acc] for s in result.stages],
+        title="Fig. 1 (left): accuracy by optimisation stage",
+    )
+    energy_values = {}
+    for stage in result.stages:
+        energy_values[f"{stage.name} Static"] = stage.static_energy_mj
+        energy_values[f"{stage.name} Dyn"] = stage.dyn_energy_mj
+        energy_values[f"{stage.name} Dyn w/HW"] = stage.dyn_hw_energy_mj
+    energy_plot = bars(
+        energy_values, title="Fig. 1 (right): energy by optimisation stage", unit="mJ"
+    )
+    annotations = (
+        f"a0 vs HADAS at Static: a0 {result.static_efficiency_vs_a0() * 100:+.0f}% "
+        "more efficient (paper: ~22%)\n"
+        f"HADAS vs a0 at Dyn w/HW: {result.dyn_hw_gain_vs_a0() * 100:+.0f}% (paper: ~19%)\n"
+        f"HADAS vs a6 at Dyn w/HW: {result.dyn_hw_gain_vs_a6() * 100:+.0f}% (paper: ~57%)"
+    )
+    return "\n\n".join([acc_table, energy_plot, annotations])

@@ -1,0 +1,104 @@
+"""Fig. 6: hypervolume and ratio-of-dominance comparison.
+
+Paper values across (AGX GPU, Carmel CPU, TX2 GPU, Denver CPU): HADAS's
+hypervolume coverage exceeds the optimized baselines' by 15 / 23 / 16 / 11 %
+and its RoD advantage by 73 / 50 / 95 / 44 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import Profile
+from repro.experiments.runner import run_platform_experiment
+from repro.hardware.platform import PAPER_PLATFORM_ORDER
+from repro.utils.ascii_plot import bars
+from repro.utils.tables import format_table
+
+#: Published relative improvements, in platform order.
+PAPER_HV_GAIN = {"agx-gpu": 0.15, "carmel-cpu": 0.23, "tx2-gpu": 0.16, "denver-cpu": 0.11}
+PAPER_ROD_GAIN = {"agx-gpu": 0.73, "carmel-cpu": 0.50, "tx2-gpu": 0.95, "denver-cpu": 0.44}
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One platform's metric pair."""
+
+    platform: str
+    hv_hadas: float
+    hv_baseline: float
+    rod_hadas: float
+    rod_baseline: float
+
+    @property
+    def hv_gain(self) -> float:
+        """Relative hypervolume advantage of HADAS."""
+        if self.hv_baseline == 0:
+            return float("inf")
+        return self.hv_hadas / self.hv_baseline - 1.0
+
+    @property
+    def rod_advantage(self) -> float:
+        """Absolute RoD advantage (ours-over-theirs minus theirs-over-ours)."""
+        return self.rod_hadas - self.rod_baseline
+
+
+@dataclass
+class Fig6Result:
+    rows: list[Fig6Row]
+
+    def row(self, platform: str) -> Fig6Row:
+        for r in self.rows:
+            if r.platform == platform:
+                return r
+        raise KeyError(platform)
+
+
+def run(
+    profile: Profile | None = None,
+    platforms: tuple[str, ...] = PAPER_PLATFORM_ORDER,
+) -> Fig6Result:
+    """Compute HV and RoD per platform from the shared experiments."""
+    rows = []
+    for platform in platforms:
+        experiment = run_platform_experiment(platform, profile)
+        hv_ours, hv_theirs = experiment.hypervolumes()
+        dom = experiment.dominance()
+        rows.append(
+            Fig6Row(
+                platform=platform,
+                hv_hadas=hv_ours,
+                hv_baseline=hv_theirs,
+                rod_hadas=dom.rod_a_over_b,
+                rod_baseline=dom.rod_b_over_a,
+            )
+        )
+    return Fig6Result(rows=rows)
+
+
+def render(result: Fig6Result) -> str:
+    headers = [
+        "Platform", "HV HADAS", "HV baseline", "HV gain %", "paper HV gain %",
+        "RoD HADAS %", "RoD baseline %", "paper RoD gain %",
+    ]
+    body = []
+    for row in result.rows:
+        body.append(
+            [
+                row.platform,
+                row.hv_hadas,
+                row.hv_baseline,
+                row.hv_gain * 100,
+                PAPER_HV_GAIN.get(row.platform, float("nan")) * 100,
+                row.rod_hadas * 100,
+                row.rod_baseline * 100,
+                PAPER_ROD_GAIN.get(row.platform, float("nan")) * 100,
+            ]
+        )
+    table = format_table(headers, body, title="Fig. 6 - search efficacy: HV and RoD")
+    hv_bars = bars(
+        {f"{r.platform} HADAS": r.hv_hadas for r in result.rows}
+        | {f"{r.platform} base": r.hv_baseline for r in result.rows},
+        title="hypervolume",
+    )
+    return table + "\n\n" + hv_bars

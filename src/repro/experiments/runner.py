@@ -1,0 +1,116 @@
+"""Shared experiment machinery: one full platform run, memoised.
+
+Several artifacts (Figs. 1, 5, 6, Table III) consume the same underlying
+computation — a HADAS search on a platform plus the optimized baselines with
+a matched IOE budget.  :func:`run_platform_experiment` performs it once and
+memoises per (platform, profile, seed, gamma).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.attentivenas import ATTENTIVENAS_MODELS, attentivenas_models
+from repro.eval.static import StaticEvaluation
+from repro.experiments.config import Profile
+from repro.metrics.dominance_ratio import DominanceReport, dominance_report
+from repro.metrics.hypervolume import hypervolume
+from repro.metrics.pareto import pareto_front
+from repro.search.hadas import HadasResult, HadasSearch
+from repro.search.ioe import InnerResult
+
+
+@dataclass
+class PlatformExperiment:
+    """One platform's full co-optimisation study."""
+
+    platform: str
+    profile: Profile
+    hadas: HadasResult
+    baseline_static: dict[str, StaticEvaluation]
+    baseline_inner: dict[str, InnerResult] = field(default_factory=dict)
+    search: HadasSearch | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------ fig5 data
+    def hadas_dynamic_points(self, pareto_only: bool = True) -> np.ndarray:
+        """(energy gain, mean N_i) of HADAS's pooled IOE fronts."""
+        points = self.hadas.outer.dynamic_points(source="inner")
+        return pareto_front(points) if pareto_only and len(points) else points
+
+    def baseline_dynamic_points(self, pareto_only: bool = True) -> np.ndarray:
+        """(energy gain, mean N_i) of the optimized baselines."""
+        chunks = [
+            inner.points_2d(explored=False if pareto_only else True)
+            for inner in self.baseline_inner.values()
+        ]
+        points = np.concatenate([c for c in chunks if len(c)], axis=0)
+        return pareto_front(points) if pareto_only else points
+
+    # --------------------------------------------------------------- fig6
+    def dominance(self) -> DominanceReport:
+        """RoD of HADAS's dynamic front vs the optimized baselines'."""
+        return dominance_report(
+            self.hadas_dynamic_points(), self.baseline_dynamic_points()
+        )
+
+    def hypervolumes(self) -> tuple[float, float]:
+        """(HADAS, baselines) hypervolume over (energy gain, mean N_i).
+
+        Both sets are normalised into the unit box spanned by their joint
+        bounds (reference at the origin), so a single outlier cannot distort
+        the comparison and volumes are comparable across platforms.
+        """
+        ours = self.hadas_dynamic_points()
+        theirs = self.baseline_dynamic_points()
+        both = np.concatenate([ours, theirs], axis=0)
+        lo = both.min(axis=0)
+        span = np.maximum(both.max(axis=0) - lo, 1e-9)
+        reference = np.zeros(2) - 1e-9
+        return (
+            hypervolume((ours - lo) / span, reference),
+            hypervolume((theirs - lo) / span, reference),
+        )
+
+
+_MEMO: dict[tuple, PlatformExperiment] = {}
+
+
+def run_platform_experiment(
+    platform: str,
+    profile: Profile | None = None,
+    gamma: float = 1.0,
+    baselines: tuple[str, ...] = ATTENTIVENAS_MODELS,
+) -> PlatformExperiment:
+    """Run (or fetch memoised) HADAS + optimized baselines on a platform."""
+    profile = profile or Profile.fast()
+    key = (platform, profile.name, profile.seed, gamma, baselines)
+    if key in _MEMO:
+        return _MEMO[key]
+
+    search = HadasSearch(profile.hadas_config(platform, gamma=gamma))
+    hadas = search.run()
+
+    models = {name: attentivenas_models()[name] for name in baselines}
+    baseline_static = {
+        name: search.static_evaluator.evaluate(config) for name, config in models.items()
+    }
+    baseline_inner = {
+        name: search.make_inner_engine(config).run() for name, config in models.items()
+    }
+    experiment = PlatformExperiment(
+        platform=platform,
+        profile=profile,
+        hadas=hadas,
+        baseline_static=baseline_static,
+        baseline_inner=baseline_inner,
+        search=search,
+    )
+    _MEMO[key] = experiment
+    return experiment
+
+
+def clear_memo() -> None:
+    """Drop memoised platform runs (tests use this for isolation)."""
+    _MEMO.clear()

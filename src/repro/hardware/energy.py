@@ -1,0 +1,96 @@
+"""Per-inference energy from roofline timing and rail power.
+
+Each layer contributes ``(P_static + P_core·a_core + P_mem·a_mem) · t_layer``
+where the activity factors come from its roofline occupancy.  Dispatch
+overhead burns static power only.  The resulting energy-vs-frequency surface
+is convex with a workload-dependent minimum: at low clocks static energy
+dominates (run-to-idle argument), at high clocks the V²f term dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cost import LayerCost, NetworkCost
+from repro.hardware.dvfs import DvfsSetting
+from repro.hardware.latency import LatencyModel
+from repro.hardware.platform import HardwarePlatform
+from repro.hardware.power import PowerModel
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Latency and energy of one network execution at one DVFS setting."""
+
+    latency_s: float
+    energy_j: float
+    core_energy_j: float
+    mem_energy_j: float
+    static_energy_j: float
+
+    @property
+    def average_power_w(self) -> float:
+        if self.latency_s <= 0:
+            return 0.0
+        return self.energy_j / self.latency_s
+
+
+class EnergyModel:
+    """Evaluates latency + energy jointly for one platform."""
+
+    def __init__(self, platform: HardwarePlatform):
+        self.platform = platform
+        self.latency = LatencyModel(platform)
+        self.power = PowerModel(platform)
+
+    def layer_energy_j(self, layer: LayerCost, setting: DvfsSetting) -> float:
+        """Energy of a single layer (J)."""
+        return self._accumulate([layer], setting).energy_j
+
+    def _accumulate(self, layers: list[LayerCost], setting: DvfsSetting) -> EnergyReport:
+        p_static = self.power.static_power(setting)
+        p_mem_bg = self.power.mem_background_power(setting)
+        core_j = mem_j = static_j = 0.0
+        latency_s = 0.0
+        for layer in layers:
+            timing = self.latency.layer_timing(layer, setting)
+            busy = timing.total_s - timing.overhead_s
+            core_j += self.power.core_dynamic_power(setting, 1.0) * busy * timing.core_activity
+            mem_j += self.power.mem_dynamic_power(setting, 1.0) * busy * timing.mem_activity
+            mem_j += p_mem_bg * timing.total_s
+            static_j += p_static * timing.total_s
+            latency_s += timing.total_s
+        return EnergyReport(
+            latency_s=latency_s,
+            energy_j=core_j + mem_j + static_j,
+            core_energy_j=core_j,
+            mem_energy_j=mem_j,
+            static_energy_j=static_j,
+        )
+
+    def composite_report(self, layers: list[LayerCost], setting: DvfsSetting) -> EnergyReport:
+        """Latency/energy of an arbitrary layer sequence (e.g. prefix +
+        several exit branches — the early-exit execution paths)."""
+        return self._accumulate(layers, setting)
+
+    def network_report(self, cost: NetworkCost, setting: DvfsSetting) -> EnergyReport:
+        """Latency/energy of the full network."""
+        return self._accumulate(cost.layers, setting)
+
+    def network_energy_j(self, cost: NetworkCost, setting: DvfsSetting) -> float:
+        """Full-network energy (J)."""
+        return self.network_report(cost, setting).energy_j
+
+    def prefix_report(
+        self,
+        cost: NetworkCost,
+        position: int,
+        setting: DvfsSetting,
+        exit_layer: LayerCost | None = None,
+    ) -> EnergyReport:
+        """Latency/energy of the backbone prefix up to MBConv ``position``
+        plus an optional exit branch — E_{x_i, f} and L_{x_i, f} of eq. 6."""
+        layers = list(cost.prefix(position))
+        if exit_layer is not None:
+            layers.append(exit_layer)
+        return self._accumulate(layers, setting)

@@ -1,0 +1,105 @@
+"""Simulated hardware-in-the-loop measurement.
+
+The paper obtains latency/energy estimates "based on hardware measurements —
+as through a HW-in-the-loop setup (adopted here), lookup tables, or
+prediction models".  This module emulates that setup on top of the analytical
+models: warm-up runs, repeated timed runs with multiplicative lognormal
+noise, and a lookup-table cache keyed by (network, setting) so repeated
+queries are free — mirroring how a real measurement harness amortises cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.cost import NetworkCost
+from repro.hardware.dvfs import DvfsSetting
+from repro.hardware.energy import EnergyModel
+from repro.hardware.platform import HardwarePlatform
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_nonneg, check_positive
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Aggregated repeated measurement of one (network, setting) pair."""
+
+    latency_s_mean: float
+    latency_s_std: float
+    energy_j_mean: float
+    energy_j_std: float
+    repeats: int
+
+
+class HardwareInTheLoop:
+    """Noisy measurement wrapper with warm-up and LUT caching.
+
+    Parameters
+    ----------
+    platform:
+        The device model to "measure".
+    noise_cv:
+        Coefficient of variation of the multiplicative measurement noise
+        (2 % by default — typical of Jetson power-rail sampling).
+    repeats, warmup:
+        Timed and discarded runs per query.
+    seed:
+        Root seed; noise streams are keyed per (network, setting) so a
+        re-measurement of the same point reproduces exactly.
+    """
+
+    def __init__(
+        self,
+        platform: HardwarePlatform,
+        noise_cv: float = 0.02,
+        repeats: int = 5,
+        warmup: int = 2,
+        seed: int = 0,
+    ):
+        check_nonneg("noise_cv", noise_cv)
+        check_positive("repeats", repeats)
+        self.platform = platform
+        self.model = EnergyModel(platform)
+        self.noise_cv = noise_cv
+        self.repeats = repeats
+        self.warmup = warmup
+        self.seed = seed
+        self._cache: dict[tuple[str, float, float], Measurement] = {}
+        self.query_count = 0
+        self.cache_hits = 0
+
+    def _noise(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.noise_cv == 0:
+            return np.ones(n)
+        sigma = np.sqrt(np.log1p(self.noise_cv**2))
+        return rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=n)
+
+    def measure(self, cost: NetworkCost, setting: DvfsSetting) -> Measurement:
+        """Measure latency/energy of a network at a DVFS setting."""
+        key = (cost.config_key, setting.core_ghz, setting.emc_ghz)
+        self.query_count += 1
+        if key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+
+        report = self.model.network_report(cost, setting)
+        rng = child_rng(self.seed, "hwil", *key)
+        # Warm-up draws are consumed and discarded, like discarded runs.
+        self._noise(rng, self.warmup)
+        lat = report.latency_s * self._noise(rng, self.repeats)
+        erg = report.energy_j * self._noise(rng, self.repeats)
+        measurement = Measurement(
+            latency_s_mean=float(lat.mean()),
+            latency_s_std=float(lat.std()),
+            energy_j_mean=float(erg.mean()),
+            energy_j_std=float(erg.std()),
+            repeats=self.repeats,
+        )
+        self._cache[key] = measurement
+        return measurement
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

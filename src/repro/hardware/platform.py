@@ -1,0 +1,252 @@
+"""Edge platform descriptions and the four paper devices.
+
+Each :class:`HardwarePlatform` bundles the compute-unit microarchitecture
+parameters (effective MACs/cycle, utilisation behaviour, dispatch overhead),
+the memory subsystem (bytes per EMC cycle), the voltage–frequency curves and
+the power coefficients.  Numbers are order-of-magnitude Jetson values tuned
+so that the TX2 Pascal GPU reproduces the scale of paper Table III
+(a0 ≈ 174 mJ, a6 ≈ 335 mJ per inference at default clocks); see
+EXPERIMENTS.md for the calibration record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class VoltageCurve:
+    """Linear V–f relation between (f_min, v_min) and (f_max, v_max)."""
+
+    f_min_ghz: float
+    f_max_ghz: float
+    v_min: float
+    v_max: float
+
+    def voltage(self, f_ghz: float) -> float:
+        """Supply voltage at clock ``f_ghz`` (clamped to the curve range)."""
+        f = float(np.clip(f_ghz, self.f_min_ghz, self.f_max_ghz))
+        if self.f_max_ghz == self.f_min_ghz:
+            return self.v_max
+        frac = (f - self.f_min_ghz) / (self.f_max_ghz - self.f_min_ghz)
+        return self.v_min + frac * (self.v_max - self.v_min)
+
+
+@dataclass(frozen=True)
+class HardwarePlatform:
+    """An edge compute setting: one compute unit + one SoC memory system.
+
+    Attributes
+    ----------
+    macs_per_cycle:
+        Effective MAC throughput per core clock cycle at full utilisation.
+    util_base, util_saturation_macs:
+        Utilisation of ``macs_per_cycle`` grows with layer size as
+        ``util_base * macs / (macs + util_saturation_macs)`` — small layers
+        cannot fill the machine.
+    dispatch_overhead_s:
+        Fixed per-layer cost (kernel launch / op scheduling).
+    mem_bytes_per_cycle:
+        DRAM bytes transferred per EMC clock cycle.
+    core_freqs_ghz / emc_freqs_ghz:
+        The DVFS grids (paper Table II).
+    c_eff_core / c_eff_mem:
+        Switched-capacitance coefficients in W / (V² · GHz).
+    c_eff_mem_idle:
+        DRAM background (refresh + controller) coefficient in W / (V² · GHz);
+        burns for the *whole* inference at the chosen EMC clock — the
+        dominant reason memory down-clocking saves energy on compute-bound
+        workloads.
+    p_idle_w, p_leak_w_per_v:
+        Rail idle power and voltage-proportional leakage.
+    """
+
+    name: str
+    key: str
+    kind: str  # "gpu" | "cpu"
+    macs_per_cycle: float
+    util_base: float
+    util_saturation_macs: float
+    dispatch_overhead_s: float
+    mem_bytes_per_cycle: float
+    core_freqs_ghz: tuple[float, ...]
+    emc_freqs_ghz: tuple[float, ...]
+    core_voltage: VoltageCurve
+    mem_voltage: VoltageCurve
+    c_eff_core: float
+    c_eff_mem: float
+    c_eff_mem_idle: float
+    p_idle_w: float
+    p_leak_w_per_v: float
+
+    def __post_init__(self):
+        check_positive("macs_per_cycle", self.macs_per_cycle)
+        check_positive("mem_bytes_per_cycle", self.mem_bytes_per_cycle)
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError(f"kind must be 'gpu' or 'cpu', got {self.kind!r}")
+        if list(self.core_freqs_ghz) != sorted(self.core_freqs_ghz):
+            raise ValueError("core_freqs_ghz must be sorted ascending")
+        if list(self.emc_freqs_ghz) != sorted(self.emc_freqs_ghz):
+            raise ValueError("emc_freqs_ghz must be sorted ascending")
+
+    # ------------------------------------------------------------ throughput
+    def utilization(self, layer_macs: float) -> float:
+        """Fraction of peak throughput achieved by a layer of given size."""
+        return self.util_base * layer_macs / (layer_macs + self.util_saturation_macs)
+
+    def compute_rate_macs_per_s(self, f_core_ghz: float, layer_macs: float) -> float:
+        """Achieved MAC rate for a layer at a core clock."""
+        return self.macs_per_cycle * f_core_ghz * 1e9 * self.utilization(layer_macs)
+
+    def memory_bandwidth_bytes_per_s(self, f_emc_ghz: float) -> float:
+        """DRAM bandwidth at an EMC clock."""
+        return self.mem_bytes_per_cycle * f_emc_ghz * 1e9
+
+    @property
+    def max_core_freq(self) -> float:
+        return self.core_freqs_ghz[-1]
+
+    @property
+    def max_emc_freq(self) -> float:
+        return self.emc_freqs_ghz[-1]
+
+    def with_overrides(self, **kwargs) -> "HardwarePlatform":
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+def _grid(lo: float, hi: float, n: int) -> tuple[float, ...]:
+    return tuple(round(float(f), 4) for f in np.linspace(lo, hi, n))
+
+
+def agx_volta_gpu() -> HardwarePlatform:
+    """Jetson AGX Xavier Volta GPU (512 CUDA cores) + AGX LPDDR4x EMC.
+
+    Table II: GPU frequency in [0.1, 1.4] GHz with 14 levels; AGX EMC in
+    [0.2, 2.1] GHz with 9 levels.
+    """
+    return HardwarePlatform(
+        name="AGX Volta GPU",
+        key="agx-gpu",
+        kind="gpu",
+        macs_per_cycle=1024.0,
+        util_base=0.07,
+        util_saturation_macs=1.5e6,
+        dispatch_overhead_s=650e-6,
+        mem_bytes_per_cycle=64.0,
+        core_freqs_ghz=_grid(0.1, 1.4, 14),
+        emc_freqs_ghz=_grid(0.2, 2.1, 9),
+        core_voltage=VoltageCurve(0.1, 1.4, 0.62, 1.10),
+        mem_voltage=VoltageCurve(0.2, 2.1, 0.60, 1.05),
+        c_eff_core=5.5,
+        c_eff_mem=1.9,
+        c_eff_mem_idle=1.3,
+        p_idle_w=1.0,
+        p_leak_w_per_v=3.0,
+    )
+
+
+def agx_carmel_cpu() -> HardwarePlatform:
+    """Jetson AGX Xavier Carmel ARM v8.2 CPU (8 cores) + AGX EMC.
+
+    Table II: CPU frequency in [0.1, 2.3] GHz with 29 levels.
+    """
+    return HardwarePlatform(
+        name="Carmel ARM v8.2 CPU",
+        key="carmel-cpu",
+        kind="cpu",
+        macs_per_cycle=16.0,
+        util_base=0.12,
+        util_saturation_macs=2.0e5,
+        dispatch_overhead_s=40e-6,
+        mem_bytes_per_cycle=48.0,
+        core_freqs_ghz=_grid(0.1, 2.3, 29),
+        emc_freqs_ghz=_grid(0.2, 2.1, 9),
+        core_voltage=VoltageCurve(0.1, 2.3, 0.58, 1.15),
+        mem_voltage=VoltageCurve(0.2, 2.1, 0.60, 1.05),
+        c_eff_core=1.2,
+        c_eff_mem=1.9,
+        c_eff_mem_idle=1.3,
+        p_idle_w=0.8,
+        p_leak_w_per_v=1.5,
+    )
+
+
+def tx2_pascal_gpu() -> HardwarePlatform:
+    """Jetson TX2 Pascal GPU (256 CUDA cores) + TX2 LPDDR4 EMC.
+
+    Table II: GPU frequency in [0.1, 1.4] GHz with 13 levels; TX2 EMC in
+    [0.2, 1.8] GHz with 11 levels.
+    """
+    return HardwarePlatform(
+        name="TX2 Pascal GPU",
+        key="tx2-gpu",
+        kind="gpu",
+        macs_per_cycle=512.0,
+        util_base=0.07,
+        util_saturation_macs=1.0e6,
+        dispatch_overhead_s=900e-6,
+        mem_bytes_per_cycle=32.0,
+        core_freqs_ghz=_grid(0.1, 1.4, 13),
+        emc_freqs_ghz=_grid(0.2, 1.8, 11),
+        core_voltage=VoltageCurve(0.1, 1.4, 0.65, 1.10),
+        mem_voltage=VoltageCurve(0.2, 1.8, 0.60, 1.05),
+        c_eff_core=3.5,
+        c_eff_mem=1.6,
+        c_eff_mem_idle=1.0,
+        p_idle_w=1.0,
+        p_leak_w_per_v=2.6,
+    )
+
+
+def tx2_denver_cpu() -> HardwarePlatform:
+    """Jetson TX2 Denver CPU (2 wide cores) + TX2 EMC.
+
+    Table II: CPU frequency in [0.3, 2.1] GHz with 12 levels.
+    """
+    return HardwarePlatform(
+        name="NVIDIA Denver CPU",
+        key="denver-cpu",
+        kind="cpu",
+        macs_per_cycle=8.0,
+        util_base=0.12,
+        util_saturation_macs=1.0e5,
+        dispatch_overhead_s=30e-6,
+        mem_bytes_per_cycle=32.0,
+        core_freqs_ghz=_grid(0.3, 2.1, 12),
+        emc_freqs_ghz=_grid(0.2, 1.8, 11),
+        core_voltage=VoltageCurve(0.3, 2.1, 0.60, 1.12),
+        mem_voltage=VoltageCurve(0.2, 1.8, 0.60, 1.05),
+        c_eff_core=0.9,
+        c_eff_mem=1.6,
+        c_eff_mem_idle=1.0,
+        p_idle_w=0.6,
+        p_leak_w_per_v=1.2,
+    )
+
+
+PLATFORM_BUILDERS = {
+    "agx-gpu": agx_volta_gpu,
+    "carmel-cpu": agx_carmel_cpu,
+    "tx2-gpu": tx2_pascal_gpu,
+    "denver-cpu": tx2_denver_cpu,
+}
+
+#: Paper presentation order (Fig. 5 left to right).
+PAPER_PLATFORM_ORDER = ("agx-gpu", "carmel-cpu", "tx2-gpu", "denver-cpu")
+
+
+def get_platform(key: str) -> HardwarePlatform:
+    """Look up one of the four paper platforms by key."""
+    if key not in PLATFORM_BUILDERS:
+        raise KeyError(f"unknown platform {key!r}; available: {sorted(PLATFORM_BUILDERS)}")
+    return PLATFORM_BUILDERS[key]()
+
+
+def list_platforms() -> list[HardwarePlatform]:
+    """All four paper platforms, in paper presentation order."""
+    return [PLATFORM_BUILDERS[key]() for key in PAPER_PLATFORM_ORDER]

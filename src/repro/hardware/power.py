@@ -1,0 +1,81 @@
+"""CMOS power model for the compute rail and the memory rail.
+
+Dynamic power follows the classic switched-capacitance law
+``P_dyn = C_eff · V² · f · activity`` with the platform's linear V–f curve;
+static power is rail idle plus voltage-proportional leakage.  The *activity*
+factors come from the roofline timing: a layer that is memory-bound leaves
+the compute rail partially idle and vice versa, which is what gives each
+workload its own optimal DVFS point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.dvfs import DvfsSetting
+from repro.hardware.platform import HardwarePlatform
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power (W) split by rail."""
+
+    core_dynamic_w: float
+    mem_dynamic_w: float
+    mem_background_w: float
+    static_w: float
+
+    @property
+    def total_w(self) -> float:
+        return (
+            self.core_dynamic_w + self.mem_dynamic_w
+            + self.mem_background_w + self.static_w
+        )
+
+
+class PowerModel:
+    """Evaluates rail power for a platform at a DVFS setting."""
+
+    def __init__(self, platform: HardwarePlatform):
+        self.platform = platform
+
+    def core_voltage(self, setting: DvfsSetting) -> float:
+        """Core supply voltage at the setting."""
+        return self.platform.core_voltage.voltage(setting.core_ghz)
+
+    def mem_voltage(self, setting: DvfsSetting) -> float:
+        """Memory rail voltage at the setting."""
+        return self.platform.mem_voltage.voltage(setting.emc_ghz)
+
+    def static_power(self, setting: DvfsSetting) -> float:
+        """Idle plus leakage power (W); leakage scales with core voltage."""
+        return self.platform.p_idle_w + self.platform.p_leak_w_per_v * self.core_voltage(setting)
+
+    def mem_background_power(self, setting: DvfsSetting) -> float:
+        """DRAM refresh/controller power at the EMC clock (always on)."""
+        v = self.mem_voltage(setting)
+        return self.platform.c_eff_mem_idle * v * v * setting.emc_ghz
+
+    def core_dynamic_power(self, setting: DvfsSetting, activity: float = 1.0) -> float:
+        """Compute-rail dynamic power at a given activity factor."""
+        check_probability("activity", activity)
+        v = self.core_voltage(setting)
+        return self.platform.c_eff_core * v * v * setting.core_ghz * activity
+
+    def mem_dynamic_power(self, setting: DvfsSetting, activity: float = 1.0) -> float:
+        """Memory-rail dynamic power at a given activity factor."""
+        check_probability("activity", activity)
+        v = self.mem_voltage(setting)
+        return self.platform.c_eff_mem * v * v * setting.emc_ghz * activity
+
+    def breakdown(
+        self, setting: DvfsSetting, core_activity: float = 1.0, mem_activity: float = 1.0
+    ) -> PowerBreakdown:
+        """Full rail breakdown at the given activity factors."""
+        return PowerBreakdown(
+            core_dynamic_w=self.core_dynamic_power(setting, core_activity),
+            mem_dynamic_w=self.mem_dynamic_power(setting, mem_activity),
+            mem_background_w=self.mem_background_power(setting),
+            static_w=self.static_power(setting),
+        )

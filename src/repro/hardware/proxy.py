@@ -1,0 +1,184 @@
+"""Learned latency/energy proxy replacing HW-in-the-loop measurement.
+
+The paper: "HADAS's search overhead can be reduced to 1 GPU day if a proxy
+model replaced the HW-in-the-loop setup".  This module implements that
+extension: a ridge-regression predictor over cheap architecture/DVFS
+features, trained on a small set of measured (network, setting) pairs, that
+then answers latency/energy queries without touching the device.
+
+Features are physically motivated (so the model extrapolates):
+
+* total MACs / total DRAM traffic / layer count,
+* reciprocal core and EMC clocks (roofline terms are ~linear in 1/f),
+* MACs/f_core and traffic/f_emc interaction terms,
+* the V²f products of both rails (dynamic-energy terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.cost import NetworkCost
+from repro.hardware.dvfs import DvfsSetting, DvfsSpace
+from repro.hardware.measurement import HardwareInTheLoop
+from repro.hardware.platform import HardwarePlatform
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_nonneg, check_positive
+
+
+def _features(cost: NetworkCost, setting: DvfsSetting, platform: HardwarePlatform) -> np.ndarray:
+    """Physically-motivated feature map.
+
+    Energy is a latency x power product, so the map carries the cross terms
+    (e.g. 1/f_core x V²f_emc); targets are fitted in log space, which turns
+    those products into sums the ridge model can capture.
+    """
+    macs = cost.total_macs
+    traffic = cost.total_traffic
+    layers = float(len(cost.layers))
+    inv_core = 1.0 / setting.core_ghz
+    inv_emc = 1.0 / setting.emc_ghz
+    v_core = platform.core_voltage.voltage(setting.core_ghz)
+    v_mem = platform.mem_voltage.voltage(setting.emc_ghz)
+    p_core = v_core * v_core * setting.core_ghz
+    p_mem = v_mem * v_mem * setting.emc_ghz
+    return np.asarray(
+        [
+            1.0,
+            macs * 1e-9,
+            traffic * 1e-9,
+            layers * 1e-2,
+            inv_core,
+            inv_emc,
+            macs * 1e-9 * inv_core,
+            traffic * 1e-9 * inv_emc,
+            layers * 1e-2 * inv_core,
+            layers * 1e-2 * inv_emc,
+            p_core,
+            p_mem,
+            macs * 1e-9 * p_core,
+            inv_core * p_mem,
+            inv_emc * p_core,
+            inv_core * inv_emc,
+            np.log(setting.core_ghz),
+            np.log(setting.emc_ghz),
+            np.log(max(macs, 1.0)) * 0.1,
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class ProxyAccuracy:
+    """Held-out relative errors of a fitted proxy."""
+
+    latency_mape: float
+    energy_mape: float
+
+
+class HardwareProxy:
+    """Ridge-regression latency/energy predictor for one platform.
+
+    Parameters
+    ----------
+    platform:
+        The device being proxied.
+    ridge:
+        L2 regularisation strength on the (standardised) design matrix.
+    """
+
+    def __init__(self, platform: HardwarePlatform, ridge: float = 1e-6):
+        check_nonneg("ridge", ridge)
+        self.platform = platform
+        self.ridge = ridge
+        self._w_latency: np.ndarray | None = None
+        self._w_energy: np.ndarray | None = None
+        self.num_training_points = 0
+
+    @property
+    def fitted(self) -> bool:
+        return self._w_latency is not None
+
+    def fit(
+        self,
+        costs: list[NetworkCost],
+        hwil: HardwareInTheLoop,
+        settings_per_network: int = 8,
+        seed: int = 0,
+    ) -> "HardwareProxy":
+        """Measure a training set through ``hwil`` and fit the proxy.
+
+        For each network a few DVFS points are sampled (corners always
+        included) — the measurement budget the paper trades against
+        HW-in-the-loop fidelity.
+        """
+        check_positive("settings_per_network", settings_per_network)
+        dvfs = DvfsSpace(self.platform)
+        rng = child_rng(seed, "proxy-fit")
+        rows, lat, erg = [], [], []
+        corners = [
+            dvfs.decode(0, 0),
+            dvfs.decode(len(dvfs.core_freqs) - 1, len(dvfs.emc_freqs) - 1),
+            dvfs.decode(0, len(dvfs.emc_freqs) - 1),
+            dvfs.decode(len(dvfs.core_freqs) - 1, 0),
+        ]
+        for cost in costs:
+            settings = corners[: min(4, settings_per_network)]
+            settings += [dvfs.sample(rng) for _ in range(max(0, settings_per_network - 4))]
+            for setting in settings:
+                measurement = hwil.measure(cost, setting)
+                rows.append(_features(cost, setting, self.platform))
+                lat.append(measurement.latency_s_mean)
+                erg.append(measurement.energy_j_mean)
+        design = np.stack(rows)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        # Log-space targets: latency/energy are products of workload and
+        # frequency terms, which logs turn into learnable sums.
+        self._w_latency = np.linalg.solve(gram, design.T @ np.log(np.asarray(lat)))
+        self._w_energy = np.linalg.solve(gram, design.T @ np.log(np.asarray(erg)))
+        self.num_training_points = len(rows)
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("proxy must be fitted before prediction")
+
+    def predict_latency_s(self, cost: NetworkCost, setting: DvfsSetting) -> float:
+        """Predicted end-to-end latency (seconds)."""
+        self._require_fitted()
+        return float(np.exp(_features(cost, setting, self.platform) @ self._w_latency))
+
+    def predict_energy_j(self, cost: NetworkCost, setting: DvfsSetting) -> float:
+        """Predicted per-inference energy (joules)."""
+        self._require_fitted()
+        return float(np.exp(_features(cost, setting, self.platform) @ self._w_energy))
+
+    def validate(
+        self,
+        costs: list[NetworkCost],
+        hwil: HardwareInTheLoop,
+        settings_per_network: int = 4,
+        seed: int = 1,
+    ) -> ProxyAccuracy:
+        """Mean absolute percentage error on held-out (network, setting)s."""
+        self._require_fitted()
+        dvfs = DvfsSpace(self.platform)
+        rng = child_rng(seed, "proxy-validate")
+        lat_err, erg_err = [], []
+        for cost in costs:
+            for _ in range(settings_per_network):
+                setting = dvfs.sample(rng)
+                truth = hwil.measure(cost, setting)
+                lat_err.append(
+                    abs(self.predict_latency_s(cost, setting) - truth.latency_s_mean)
+                    / truth.latency_s_mean
+                )
+                erg_err.append(
+                    abs(self.predict_energy_j(cost, setting) - truth.energy_j_mean)
+                    / truth.energy_j_mean
+                )
+        return ProxyAccuracy(
+            latency_mape=float(np.mean(lat_err)),
+            energy_mape=float(np.mean(erg_err)),
+        )

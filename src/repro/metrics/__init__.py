@@ -1,0 +1,35 @@
+"""Multi-objective comparison metrics used in the paper's evaluation.
+
+* Pareto dominance utilities (:mod:`~repro.metrics.pareto`);
+* exact hypervolume for 2-D/3-D maximisation fronts
+  (:mod:`~repro.metrics.hypervolume`) — paper Fig. 6a;
+* ratio of dominance between two solution sets
+  (:mod:`~repro.metrics.dominance_ratio`) — paper Fig. 5 bottom / Fig. 6b.
+
+Convention: **all objectives are maximised**.  Callers negate
+minimisation objectives (energy, latency) before calling in.
+"""
+
+from repro.metrics.dominance_ratio import dominance_report, ratio_of_dominance
+from repro.metrics.hypervolume import hypervolume
+from repro.metrics.pareto import (
+    crowding_distance,
+    dominates,
+    non_dominated_mask,
+    non_dominated_sort,
+    pareto_front,
+)
+from repro.metrics.quality import inverted_generational_distance, knee_point
+
+__all__ = [
+    "dominates",
+    "non_dominated_mask",
+    "pareto_front",
+    "non_dominated_sort",
+    "crowding_distance",
+    "hypervolume",
+    "ratio_of_dominance",
+    "dominance_report",
+    "inverted_generational_distance",
+    "knee_point",
+]

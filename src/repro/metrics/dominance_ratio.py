@@ -1,0 +1,49 @@
+"""Ratio of dominance (RoD) between two solution sets.
+
+The paper (Figs. 5 bottom, 6b) reports "the percentage of solutions found by
+HADAS that dominate the optimized baselines (and vice-versa)".  We realise
+that as: the fraction of set A's solutions that dominate *at least one*
+solution of set B.  The symmetric report carries both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.pareto import dominates
+
+
+def ratio_of_dominance(ours: np.ndarray, theirs: np.ndarray) -> float:
+    """Fraction of ``ours`` rows dominating >= 1 row of ``theirs`` (maximise)."""
+    ours = np.atleast_2d(np.asarray(ours, dtype=float))
+    theirs = np.atleast_2d(np.asarray(theirs, dtype=float))
+    if len(ours) == 0:
+        return 0.0
+    count = 0
+    for a in ours:
+        if any(dominates(a, b) for b in theirs):
+            count += 1
+    return count / len(ours)
+
+
+@dataclass(frozen=True)
+class DominanceReport:
+    """Two-way dominance comparison of solution sets A and B."""
+
+    rod_a_over_b: float
+    rod_b_over_a: float
+
+    @property
+    def advantage(self) -> float:
+        """Positive when A dominates more than it is dominated."""
+        return self.rod_a_over_b - self.rod_b_over_a
+
+
+def dominance_report(a: np.ndarray, b: np.ndarray) -> DominanceReport:
+    """Symmetric RoD report between sets ``a`` and ``b``."""
+    return DominanceReport(
+        rod_a_over_b=ratio_of_dominance(a, b),
+        rod_b_over_a=ratio_of_dominance(b, a),
+    )

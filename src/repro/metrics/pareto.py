@@ -1,0 +1,92 @@
+"""Pareto dominance primitives (maximisation convention).
+
+These back both the NSGA-II engines and the evaluation metrics.  The
+non-dominated sort is the O(M N²) fast-non-dominated-sort of Deb et al.,
+which is the right trade-off at NAS population sizes (tens to hundreds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True iff ``a`` Pareto-dominates ``b`` (>= everywhere, > somewhere)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"objective vectors differ in shape: {a.shape} vs {b.shape}")
+    return bool(np.all(a >= b) and np.any(a > b))
+
+
+def non_dominated_mask(points: np.ndarray) -> np.ndarray:
+    """Boolean mask of Pareto-optimal rows of ``points`` (n, m).
+
+    Duplicates of a Pareto point are all retained (none strictly dominates
+    the others).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = len(points)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        ge = np.all(points >= points[i], axis=1)
+        gt = np.any(points > points[i], axis=1)
+        dominated_by = ge & gt
+        if dominated_by.any():
+            mask[i] = False
+    return mask
+
+
+def pareto_front(points: np.ndarray) -> np.ndarray:
+    """The Pareto-optimal subset of ``points``."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    return points[non_dominated_mask(points)]
+
+
+def non_dominated_sort(points: np.ndarray) -> list[np.ndarray]:
+    """Deb's fast non-dominated sort: list of index arrays, best front first."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = len(points)
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = np.zeros(n, dtype=int)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(points[i], points[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(points[j], points[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: list[np.ndarray] = []
+    current = np.flatnonzero(domination_count == 0)
+    while len(current):
+        fronts.append(current)
+        next_front: list[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current = np.asarray(sorted(next_front), dtype=int)
+    return fronts
+
+
+def crowding_distance(points: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance of each row (inf at objective extremes)."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n, m = points.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for k in range(m):
+        order = np.argsort(points[:, k], kind="stable")
+        lo, hi = points[order[0], k], points[order[-1], k]
+        distance[order[0]] = distance[order[-1]] = np.inf
+        span = hi - lo
+        if span <= 0:
+            continue
+        gaps = (points[order[2:], k] - points[order[:-2], k]) / span
+        distance[order[1:-1]] += gaps
+    return distance

@@ -1,0 +1,76 @@
+"""A compact reverse-mode autograd neural-network library on numpy.
+
+This package replaces PyTorch in the HADAS reproduction.  It provides exactly
+the machinery the paper's training pipeline needs:
+
+* :class:`~repro.nn.tensor.Tensor` — reverse-mode automatic differentiation
+  with broadcasting-aware gradients;
+* convolution / batch-norm / linear layers (:mod:`~repro.nn.layers`) built on
+  an im2col convolution kernel (:mod:`~repro.nn.functional`);
+* the paper's hybrid multi-exit loss (eq. 4): negative log-likelihood plus
+  knowledge distillation against the final classifier
+  (:mod:`~repro.nn.losses`);
+* SGD / Adam optimisers and LR schedulers (:mod:`~repro.nn.optim`,
+  :mod:`~repro.nn.schedulers`);
+* a seeded mini-batch loader (:mod:`~repro.nn.dataloader`).
+
+All parameters and activations are float64 by default for easy gradient
+checking; networks here are miniature by design (see DESIGN.md §1).
+"""
+
+from repro.nn import functional
+from repro.nn.dataloader import DataLoader
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Swish,
+)
+from repro.nn.losses import (
+    cross_entropy,
+    knowledge_distillation_loss,
+    multi_exit_loss,
+    nll_loss,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import CosineAnnealingLR, LRScheduler, StepLR
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "BatchNorm2d",
+    "Linear",
+    "ReLU",
+    "Swish",
+    "Sigmoid",
+    "Identity",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "nll_loss",
+    "cross_entropy",
+    "knowledge_distillation_loss",
+    "multi_exit_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "DataLoader",
+]

@@ -1,0 +1,53 @@
+"""Seeded mini-batch iteration over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+class DataLoader:
+    """Iterate ``(images, labels)`` mini-batches from in-memory arrays.
+
+    Shuffling uses its own generator so epochs are reproducible; each epoch
+    re-shuffles (the generator state advances across epochs, as in torch).
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng=None,
+    ):
+        if len(images) != len(labels):
+            raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) differ in length")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.images = np.asarray(images)
+        self.labels = np.asarray(labels)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = make_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.images)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.images))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield self.images[idx], self.labels[idx]

@@ -1,0 +1,298 @@
+"""Layer/module abstractions over the autograd tensor.
+
+:class:`Module` mirrors the familiar torch.nn contract at miniature scale:
+parameter discovery by attribute walking, ``train()``/``eval()`` modes, and
+``state_dict`` round-tripping (used to freeze backbones during exit training).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+from repro.utils.rng import make_rng
+
+
+class Module:
+    """Base class for all network modules."""
+
+    def __init__(self):
+        self.training = True
+
+    # ---------------------------------------------------------- structure
+    @staticmethod
+    def _walk_container(value, path: str):
+        """Yield (path, item) for Modules/Tensors nested in lists/tuples."""
+        if isinstance(value, (Module, Tensor)):
+            yield path, value
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                yield from Module._walk_container(item, f"{path}.{i}")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for name, value in self.__dict__.items():
+            for _, item in Module._walk_container(value, name):
+                if isinstance(item, Module):
+                    yield from item.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first.
+
+        Yields frozen parameters too (optimisers filter on ``requires_grad``)
+        so ``state_dict`` round-trips are unaffected by :meth:`freeze`.
+        """
+        for name, value in self.__dict__.items():
+            for path, item in Module._walk_container(value, f"{prefix}{name}"):
+                if isinstance(item, Tensor):
+                    yield path, item
+                elif isinstance(item, Module):
+                    yield from item.named_parameters(f"{path}.")
+
+    def parameters(self) -> list[Tensor]:
+        """Return all trainable parameters."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.size for p in self.parameters())
+
+    # -------------------------------------------------------------- modes
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects batch-norm statistics)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Disable gradient flow into this module's parameters in-place."""
+        for p in self.parameters():
+            p.requires_grad = False
+        return self
+
+    # ------------------------------------------------------- (de)serialise
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy all parameters (and batch-norm buffers) into a flat dict."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for i, module in enumerate(self.modules()):
+            if isinstance(module, BatchNorm2d):
+                state[f"__bn{i}.running_mean"] = module.running_mean.copy()
+                state[f"__bn{i}.running_var"] = module.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters and buffers saved by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        for name, value in state.items():
+            if name.startswith("__bn"):
+                continue
+            if name not in params:
+                raise KeyError(f"unexpected parameter {name!r} in state dict")
+            if params[name].shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {params[name].shape} vs {value.shape}"
+                )
+            params[name].data = value.copy()
+        for i, module in enumerate(self.modules()):
+            if isinstance(module, BatchNorm2d):
+                key = f"__bn{i}.running_mean"
+                if key in state:
+                    module.running_mean = state[key].copy()
+                    module.running_var = state[f"__bn{i}.running_var"].copy()
+
+    # ---------------------------------------------------------------- call
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.items = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.items.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Sequential(*self.items[index])
+        return self.items[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.items:
+            x = module(x)
+        return x
+
+
+class Identity(Module):
+    """Pass-through module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Swish(Module):
+    """x * sigmoid(x), the MBConv activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.swish()
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        rng = make_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(init.xavier_uniform(rng, (out_features, in_features)), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution (square kernels, optional groups for depthwise)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | None = None,
+        groups: int = 1,
+        bias: bool = False,
+        rng=None,
+    ):
+        super().__init__()
+        rng = make_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Tensor(init.kaiming_normal(rng, shape), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding, groups=self.groups
+        )
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over NCHW with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Tensor(np.ones(num_features), requires_grad=True)
+        self.bias = Tensor(np.zeros(num_features), requires_grad=True)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        inv_std = (var + self.eps) ** -0.5
+        normalised = (x - mean) * inv_std
+        scale = self.weight.reshape(1, self.num_features, 1, 1)
+        shift = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalised * scale + shift
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average pool: NCHW -> NC."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)

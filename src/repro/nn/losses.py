@@ -1,0 +1,95 @@
+"""Loss functions, including the paper's hybrid multi-exit loss (eq. 4).
+
+The paper trains every exit simultaneously with a frozen backbone using
+
+    L = 1/N * sum_n [ 1/(M-1) * sum_m ( L_NLL(y_n, yhat_{m,n})
+                                        + L_KD(yhat_{m,n}, yhat_{M,n}) ) ]
+
+where ``yhat_{M,n}`` are the (frozen) final-classifier predictions acting as
+the distillation teacher for every exit m.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood given log-probabilities.
+
+    ``targets`` is an int array of class indices with shape ``(batch,)``.
+    """
+    targets = np.asarray(targets)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy from raw logits."""
+    return nll_loss(F.log_softmax(logits, axis=-1), targets)
+
+
+def knowledge_distillation_loss(
+    student_logits: Tensor, teacher_logits: np.ndarray, temperature: float = 4.0
+) -> Tensor:
+    """KL(teacher softened || student softened), scaled by T^2.
+
+    The teacher side is a constant (the frozen final classifier), so only the
+    student receives gradients.  The ``T^2`` factor keeps gradient magnitudes
+    comparable across temperatures (Hinton et al.).
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be > 0, got {temperature}")
+    teacher_logits = np.asarray(teacher_logits, dtype=float)
+    teacher_probs = F.softmax_np(teacher_logits / temperature, axis=-1)
+    student_log_probs = F.log_softmax(student_logits * (1.0 / temperature), axis=-1)
+    teacher = Tensor(teacher_probs)
+    # KL(t||s) = sum t*log t - sum t*log s ; the first term is constant.
+    const = float((teacher_probs * np.log(np.clip(teacher_probs, 1e-12, None))).sum(axis=-1).mean())
+    cross = (teacher * student_log_probs).sum(axis=-1).mean()
+    return (Tensor(const) - cross) * (temperature**2)
+
+
+def multi_exit_loss(
+    exit_logits: Sequence[Tensor],
+    final_logits: np.ndarray | Tensor,
+    targets: np.ndarray,
+    kd_weight: float = 1.0,
+    temperature: float = 4.0,
+) -> Tensor:
+    """Paper eq. 4: average per-exit (NLL + KD-against-final) loss.
+
+    Parameters
+    ----------
+    exit_logits:
+        Raw logits from each attached exit head (gradients flow here).
+    final_logits:
+        Raw logits of the backbone's final classifier (the teacher); treated
+        as a constant.
+    targets:
+        Ground-truth class indices.
+    kd_weight:
+        Multiplier on the distillation term (1.0 reproduces eq. 4).
+    """
+    if not exit_logits:
+        raise ValueError("multi_exit_loss requires at least one exit")
+    teacher = final_logits.data if isinstance(final_logits, Tensor) else np.asarray(final_logits)
+    total: Tensor | None = None
+    for logits in exit_logits:
+        term = cross_entropy(logits, targets)
+        if kd_weight > 0:
+            term = term + knowledge_distillation_loss(logits, teacher, temperature) * kd_weight
+        total = term if total is None else total + term
+    return total * (1.0 / len(exit_logits))
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    return float((arr.argmax(axis=-1) == np.asarray(targets)).mean())

@@ -1,0 +1,47 @@
+"""Runtime controllers and deployment simulation (paper §IV-C).
+
+HADAS optimises designs under *ideal* input-to-exit mapping; at deployment a
+runtime controller implements the actual mapping policy.  Models from HADAS
+are "compatible with any class of runtime controllers existing in the
+literature" — this package provides the standard ones:
+
+* :class:`~repro.runtime.controller.OracleController` — the ideal mapping
+  (needs labels; design-time reference);
+* :class:`~repro.runtime.controller.EntropyThresholdController` — exit when
+  predictive entropy falls below a per-exit threshold (BranchyNet-style);
+* :class:`~repro.runtime.controller.ConfidenceThresholdController` — exit on
+  max-softmax confidence;
+* :func:`~repro.runtime.controller.tune_thresholds` — calibrate thresholds
+  on a validation stream for a target early-exit rate;
+* :class:`~repro.runtime.governor.DvfsGovernor` — applies the searched DVFS
+  setting (optionally per-exit scaling, as in Predictive Exit [14]);
+* :class:`~repro.runtime.simulator.StreamSimulator` — replays a sample
+  stream through controller + hardware model and reports accuracy / energy /
+  latency / exit usage.
+"""
+
+from repro.runtime.controller import (
+    BudgetedController,
+    ConfidenceThresholdController,
+    EntropyThresholdController,
+    ExitController,
+    OracleController,
+    tune_thresholds,
+)
+from repro.runtime.governor import DvfsGovernor
+from repro.runtime.planner import PerExitPlan, plan_per_exit_dvfs
+from repro.runtime.simulator import RuntimeReport, StreamSimulator
+
+__all__ = [
+    "ExitController",
+    "OracleController",
+    "EntropyThresholdController",
+    "ConfidenceThresholdController",
+    "BudgetedController",
+    "tune_thresholds",
+    "DvfsGovernor",
+    "plan_per_exit_dvfs",
+    "PerExitPlan",
+    "StreamSimulator",
+    "RuntimeReport",
+]

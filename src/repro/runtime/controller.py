@@ -1,0 +1,200 @@
+"""Input-to-exit mapping policies.
+
+A controller receives the per-exit logits of one sample *sequentially* (as
+the network would produce them) and decides where to stop.  Batch interfaces
+operate on stacked logits ``(E, n, classes)`` and return, per sample, the
+0-based index of the taken exit — ``E`` meaning "ran to the final
+classifier".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import entropy_np, softmax_np
+from repro.utils.validation import check_probability
+
+
+class ExitController:
+    """Base class: maps stacked exit logits to exit decisions."""
+
+    def decide(self, exit_logits: np.ndarray, labels: np.ndarray | None = None) -> np.ndarray:
+        """Return the taken-exit index per sample (E = no early exit).
+
+        ``exit_logits`` has shape (E, n, classes).
+        """
+        raise NotImplementedError
+
+
+class OracleController(ExitController):
+    """Ideal mapping: stop at the first exit whose argmax is correct.
+
+    Requires labels; this is the design-time policy of paper §IV-C, useful
+    as the upper reference in deployment studies.
+    """
+
+    def decide(self, exit_logits: np.ndarray, labels: np.ndarray | None = None) -> np.ndarray:
+        if labels is None:
+            raise ValueError("OracleController requires ground-truth labels")
+        num_exits, n, _ = exit_logits.shape
+        decisions = np.full(n, num_exits, dtype=np.int64)
+        for i in range(num_exits - 1, -1, -1):
+            correct = exit_logits[i].argmax(axis=-1) == labels
+            decisions[correct] = i
+        return decisions
+
+
+class EntropyThresholdController(ExitController):
+    """Exit when normalised predictive entropy drops below a threshold.
+
+    ``thresholds`` may be a scalar (shared) or one value per exit.
+    """
+
+    def __init__(self, thresholds: float | np.ndarray, num_exits: int):
+        thresholds = np.broadcast_to(np.asarray(thresholds, dtype=float), (num_exits,)).copy()
+        for t in thresholds:
+            check_probability("entropy threshold", float(t))
+        self.thresholds = thresholds
+        self.num_exits = num_exits
+
+    def decide(self, exit_logits: np.ndarray, labels: np.ndarray | None = None) -> np.ndarray:
+        num_exits, n, _ = exit_logits.shape
+        if num_exits != self.num_exits:
+            raise ValueError(f"controller configured for {self.num_exits} exits, got {num_exits}")
+        decisions = np.full(n, num_exits, dtype=np.int64)
+        undecided = np.ones(n, dtype=bool)
+        for i in range(num_exits):
+            ent = entropy_np(exit_logits[i], axis=-1)
+            takes = undecided & (ent <= self.thresholds[i])
+            decisions[takes] = i
+            undecided &= ~takes
+        return decisions
+
+
+class ConfidenceThresholdController(ExitController):
+    """Exit when max-softmax confidence exceeds a threshold."""
+
+    def __init__(self, thresholds: float | np.ndarray, num_exits: int):
+        thresholds = np.broadcast_to(np.asarray(thresholds, dtype=float), (num_exits,)).copy()
+        for t in thresholds:
+            check_probability("confidence threshold", float(t))
+        self.thresholds = thresholds
+        self.num_exits = num_exits
+
+    def decide(self, exit_logits: np.ndarray, labels: np.ndarray | None = None) -> np.ndarray:
+        num_exits, n, _ = exit_logits.shape
+        if num_exits != self.num_exits:
+            raise ValueError(f"controller configured for {self.num_exits} exits, got {num_exits}")
+        decisions = np.full(n, num_exits, dtype=np.int64)
+        undecided = np.ones(n, dtype=bool)
+        for i in range(num_exits):
+            conf = softmax_np(exit_logits[i], axis=-1).max(axis=-1)
+            takes = undecided & (conf >= self.thresholds[i])
+            decisions[takes] = i
+            undecided &= ~takes
+        return decisions
+
+
+class BudgetedController(ExitController):
+    """Entropy controller calibrated to a per-sample energy budget.
+
+    Given a validation stream and the per-path energy costs, bisection over
+    the target exit rate finds the loosest thresholds whose expected energy
+    meets the budget — the accuracy-maximising policy within it (looser
+    thresholds only trade accuracy for energy).
+    """
+
+    def __init__(self, thresholds: np.ndarray, num_exits: int, expected_energy_j: float):
+        self._inner = EntropyThresholdController(thresholds, num_exits)
+        self.thresholds = self._inner.thresholds
+        self.num_exits = num_exits
+        self.expected_energy_j = expected_energy_j
+
+    def decide(self, exit_logits: np.ndarray, labels: np.ndarray | None = None) -> np.ndarray:
+        return self._inner.decide(exit_logits, labels)
+
+    @classmethod
+    def calibrate(
+        cls,
+        exit_logits: np.ndarray,
+        path_energies_j: np.ndarray,
+        budget_j: float,
+        iterations: int = 12,
+    ) -> "BudgetedController":
+        """Fit thresholds on a validation stream for an energy budget.
+
+        Parameters
+        ----------
+        exit_logits:
+            Validation logits, shape (E, n, classes).
+        path_energies_j:
+            Energy of leaving at each exit (and, last entry, of running the
+            full network) — shape (E + 1,).
+        budget_j:
+            Mean per-sample energy target; must be reachable (at least the
+            always-exit-first energy).
+        """
+        num_exits = exit_logits.shape[0]
+        path_energies_j = np.asarray(path_energies_j, dtype=float)
+        if len(path_energies_j) != num_exits + 1:
+            raise ValueError(
+                f"need {num_exits + 1} path energies, got {len(path_energies_j)}"
+            )
+        if budget_j < path_energies_j[0]:
+            raise ValueError(
+                f"budget {budget_j} below the cheapest policy "
+                f"({path_energies_j[0]}: always take the first exit)"
+            )
+
+        def expected_energy(rate: float) -> tuple[float, np.ndarray]:
+            thresholds = tune_thresholds(exit_logits, rate, kind="entropy")
+            decisions = EntropyThresholdController(thresholds, num_exits).decide(exit_logits)
+            return float(path_energies_j[decisions].mean()), thresholds
+
+        lo, hi = 0.0, 1.0  # exit rate: 0 -> never exit (max energy)
+        best = expected_energy(1.0)
+        if best[0] > budget_j:
+            return cls(best[1], num_exits, best[0])  # budget unreachable: cheapest
+        for _ in range(iterations):
+            mid = (lo + hi) / 2
+            energy, thresholds = expected_energy(mid)
+            if energy <= budget_j:
+                best = (energy, thresholds)
+                hi = mid  # try exiting less aggressively
+            else:
+                lo = mid
+        return cls(best[1], num_exits, best[0])
+
+
+def tune_thresholds(
+    exit_logits: np.ndarray,
+    target_exit_rate: float,
+    kind: str = "entropy",
+) -> np.ndarray:
+    """Per-exit thresholds hitting a target *per-exit* take rate on a
+    validation stream.
+
+    For each exit, the threshold is set at the quantile of its decision
+    statistic such that ``target_exit_rate`` of the samples reaching that
+    exit would stop there.
+    """
+    check_probability("target_exit_rate", target_exit_rate)
+    num_exits = exit_logits.shape[0]
+    thresholds = np.zeros(num_exits)
+    n = exit_logits.shape[1]
+    remaining = np.ones(n, dtype=bool)
+    for i in range(num_exits):
+        if kind == "entropy":
+            stat = entropy_np(exit_logits[i], axis=-1)
+            pool = stat[remaining] if remaining.any() else stat
+            thresholds[i] = float(np.quantile(pool, target_exit_rate))
+            takes = remaining & (stat <= thresholds[i])
+        elif kind == "confidence":
+            stat = softmax_np(exit_logits[i], axis=-1).max(axis=-1)
+            pool = stat[remaining] if remaining.any() else stat
+            thresholds[i] = float(np.quantile(pool, 1.0 - target_exit_rate))
+            takes = remaining & (stat >= thresholds[i])
+        else:
+            raise ValueError(f"unknown threshold kind {kind!r}")
+        remaining &= ~takes
+    return np.clip(thresholds, 0.0, 1.0)

@@ -1,0 +1,55 @@
+"""DVFS governors: apply operating points at deployment.
+
+The searched design carries one (core, EMC) setting; related work (EdgeBERT
+[13], Predictive Exit [14]) additionally scales frequency *after* the exit
+decision is known.  :class:`DvfsGovernor` supports both: a single static
+setting, or a per-exit table that emulates post-exit scaling with a
+switching-overhead charge per transition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.dvfs import DvfsSetting
+from repro.utils.validation import check_nonneg
+
+
+class DvfsGovernor:
+    """Resolves the DVFS setting used for a sample given its taken exit.
+
+    Parameters
+    ----------
+    default:
+        The setting used when no per-exit override exists.
+    per_exit:
+        Optional mapping exit-index -> setting (index E = full network).
+    switch_cost_j:
+        Energy charged whenever consecutive samples run at different
+        settings (frequency-transition overhead).
+    """
+
+    def __init__(
+        self,
+        default: DvfsSetting,
+        per_exit: dict[int, DvfsSetting] | None = None,
+        switch_cost_j: float = 0.0,
+    ):
+        check_nonneg("switch_cost_j", switch_cost_j)
+        self.default = default
+        self.per_exit = dict(per_exit or {})
+        self.switch_cost_j = switch_cost_j
+
+    def setting_for(self, exit_index: int) -> DvfsSetting:
+        """Setting applied to a sample that leaves at ``exit_index``."""
+        return self.per_exit.get(int(exit_index), self.default)
+
+    def switching_energy(self, decisions: np.ndarray) -> float:
+        """Total transition energy across a decision sequence."""
+        if self.switch_cost_j == 0.0 or len(decisions) < 2:
+            return 0.0
+        settings = [self.setting_for(d) for d in decisions]
+        transitions = sum(
+            1 for prev, cur in zip(settings[:-1], settings[1:]) if prev != cur
+        )
+        return transitions * self.switch_cost_j

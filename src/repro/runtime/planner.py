@@ -1,0 +1,104 @@
+"""Per-exit DVFS planning (the Predictive-Exit-style extension).
+
+HADAS searches a single operating point per DyNN; related work (EdgeBERT
+[13], Predictive Exit [14]) scales frequency per exit decision.  This module
+plans such a per-exit table on top of a searched design: for every exit path
+it sweeps the platform grid for the energy-optimal setting subject to a
+latency budget, producing the table a :class:`~repro.runtime.governor.
+DvfsGovernor` consumes.  ``examples/dvfs_sweep.py`` and the ablation bench
+quantify the additional savings over the single-setting design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.dynamic import DynamicEvaluator
+from repro.exits.placement import ExitPlacement
+from repro.hardware.dvfs import DvfsSetting, DvfsSpace
+
+
+@dataclass(frozen=True)
+class PerExitPlan:
+    """Planned per-exit operating points and their expected savings."""
+
+    placement: ExitPlacement
+    settings: dict[int, DvfsSetting]  # exit index -> setting (index E = full)
+    single_setting_energy_j: float
+    per_exit_energy_j: float
+
+    @property
+    def extra_gain(self) -> float:
+        """Energy saved by per-exit scaling over the best single setting."""
+        if self.single_setting_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.per_exit_energy_j / self.single_setting_energy_j
+
+
+def plan_per_exit_dvfs(
+    evaluator: DynamicEvaluator,
+    placement: ExitPlacement,
+    dvfs_space: DvfsSpace,
+    latency_slack: float = 1.5,
+) -> PerExitPlan:
+    """Choose an energy-optimal setting per exit path.
+
+    Parameters
+    ----------
+    evaluator:
+        The backbone's dynamic evaluator (supplies per-path energy reports).
+    placement:
+        The exit configuration being deployed.
+    latency_slack:
+        Per-path latency bound as a multiple of the path's latency at
+        maximum clocks; prevents the planner trading unbounded latency for
+        energy.
+
+    Notes
+    -----
+    The expected energies are usage-weighted with the same ideal-mapping
+    fractions the design-time objective uses, so ``extra_gain`` is directly
+    comparable with the searched single-setting result.
+    """
+    if latency_slack < 1.0:
+        raise ValueError(f"latency_slack must be >= 1, got {latency_slack}")
+    positions = placement.positions
+    default = dvfs_space.default_setting()
+    usage = evaluator.oracle.evaluate_placement(placement).usage
+    candidates = dvfs_space.all_settings()
+
+    def path_report(index: int, setting: DvfsSetting):
+        if index < len(positions):
+            return evaluator._exit_path_report(positions, index, setting)
+        return evaluator._full_path_report(positions, setting)
+
+    settings: dict[int, DvfsSetting] = {}
+    per_exit_energy = np.zeros(len(positions) + 1)
+    for index in range(len(positions) + 1):
+        bound = path_report(index, default).latency_s * latency_slack
+        best_setting, best_energy = default, path_report(index, default).energy_j
+        for setting in candidates:
+            report = path_report(index, setting)
+            if report.latency_s <= bound and report.energy_j < best_energy:
+                best_setting, best_energy = setting, report.energy_j
+        settings[index] = best_setting
+        per_exit_energy[index] = best_energy
+
+    # Best single setting under the same slack rule, for a fair comparison.
+    def expected_energy(setting: DvfsSetting) -> float:
+        return float(
+            sum(usage[i] * path_report(i, setting).energy_j for i in range(len(usage)))
+        )
+
+    full_bound = path_report(len(positions), default).latency_s * latency_slack
+    feasible = [s for s in candidates if path_report(len(positions), s).latency_s <= full_bound]
+    single_best = min(feasible or [default], key=expected_energy)
+
+    return PerExitPlan(
+        placement=placement,
+        settings=settings,
+        single_setting_energy_j=expected_energy(single_best),
+        per_exit_energy_j=float(usage @ per_exit_energy),
+    )

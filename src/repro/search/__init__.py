@@ -1,0 +1,35 @@
+"""The HADAS co-optimisation framework (paper §IV, Fig. 3).
+
+* :mod:`~repro.search.nsga2` — a from-scratch NSGA-II (fast non-dominated
+  sort, crowding distance, binary tournament, elitist environmental
+  selection) over integer genomes;
+* :mod:`~repro.search.operators` — uniform/two-point crossover, per-gene
+  reset and creep mutation, indicator-vector repair;
+* :mod:`~repro.search.ooe` — the Outer Optimization Engine over B;
+* :mod:`~repro.search.ioe` — the Inner Optimization Engine over (X, F),
+  scoring with eqs. 5–7;
+* :mod:`~repro.search.hadas` — the bi-level driver gluing OOE and IOE,
+  the library's main entry point (:class:`~repro.search.hadas.HadasSearch`).
+"""
+
+from repro.search.archive import ParetoArchive
+from repro.search.hadas import HadasConfig, HadasResult, HadasSearch
+from repro.search.individual import Individual
+from repro.search.ioe import InnerEngine, InnerResult
+from repro.search.nsga2 import NSGA2, Nsga2Config, Problem
+from repro.search.ooe import OuterEngine, OuterResult
+
+__all__ = [
+    "Individual",
+    "Problem",
+    "Nsga2Config",
+    "NSGA2",
+    "ParetoArchive",
+    "InnerEngine",
+    "InnerResult",
+    "OuterEngine",
+    "OuterResult",
+    "HadasConfig",
+    "HadasResult",
+    "HadasSearch",
+]

@@ -1,0 +1,91 @@
+"""A Pareto archive of every non-dominated candidate seen during a run."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.metrics.pareto import crowding_distance, dominates, non_dominated_mask
+from repro.search.individual import Individual
+
+
+class ParetoArchive:
+    """Maintains the non-dominated set over a stream of individuals.
+
+    Duplicated genomes are kept once (first wins).  When ``max_size`` is set,
+    the archive is truncated by crowding distance so the retained subset
+    stays spread across the front.
+    """
+
+    def __init__(self, max_size: int | None = None):
+        self.max_size = max_size
+        self._items: list[Individual] = []
+        self._keys: set[tuple] = set()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    @property
+    def items(self) -> list[Individual]:
+        return list(self._items)
+
+    def objectives(self) -> np.ndarray:
+        """Stacked objective matrix of the archive (n, m)."""
+        if not self._items:
+            return np.zeros((0, 0))
+        return np.stack([ind.objectives for ind in self._items])
+
+    def add(self, individual: Individual) -> bool:
+        """Insert if non-dominated; evict newly dominated members.
+
+        Returns True when the individual enters the archive.
+        """
+        if not individual.evaluated:
+            raise ValueError("cannot archive an unevaluated individual")
+        if individual.key() in self._keys:
+            return False
+        obj = individual.objectives
+        survivors = []
+        for member in self._items:
+            if dominates(member.objectives, obj):
+                return False
+            if not dominates(obj, member.objectives):
+                survivors.append(member)
+        evicted = {m.key() for m in self._items} - {m.key() for m in survivors}
+        self._keys -= evicted
+        survivors.append(individual)
+        self._keys.add(individual.key())
+        self._items = survivors
+        self._truncate()
+        return True
+
+    def add_all(self, individuals: list[Individual]) -> int:
+        """Insert many; returns how many entered."""
+        return sum(1 for ind in individuals if self.add(ind))
+
+    def _truncate(self) -> None:
+        if self.max_size is None or len(self._items) <= self.max_size:
+            return
+        objs = self.objectives()
+        crowd = crowding_distance(objs)
+        order = np.argsort(-crowd, kind="stable")[: self.max_size]
+        keep = sorted(order.tolist())
+        self._items = [self._items[i] for i in keep]
+        self._keys = {m.key() for m in self._items}
+
+    def front(self) -> np.ndarray:
+        """Objective matrix (already non-dominated by construction)."""
+        objs = self.objectives()
+        if objs.size == 0:
+            return objs
+        return objs[non_dominated_mask(objs)]
+
+    def best_by(self, scalarizer) -> Individual:
+        """Archive member maximising ``scalarizer(individual)``."""
+        if not self._items:
+            raise ValueError("archive is empty")
+        return max(self._items, key=scalarizer)

@@ -1,0 +1,228 @@
+"""HADAS: the end-to-end bi-level search facade.
+
+Wires the pieces of paper Fig. 2/3 together: the backbone space built over
+the (pretrained-supernet) encoding, the static evaluator with simulated
+HW-in-the-loop measurement, the per-backbone exit oracle, and the nested
+NSGA-II engines.  ``HadasSearch(HadasConfig(platform="tx2-gpu")).run()``
+reproduces the paper's TX2 experiment at the configured budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accuracy.exit_model import ExitCapabilityModel
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.arch.config import BackboneConfig
+from repro.arch.space import BackboneSpace
+from repro.eval.static import StaticEvaluation, StaticEvaluator
+from repro.hardware.platform import get_platform
+from repro.search.individual import Individual
+from repro.search.ioe import InnerEngine, InnerResult
+from repro.search.nsga2 import Nsga2Config
+from repro.search.ooe import OuterEngine, OuterResult
+from repro.utils.validation import check_nonneg, check_positive
+
+
+@dataclass(frozen=True)
+class HadasConfig:
+    """Hyper-parameters of one HADAS run.
+
+    The paper's budget is 450 OOE iterations and 3500 IOE iterations
+    (#iterations = generations x population); the defaults here are the
+    "fast" profile used by tests and benches.  ``paper_profile()`` returns
+    the full budget.
+    """
+
+    platform: str = "tx2-gpu"
+    seed: int = 0
+    gamma: float = 1.0
+    num_classes: int = 100
+    outer_population: int = 16
+    outer_generations: int = 5
+    inner_population: int = 16
+    inner_generations: int = 6
+    ioe_candidates: int = 4
+    oracle_samples: int = 2048
+    literal_ratios: bool = False
+
+    def __post_init__(self):
+        check_positive("outer_population", self.outer_population)
+        check_positive("outer_generations", self.outer_generations)
+        check_positive("inner_population", self.inner_population)
+        check_positive("inner_generations", self.inner_generations)
+        check_nonneg("gamma", self.gamma)
+
+    @property
+    def outer_iterations(self) -> int:
+        return self.outer_population * self.outer_generations
+
+    @property
+    def inner_iterations(self) -> int:
+        return self.inner_population * self.inner_generations
+
+    @staticmethod
+    def paper_profile(platform: str = "tx2-gpu", seed: int = 0) -> "HadasConfig":
+        """The paper's 450 / 3500 iteration budget."""
+        return HadasConfig(
+            platform=platform,
+            seed=seed,
+            outer_population=30,
+            outer_generations=15,
+            inner_population=50,
+            inner_generations=70,
+            ioe_candidates=5,
+        )
+
+
+@dataclass
+class HadasResult:
+    """Outcome of a HADAS run."""
+
+    config: HadasConfig
+    outer: OuterResult
+    space: BackboneSpace
+    surrogate: AccuracySurrogate
+    static_evaluator: StaticEvaluator = field(repr=False)
+
+    # ------------------------------------------------------------- queries
+    def backbone_pareto(self) -> list[Individual]:
+        """Static backbone Pareto set (Fig. 5 top)."""
+        return self.outer.static_archive.items
+
+    def dynn_pareto(self) -> list[Individual]:
+        """(B, X, F) dynamic Pareto set (Fig. 5 bottom / final output)."""
+        return self.outer.dynamic_archive.items
+
+    def top_models(self, k: int = 4, by: str = "utopia", distinct_backbones: bool = True) -> list[Individual]:
+        """The k best DyNNs (the paper's b1..b4).
+
+        ``by="utopia"`` ranks by closeness to the utopia point of
+        (dynamic accuracy, absolute dynamic energy) over the archive —
+        matching how the paper's Table III picks absolutely-efficient,
+        accurate models; ``by="d_score"`` ranks by the eq. 5 scalar.
+        ``distinct_backbones`` prefers one entry per backbone, falling back
+        to repeats when the archive holds fewer distinct backbones than k.
+        """
+        members = self.outer.dynamic_archive.items
+        if not members:
+            return []
+        if by == "d_score":
+            ranked = sorted(
+                members, key=lambda ind: ind.payload["evaluation"].d_score, reverse=True
+            )
+        elif by == "utopia":
+            accs = np.asarray(
+                [ind.payload["evaluation"].dynamic_accuracy for ind in members]
+            )
+            energies = np.asarray(
+                [ind.payload["evaluation"].dynamic_energy_j for ind in members]
+            )
+            acc_span = max(accs.max() - accs.min(), 1e-9)
+            erg_span = max(energies.max() - energies.min(), 1e-9)
+            distance = np.sqrt(
+                ((accs.max() - accs) / acc_span) ** 2
+                + ((energies - energies.min()) / erg_span) ** 2
+            )
+            ranked = [members[i] for i in np.argsort(distance, kind="stable")]
+        else:
+            raise ValueError(f"unknown ranking {by!r}")
+        if not distinct_backbones:
+            return ranked[:k]
+        picked: list[Individual] = []
+        seen: set[str] = set()
+        for ind in ranked:
+            key = ind.payload["config"].key
+            if key in seen:
+                continue
+            seen.add(key)
+            picked.append(ind)
+            if len(picked) == k:
+                return picked
+        picked_ids = {id(ind) for ind in picked}
+        for ind in ranked:  # fallback: allow repeated backbones
+            if id(ind) not in picked_ids:
+                picked.append(ind)
+                picked_ids.add(id(ind))
+                if len(picked) == k:
+                    break
+        return picked
+
+    def selected_model(self) -> Individual:
+        """The single model HADAS would hand to deployment."""
+        return self.top_models(1)[0]
+
+    @property
+    def num_evaluations(self) -> tuple[int, int]:
+        """(static, dynamic) evaluation counts."""
+        return (
+            self.outer.num_static_evaluations,
+            self.outer.num_dynamic_evaluations,
+        )
+
+
+class HadasSearch:
+    """Builds and runs the full bi-level HADAS pipeline."""
+
+    def __init__(
+        self,
+        config: HadasConfig = HadasConfig(),
+        space: BackboneSpace | None = None,
+        capability_model: ExitCapabilityModel | None = None,
+    ):
+        self.config = config
+        self.platform = get_platform(config.platform)
+        self.space = space or BackboneSpace(num_classes=config.num_classes)
+        self.surrogate = AccuracySurrogate(self.space, seed=config.seed)
+        self.static_evaluator = StaticEvaluator(
+            self.platform, self.surrogate, seed=config.seed
+        )
+        self.capability_model = capability_model or ExitCapabilityModel()
+
+    def make_inner_engine(self, backbone: BackboneConfig) -> InnerEngine:
+        """Inner engine for one backbone, sharing this run's budget/seeds.
+
+        Also used to build the paper's "optimized baselines" (same budget,
+        fixed backbone).
+        """
+        return InnerEngine(
+            config=backbone,
+            static_evaluator=self.static_evaluator,
+            backbone_accuracy_fraction=self.surrogate.accuracy_fraction(backbone),
+            nsga=Nsga2Config(
+                population=self.config.inner_population,
+                generations=self.config.inner_generations,
+            ),
+            gamma=self.config.gamma,
+            literal_ratios=self.config.literal_ratios,
+            capability_model=self.capability_model,
+            oracle_samples=self.config.oracle_samples,
+            seed=self.config.seed,
+        )
+
+    def _run_inner(self, backbone: BackboneConfig, _static: StaticEvaluation) -> InnerResult:
+        return self.make_inner_engine(backbone).run()
+
+    def run(self) -> HadasResult:
+        """Execute the bi-level search."""
+        outer = OuterEngine(
+            space=self.space,
+            evaluator=self.static_evaluator,
+            run_inner=self._run_inner,
+            nsga=Nsga2Config(
+                population=self.config.outer_population,
+                generations=self.config.outer_generations,
+            ),
+            ioe_candidates=self.config.ioe_candidates,
+            seed=self.config.seed,
+        )
+        result = outer.run()
+        return HadasResult(
+            config=self.config,
+            outer=result,
+            space=self.space,
+            surrogate=self.surrogate,
+            static_evaluator=self.static_evaluator,
+        )

@@ -1,0 +1,199 @@
+"""Inner Optimization Engine: NSGA-II over the joint (X, F) subspace.
+
+Genome layout: ``[I_5 .. I_{L-1}, core_idx, emc_idx]`` — the paper's exit
+indicator vector concatenated with the two DVFS genes.  Fitness is the
+dynamic evaluation of paper eqs. 5–7, exposed to NSGA-II as the
+maximisation vector
+
+    ( mean_i N_i * dissim_i^gamma ,  energy gain ,  latency gain )
+
+i.e. the accuracy-side component carries the dissimilarity regulariser (γ=0
+switches it off — the Fig. 7 ablation), while the energy/latency components
+are ideal-mapping savings relative to the backbone at default clocks.  The
+scalar D of eq. 5 ranks the returned Pareto set (``best`` below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accuracy.exit_model import BackboneExitOracle, ExitCapabilityModel
+from repro.arch.config import BackboneConfig
+from repro.eval.dynamic import DynamicEvaluation, DynamicEvaluator
+from repro.eval.static import StaticEvaluator
+from repro.exits.placement import ExitPlacement, ExitSpace
+from repro.hardware.dvfs import DvfsSpace
+from repro.hardware.energy import EnergyModel
+from repro.search import operators
+from repro.search.archive import ParetoArchive
+from repro.search.individual import Individual
+from repro.search.nsga2 import NSGA2, Nsga2Config, Problem
+from repro.utils.rng import child_rng
+
+
+@dataclass
+class InnerResult:
+    """Outcome of one IOE invocation for a single backbone."""
+
+    backbone_key: str
+    pareto: ParetoArchive
+    explored: list[Individual] = field(default_factory=list)
+    num_evaluations: int = 0
+
+    def evaluations(self) -> list[DynamicEvaluation]:
+        """Dynamic evaluations of the Pareto members."""
+        return [ind.payload["evaluation"] for ind in self.pareto]
+
+    def points_2d(self, explored: bool = False, accuracy: str = "mean_n_i") -> np.ndarray:
+        """(energy gain, accuracy-side) pairs — the paper's Fig. 5/7 axes.
+
+        ``accuracy="mean_n_i"`` uses the average of the N_i values (Fig. 5
+        bottom); ``accuracy="dynamic"`` uses the ideal-mapping union accuracy
+        (the quantity the dissimilarity ablation improves).
+        """
+        source = self.explored if explored else self.pareto.items
+        if not source:
+            return np.zeros((0, 2))
+        if accuracy == "mean_n_i":
+            second = [ind.payload["evaluation"].mean_n_i for ind in source]
+        elif accuracy == "dynamic":
+            second = [ind.payload["evaluation"].dynamic_accuracy for ind in source]
+        else:
+            raise ValueError(f"unknown accuracy axis {accuracy!r}")
+        gains = [ind.payload["evaluation"].energy_gain for ind in source]
+        return np.column_stack([gains, second])
+
+    @property
+    def best(self) -> Individual:
+        """Pareto member with the highest scalar D score (eq. 5)."""
+        return self.pareto.best_by(lambda ind: ind.payload["evaluation"].d_score)
+
+
+class _InnerProblem(Problem):
+    """(X, F) genome handling + dynamic evaluation."""
+
+    def __init__(
+        self,
+        exit_space: ExitSpace,
+        dvfs_space: DvfsSpace,
+        evaluator: DynamicEvaluator,
+        exit_density: float = 0.3,
+    ):
+        self.exit_space = exit_space
+        self.dvfs_space = dvfs_space
+        self.evaluator = evaluator
+        self.exit_density = exit_density
+        self._dvfs_bounds = dvfs_space.gene_bounds()
+
+    @property
+    def num_slots(self) -> int:
+        return self.exit_space.num_slots
+
+    def split(self, genome: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return genome[: self.num_slots], genome[self.num_slots :]
+
+    def decode(self, genome: np.ndarray):
+        bits, dvfs = self.split(genome)
+        placement = ExitPlacement.from_indicators(self.exit_space.total_layers, bits)
+        setting = self.dvfs_space.decode(dvfs[0], dvfs[1])
+        return placement, setting
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        placement = self.exit_space.sample(rng, density=self.exit_density)
+        core = rng.integers(0, self._dvfs_bounds[0])
+        emc = rng.integers(0, self._dvfs_bounds[1])
+        return np.concatenate([placement.indicators, [core, emc]]).astype(np.int64)
+
+    def evaluate(self, genome: np.ndarray):
+        placement, setting = self.decode(genome)
+        evaluation = self.evaluator.evaluate(placement, setting)
+        return np.asarray(self.evaluator.objectives(evaluation)), {"evaluation": evaluation}
+
+    def crossover(self, a, b, rng):
+        return operators.uniform_crossover(a, b, rng)
+
+    def mutate(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        bits, dvfs = self.split(genome)
+        bits = operators.bitflip_mutation(bits, rng, prob=1.5 / max(len(bits), 1))
+        bits = self.exit_space.repair(bits, rng)
+        dvfs = operators.creep_mutation(dvfs, self._dvfs_bounds, rng, prob=0.5)
+        if rng.random() < 0.15:  # occasional long-range DVFS jump
+            dvfs = operators.reset_mutation(dvfs, self._dvfs_bounds, rng, prob=1.0)
+        return np.concatenate([bits, dvfs]).astype(np.int64)
+
+
+class InnerEngine:
+    """Runs the (X, F) co-search for one backbone b'.
+
+    Parameters
+    ----------
+    config:
+        The backbone (must expose >= 6 MBConv layers for any exit to fit).
+    static_evaluator:
+        Supplies the backbone cost profile and the E_b / L_b normalisers.
+    backbone_accuracy_fraction:
+        Static accuracy of b' in [0, 1] (drives the exit oracle).
+    gamma:
+        Dissimilarity exponent (0 disables — the Fig. 7 ablation).
+    nsga:
+        Budget: #iterations = population x generations (paper: 3500).
+    """
+
+    def __init__(
+        self,
+        config: BackboneConfig,
+        static_evaluator: StaticEvaluator,
+        backbone_accuracy_fraction: float,
+        nsga: Nsga2Config | None = None,
+        gamma: float = 1.0,
+        literal_ratios: bool = False,
+        capability_model: ExitCapabilityModel | None = None,
+        oracle_samples: int = 2048,
+        seed: int = 0,
+    ):
+        self.config = config
+        self.nsga_config = nsga or Nsga2Config(population=20, generations=8)
+        static = static_evaluator.evaluate(config)
+        oracle = BackboneExitOracle(
+            backbone_key=config.key,
+            total_layers=config.total_mbconv_layers,
+            backbone_accuracy=backbone_accuracy_fraction,
+            model=capability_model,
+            n_samples=oracle_samples,
+            seed=seed,
+        )
+        self.evaluator = DynamicEvaluator(
+            config=config,
+            cost=static_evaluator.cost(config),
+            oracle=oracle,
+            energy_model=EnergyModel(static_evaluator.platform),
+            baseline_energy_j=static.energy_j,
+            baseline_latency_s=static.latency_s,
+            gamma=gamma,
+            literal_ratios=literal_ratios,
+        )
+        self.problem = _InnerProblem(
+            exit_space=ExitSpace(config.total_mbconv_layers),
+            dvfs_space=static_evaluator.dvfs_space,
+            evaluator=self.evaluator,
+        )
+        self.seed = seed
+
+    def run(self) -> InnerResult:
+        """Execute the NSGA-II loop and return the (X, F) Pareto set."""
+        engine = NSGA2(
+            self.problem,
+            self.nsga_config,
+            rng=child_rng(self.seed, "ioe", self.config.key),
+        )
+        engine.run()
+        archive = ParetoArchive()
+        archive.add_all(engine.history)
+        return InnerResult(
+            backbone_key=self.config.key,
+            pareto=archive,
+            explored=engine.history,
+            num_evaluations=engine.num_evaluations,
+        )

@@ -1,0 +1,162 @@
+"""NSGA-II over integer genomes (Deb et al., 2002), from scratch.
+
+The engine is generic: a :class:`Problem` supplies sampling, evaluation and
+variation; the engine supplies non-dominated sorting, crowding, binary
+tournament mating selection and elitist environmental selection.  Both HADAS
+engines (OOE and IOE) instantiate it with their own problems; the OOE
+additionally intercepts the loop for its two-stage selection (see
+:mod:`repro.search.ooe`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.metrics.pareto import crowding_distance, non_dominated_sort
+from repro.search.individual import Individual
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+
+class Problem:
+    """Interface the NSGA-II engine optimises against (maximisation)."""
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:  # pragma: no cover
+        """Return a fresh random genome."""
+        raise NotImplementedError
+
+    def evaluate(self, genome: np.ndarray) -> tuple[np.ndarray, dict]:  # pragma: no cover
+        """Return (objective vector to maximise, payload dict)."""
+        raise NotImplementedError
+
+    def crossover(
+        self, a: np.ndarray, b: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
+        """Recombine two parents into two children."""
+        raise NotImplementedError
+
+    def mutate(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:  # pragma: no cover
+        """Perturb a genome."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Nsga2Config:
+    """Engine hyper-parameters; #iterations = generations x population."""
+
+    population: int = 24
+    generations: int = 10
+    crossover_prob: float = 0.9
+
+    def __post_init__(self):
+        check_positive("population", self.population)
+        check_positive("generations", self.generations)
+
+    @property
+    def iterations(self) -> int:
+        return self.population * self.generations
+
+
+def rank_and_crowd(population: list[Individual]) -> None:
+    """Assign NSGA-II rank and crowding distance in place."""
+    if not population:
+        return
+    objectives = np.stack([ind.objectives for ind in population])
+    for front_rank, front in enumerate(non_dominated_sort(objectives)):
+        crowd = crowding_distance(objectives[front])
+        for local, idx in enumerate(front):
+            population[idx].rank = front_rank
+            population[idx].crowding = float(crowd[local])
+
+
+def environmental_selection(population: list[Individual], size: int) -> list[Individual]:
+    """Elitist truncation: fill by front, break ties by crowding."""
+    rank_and_crowd(population)
+    ordered = sorted(population, key=lambda ind: (ind.rank, -ind.crowding))
+    return ordered[:size]
+
+
+class NSGA2:
+    """The evolutionary loop."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: Nsga2Config,
+        rng=None,
+        on_generation: Callable[[int, list[Individual]], None] | None = None,
+    ):
+        self.problem = problem
+        self.config = config
+        self.rng = make_rng(rng)
+        self.on_generation = on_generation
+        self.history: list[Individual] = []
+        self._eval_cache: dict[tuple, tuple[np.ndarray, dict]] = {}
+        self.num_evaluations = 0
+
+    # --------------------------------------------------------------- pieces
+    def _evaluate(self, individual: Individual) -> Individual:
+        key = individual.key()
+        if key not in self._eval_cache:
+            objectives, payload = self.problem.evaluate(individual.genome)
+            self._eval_cache[key] = (np.asarray(objectives, dtype=float), payload)
+            self.num_evaluations += 1
+        objectives, payload = self._eval_cache[key]
+        individual.objectives = objectives.copy()
+        individual.payload = dict(payload)
+        return individual
+
+    def _initial_population(self) -> list[Individual]:
+        population = [
+            Individual(genome=np.asarray(self.problem.sample(self.rng), dtype=np.int64))
+            for _ in range(self.config.population)
+        ]
+        return [self._evaluate(ind) for ind in population]
+
+    def _tournament(self, population: list[Individual]) -> Individual:
+        a, b = self.rng.choice(len(population), size=2, replace=False)
+        ind_a, ind_b = population[a], population[b]
+        if ind_a.rank != ind_b.rank:
+            return ind_a if ind_a.rank < ind_b.rank else ind_b
+        return ind_a if ind_a.crowding >= ind_b.crowding else ind_b
+
+    def make_offspring(self, population: list[Individual]) -> list[Individual]:
+        """Mating selection + crossover + mutation -> evaluated children."""
+        children: list[Individual] = []
+        while len(children) < self.config.population:
+            parent_a = self._tournament(population)
+            parent_b = self._tournament(population)
+            if self.rng.random() < self.config.crossover_prob:
+                genome_a, genome_b = self.problem.crossover(
+                    parent_a.copy_genome(), parent_b.copy_genome(), self.rng
+                )
+            else:
+                genome_a, genome_b = parent_a.copy_genome(), parent_b.copy_genome()
+            for genome in (genome_a, genome_b):
+                if len(children) >= self.config.population:
+                    break
+                mutated = self.problem.mutate(genome, self.rng)
+                children.append(
+                    self._evaluate(Individual(genome=np.asarray(mutated, dtype=np.int64)))
+                )
+        return children
+
+    # ----------------------------------------------------------------- loop
+    def run(self) -> list[Individual]:
+        """Full NSGA-II run; returns the final population (ranked)."""
+        population = self._initial_population()
+        rank_and_crowd(population)
+        self.history.extend(population)
+        for generation in range(1, self.config.generations):
+            offspring = self.make_offspring(population)
+            self.history.extend(offspring)
+            population = environmental_selection(
+                population + offspring, self.config.population
+            )
+            if self.on_generation is not None:
+                self.on_generation(generation, population)
+        rank_and_crowd(population)
+        return population

@@ -1,0 +1,81 @@
+"""Genetic variation operators for integer genomes.
+
+All operators take/return plain int64 vectors and an explicit generator —
+no global random state.  Bounds are exclusive upper limits per gene (the
+``gene_bounds`` arrays of the search spaces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_crossover(
+    a: np.ndarray, b: np.ndarray, rng: np.random.Generator, swap_prob: float = 0.5
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-gene swap with probability ``swap_prob``; returns two children."""
+    if a.shape != b.shape:
+        raise ValueError(f"parent genomes differ in shape: {a.shape} vs {b.shape}")
+    mask = rng.random(len(a)) < swap_prob
+    child_a = np.where(mask, b, a).astype(np.int64)
+    child_b = np.where(mask, a, b).astype(np.int64)
+    return child_a, child_b
+
+
+def two_point_crossover(
+    a: np.ndarray, b: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classic two-point crossover."""
+    if a.shape != b.shape:
+        raise ValueError(f"parent genomes differ in shape: {a.shape} vs {b.shape}")
+    n = len(a)
+    if n < 2:
+        return a.copy(), b.copy()
+    i, j = sorted(rng.choice(n, size=2, replace=False))
+    child_a, child_b = a.copy(), b.copy()
+    child_a[i:j] = b[i:j]
+    child_b[i:j] = a[i:j]
+    return child_a, child_b
+
+
+def reset_mutation(
+    genome: np.ndarray,
+    bounds: np.ndarray,
+    rng: np.random.Generator,
+    prob: float | None = None,
+) -> np.ndarray:
+    """Resample each gene uniformly with probability ``prob`` (default 1/G)."""
+    genome = genome.copy()
+    prob = prob if prob is not None else 1.0 / max(len(genome), 1)
+    mask = rng.random(len(genome)) < prob
+    if mask.any():
+        fresh = (rng.random(len(genome)) * bounds).astype(np.int64)
+        genome[mask] = fresh[mask]
+    return genome
+
+
+def creep_mutation(
+    genome: np.ndarray,
+    bounds: np.ndarray,
+    rng: np.random.Generator,
+    prob: float | None = None,
+) -> np.ndarray:
+    """Move each gene ±1 (clipped) with probability ``prob`` — suited to
+    ordered spaces such as DVFS frequency indices."""
+    genome = genome.copy()
+    prob = prob if prob is not None else 1.0 / max(len(genome), 1)
+    mask = rng.random(len(genome)) < prob
+    steps = rng.choice([-1, 1], size=len(genome))
+    genome[mask] = np.clip(genome[mask] + steps[mask], 0, bounds[mask] - 1)
+    return genome
+
+
+def bitflip_mutation(
+    bits: np.ndarray, rng: np.random.Generator, prob: float | None = None
+) -> np.ndarray:
+    """Flip each 0/1 gene with probability ``prob`` (default 1/G)."""
+    bits = bits.copy()
+    prob = prob if prob is not None else 1.0 / max(len(bits), 1)
+    mask = rng.random(len(bits)) < prob
+    bits[mask] = 1 - bits[mask]
+    return bits

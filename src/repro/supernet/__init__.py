@@ -1,0 +1,20 @@
+"""Miniature once-for-all supernet (the pretrained-backbone infrastructure).
+
+HADAS "leverages the existing infrastructure of pretrained supernets" —
+training and search are disjoint: the supernet is trained once, then subnets
+are *sampled* (weight-sharing slices) with no further backbone training.
+This package reproduces that mechanism at a scale numpy can train in seconds:
+
+* :class:`~repro.supernet.supernet.MiniSupernet` holds maximum-size weights
+  and activates any :class:`~repro.arch.config.BackboneConfig` of its space
+  by slicing channels/depth at forward time;
+* :func:`~repro.supernet.pretrain.pretrain_supernet` runs the
+  sandwich-sampling pretraining loop;
+* subnet forward passes expose per-MBConv-layer feature taps — the hook
+  points where exits attach.
+"""
+
+from repro.supernet.pretrain import PretrainResult, pretrain_supernet
+from repro.supernet.supernet import MiniSupernet, SubnetOutput
+
+__all__ = ["MiniSupernet", "SubnetOutput", "pretrain_supernet", "PretrainResult"]

@@ -1,0 +1,201 @@
+"""Weight-sharing supernet over a miniature backbone space.
+
+Every layer stores maximum-size parameters; activating a subnet slices the
+leading channels (and the stage's leading layers) at forward time.  Slicing
+goes through :meth:`Tensor.__getitem__`, so gradients flow back into the
+shared parameters — the defining property of once-for-all training.
+
+Batch normalisation uses batch statistics in both modes by default
+(``bn_batch_stats=True``): running statistics are ill-defined when channel
+counts change per step, and real OFA deployments re-calibrate BN per subnet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import BackboneConfig
+from repro.arch.space import BackboneSpace
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import child_rng
+
+
+@dataclass
+class SubnetOutput:
+    """Forward result of an activated subnet.
+
+    ``taps[i]`` is the feature map after MBConv layer ``i+1`` (1-based layer
+    numbering matches the paper's exit positions).
+    """
+
+    logits: Tensor
+    taps: list[Tensor]
+    tap_channels: list[int]
+
+
+class _SlicedConv(Module):
+    """Conv2d whose in/out channels are sliced at forward time."""
+
+    def __init__(self, max_in: int, max_out: int, kernel: int, stride: int,
+                 groups_dw: bool, rng: np.random.Generator):
+        super().__init__()
+        self.max_in = max_in
+        self.max_out = max_out
+        self.kernel = kernel
+        self.stride = stride
+        self.groups_dw = groups_dw  # depthwise: groups == channels
+        in_per_group = 1 if groups_dw else max_in
+        self.weight = Tensor(
+            init.kaiming_normal(rng, (max_out, in_per_group, kernel, kernel)),
+            requires_grad=True,
+        )
+
+    def _kernel_slice(self, weight: Tensor, kernel: int) -> Tensor:
+        """OFA-style centre slice: a 3x3 subnet kernel trains the inner 3x3
+        of the shared 5x5 weights."""
+        if kernel == self.kernel:
+            return weight
+        if kernel > self.kernel or (self.kernel - kernel) % 2:
+            raise ValueError(
+                f"cannot slice kernel {kernel} from shared kernel {self.kernel}"
+            )
+        offset = (self.kernel - kernel) // 2
+        return weight[:, :, offset : offset + kernel, offset : offset + kernel]
+
+    def forward(self, x: Tensor, in_ch: int, out_ch: int, kernel: int | None = None) -> Tensor:
+        kernel = kernel or self.kernel
+        if self.groups_dw:
+            if in_ch != out_ch:
+                raise ValueError("depthwise slice requires in_ch == out_ch")
+            weight = self._kernel_slice(self.weight[:out_ch], kernel)
+            return F.conv2d(x, weight, stride=self.stride,
+                            padding=kernel // 2, groups=out_ch)
+        weight = self._kernel_slice(self.weight[:out_ch, :in_ch], kernel)
+        return F.conv2d(x, weight, stride=self.stride, padding=kernel // 2)
+
+
+class _SlicedBN(Module):
+    """Batch norm over a channel slice (batch statistics by default)."""
+
+    def __init__(self, max_ch: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Tensor(np.ones(max_ch), requires_grad=True)
+        self.bias = Tensor(np.zeros(max_ch), requires_grad=True)
+
+    def forward(self, x: Tensor, ch: int) -> Tensor:
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+        var = x.var(axis=(0, 2, 3), keepdims=True)
+        normalised = (x - mean) * ((var + self.eps) ** -0.5)
+        scale = self.weight[:ch].reshape(1, ch, 1, 1)
+        shift = self.bias[:ch].reshape(1, ch, 1, 1)
+        return normalised * scale + shift
+
+
+class _MBConvSuper(Module):
+    """One weight-shared MBConv layer (expand -> depthwise -> project)."""
+
+    def __init__(self, max_in: int, max_out: int, max_expand: int, kernel: int,
+                 stride: int, rng: np.random.Generator):
+        super().__init__()
+        self.max_in = max_in
+        self.max_out = max_out
+        self.max_mid = max_in * max_expand
+        self.stride = stride
+        self.expand_conv = _SlicedConv(max_in, self.max_mid, 1, 1, False, rng)
+        self.expand_bn = _SlicedBN(self.max_mid)
+        self.dw_conv = _SlicedConv(self.max_mid, self.max_mid, kernel, stride, True, rng)
+        self.dw_bn = _SlicedBN(self.max_mid)
+        self.project_conv = _SlicedConv(self.max_mid, max_out, 1, 1, False, rng)
+        self.project_bn = _SlicedBN(max_out)
+
+    def forward(
+        self, x: Tensor, in_ch: int, out_ch: int, expand: int, kernel: int | None = None
+    ) -> Tensor:
+        mid = in_ch * expand
+        if mid > self.max_mid:
+            raise ValueError(f"expand slice {mid} exceeds max {self.max_mid}")
+        h = x
+        if expand > 1:
+            h = self.expand_conv(h, in_ch, mid)
+            h = self.expand_bn(h, mid).swish()
+        h = self.dw_conv(h, mid, mid, kernel=kernel)
+        h = self.dw_bn(h, mid).swish()
+        h = self.project_conv(h, mid, out_ch)
+        h = self.project_bn(h, out_ch)
+        if self.stride == 1 and in_ch == out_ch:
+            h = h + x  # residual
+        return h
+
+
+class MiniSupernet(Module):
+    """The weight-sharing supernet for a (miniature) backbone space."""
+
+    def __init__(self, space: BackboneSpace, seed: int = 0):
+        super().__init__()
+        self.space = space
+        self.num_classes = space.num_classes
+        rng = child_rng(seed, "supernet")
+
+        max_stem = max(space.stem_widths)
+        self.stem_conv = _SlicedConv(3, max_stem, 3, 2, False, rng)
+        self.stem_bn = _SlicedBN(max_stem)
+
+        self.stage_blocks: list[list[_MBConvSuper]] = []
+        prev_max = max_stem
+        for choices in space.stages:
+            max_w = max(choices.widths)
+            max_d = max(choices.depths)
+            max_e = max(choices.expands)
+            max_k = max(choices.kernels)
+            blocks = []
+            stride = _stage_stride(len(self.stage_blocks))
+            for layer_idx in range(max_d):
+                in_w = prev_max if layer_idx == 0 else max_w
+                layer_stride = stride if layer_idx == 0 else 1
+                blocks.append(_MBConvSuper(in_w, max_w, max_e, max_k, layer_stride, rng))
+            self.stage_blocks.append(blocks)
+            prev_max = max_w
+
+        max_head = max(space.head_widths)
+        self.head_conv = _SlicedConv(prev_max, max_head, 1, 1, False, rng)
+        self.head_bn = _SlicedBN(max_head)
+        self.classifier_weight = Tensor(
+            init.xavier_uniform(rng, (space.num_classes, max_head)), requires_grad=True
+        )
+        self.classifier_bias = Tensor(np.zeros(space.num_classes), requires_grad=True)
+
+    def forward(self, x: Tensor, config: BackboneConfig) -> SubnetOutput:
+        """Run the subnet selected by ``config``, returning logits + taps."""
+        h = self.stem_conv(x, 3, config.stem_width)
+        h = self.stem_bn(h, config.stem_width).swish()
+        channels = config.stem_width
+        taps: list[Tensor] = []
+        tap_channels: list[int] = []
+        for blocks, stage in zip(self.stage_blocks, config.stages):
+            if stage.depth > len(blocks):
+                raise ValueError(
+                    f"config depth {stage.depth} exceeds supernet max {len(blocks)}"
+                )
+            for layer_idx in range(stage.depth):
+                h = blocks[layer_idx](h, channels, stage.width, stage.expand,
+                                      kernel=stage.kernel)
+                channels = stage.width
+                taps.append(h)
+                tap_channels.append(channels)
+        h = self.head_conv(h, channels, config.head_width)
+        h = self.head_bn(h, config.head_width).swish()
+        pooled = F.global_avg_pool2d(h)
+        logits = pooled @ self.classifier_weight.transpose() + self.classifier_bias
+        return SubnetOutput(logits=logits, taps=taps, tap_channels=tap_channels)
+
+
+def _stage_stride(stage_index: int) -> int:
+    from repro.arch.config import STAGE_STRIDES
+
+    return STAGE_STRIDES[stage_index]

@@ -1,0 +1,34 @@
+"""Shared utilities: deterministic RNG trees, serialization, and reporting.
+
+Every stochastic component in the library draws randomness from a named
+child of a single root :class:`numpy.random.Generator` (see :mod:`~repro.utils.rng`),
+which makes every experiment reproducible from one integer seed.
+"""
+
+from repro.utils.rng import RngTree, child_rng, hash_to_seed, make_rng
+from repro.utils.serialization import from_jsonable, load_json, save_json, to_jsonable
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_nonneg,
+    check_one_of,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngTree",
+    "child_rng",
+    "hash_to_seed",
+    "make_rng",
+    "to_jsonable",
+    "from_jsonable",
+    "save_json",
+    "load_json",
+    "format_table",
+    "check_positive",
+    "check_nonneg",
+    "check_probability",
+    "check_in_range",
+    "check_one_of",
+]

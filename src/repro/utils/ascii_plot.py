@@ -1,0 +1,80 @@
+"""Terminal scatter plots for reproducing the paper's figures on stdout.
+
+The benchmark harness regenerates each figure as an ASCII scatter so the
+*shape* of the result (Pareto fronts, dominance, crossovers) can be inspected
+without matplotlib.  Multiple labelled series share one canvas; the first
+character of each label is used as the marker.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+Point = tuple[float, float]
+
+
+def _bounds(series: Mapping[str, Sequence[Point]]) -> tuple[float, float, float, float]:
+    xs = [p[0] for pts in series.values() for p in pts]
+    ys = [p[1] for pts in series.values() for p in pts]
+    if not xs:
+        return 0.0, 1.0, 0.0, 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_lo, x_hi):
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if math.isclose(y_lo, y_hi):
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def scatter(
+    series: Mapping[str, Sequence[Point]],
+    width: int = 68,
+    height: int = 20,
+    title: str | None = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render labelled point series on a shared ASCII canvas.
+
+    Later series overdraw earlier ones, so put the highlighted front last.
+    """
+    x_lo, x_hi, y_lo, y_hi = _bounds(series)
+    grid = [[" "] * width for _ in range(height)]
+    for label, points in series.items():
+        marker = (label or "?")[0]
+        for x, y in points:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} +" + "".join(["-"] * width) + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.3g} +" + "".join(["-"] * width) + "+")
+    lines.append(" " * 12 + f"{x_lo:<10.3g}{xlabel:^{max(width - 20, 4)}}{x_hi:>10.3g}")
+    legend = "   ".join(f"{(label or '?')[0]} = {label}" for label in series)
+    lines.append(f"  [{ylabel}]  legend: {legend}")
+    return "\n".join(lines)
+
+
+def bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart for labelled scalar values."""
+    if not values:
+        return title or ""
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        n = int(round(abs(value) / peak * width))
+        bar = "#" * n
+        lines.append(f"  {key.ljust(label_w)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)

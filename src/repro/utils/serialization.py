@@ -1,0 +1,102 @@
+"""JSON round-tripping for experiment results and configuration objects.
+
+``to_jsonable`` lowers dataclasses, numpy scalars/arrays, paths, tuples and
+sets into plain JSON-compatible structures; ``from_jsonable`` rebuilds a
+dataclass tree from such a structure given the target type.  Only what the
+experiment drivers need — this is not a general serialization framework.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, get_args, get_origin, get_type_hints
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable builtins."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, Path):
+        return str(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialise object of type {type(obj).__name__}")
+
+
+def _build(value: Any, target: Any) -> Any:
+    """Best-effort reconstruction of ``value`` as type ``target``."""
+    if target is Any or target is None or value is None:
+        return value
+    origin = get_origin(target)
+    if origin is None:
+        if dataclasses.is_dataclass(target) and isinstance(value, dict):
+            return from_jsonable(value, target)
+        if target in (int, float, str, bool):
+            return target(value)
+        return value
+    args = get_args(target)
+    if origin in (list, set, frozenset):
+        elem = args[0] if args else Any
+        return origin(_build(v, elem) for v in value)
+    if origin is tuple:
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_build(v, args[0]) for v in value)
+        if args:
+            return tuple(_build(v, t) for v, t in zip(value, args))
+        return tuple(value)
+    if origin is dict:
+        key_t = args[0] if args else Any
+        val_t = args[1] if len(args) > 1 else Any
+        return {_build(k, key_t): _build(v, val_t) for k, v in value.items()}
+    return value
+
+
+def from_jsonable(data: Any, cls: type) -> Any:
+    """Rebuild a dataclass instance of type ``cls`` from ``to_jsonable`` output."""
+    if isinstance(data, dict) and "__ndarray__" in data:
+        return np.asarray(data["__ndarray__"], dtype=data.get("dtype", "float64"))
+    if not dataclasses.is_dataclass(cls):
+        return _build(data, cls)
+    hints = get_type_hints(cls)
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in data:
+            continue
+        raw = data[field.name]
+        if isinstance(raw, dict) and "__ndarray__" in raw:
+            kwargs[field.name] = np.asarray(raw["__ndarray__"], dtype=raw.get("dtype", "float64"))
+        else:
+            kwargs[field.name] = _build(raw, hints.get(field.name, Any))
+    return cls(**kwargs)
+
+
+def save_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
+    """Serialise ``obj`` with :func:`to_jsonable` and write it to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path, cls: type | None = None) -> Any:
+    """Load JSON from ``path``; rebuild as ``cls`` when provided."""
+    data = json.loads(Path(path).read_text())
+    if cls is None:
+        return data
+    return from_jsonable(data, cls)

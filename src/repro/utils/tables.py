@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark and experiment reports.
+
+The benchmark harness reproduces the paper's tables on stdout; this module
+renders them with aligned columns so the output is diff-able run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table string."""
+    str_rows = [[_fmt_cell(cell, precision) for cell in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, pairs: Sequence[tuple[str, object]], precision: int = 3) -> str:
+    """Render key/value pairs as an aligned two-column block."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {key.ljust(width)} : {_fmt_cell(value, precision)}")
+    return "\n".join(lines)

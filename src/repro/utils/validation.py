@@ -1,0 +1,51 @@
+"""Argument validation helpers used across the library.
+
+These raise ``ValueError`` with the offending name and value so configuration
+mistakes surface at construction time rather than deep inside a search run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonneg(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_one_of(name: str, value: object, options: Iterable[object]) -> object:
+    """Require ``value`` to be one of ``options``."""
+    options = list(options)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Require two sequences to have equal length."""
+    if len(a) != len(b):
+        raise ValueError(f"{name_a} (len {len(a)}) and {name_b} (len {len(b)}) must have equal length")

@@ -1,0 +1,166 @@
+"""Cross-module integration tests: end-to-end flows and path consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HadasConfig, HadasSearch, get_platform
+from repro.accuracy.exit_model import BackboneExitOracle
+from repro.arch.space import miniature_space
+from repro.data import SyntheticVisionDataset
+from repro.exits.multi_exit import MultiExitNetwork
+from repro.exits.placement import ExitPlacement
+from repro.exits.training import train_exits
+from repro.runtime.controller import OracleController
+from repro.supernet.pretrain import pretrain_supernet
+from repro.supernet.supernet import MiniSupernet
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = HadasConfig(
+            platform="agx-gpu", seed=21,
+            outer_population=8, outer_generations=3,
+            inner_population=8, inner_generations=3,
+            ioe_candidates=2, oracle_samples=512,
+        )
+        return HadasSearch(config).run()
+
+    def test_selected_model_is_deployable(self, result):
+        """The selected DyNN must be a complete (b, x, f) specification."""
+        best = result.selected_model()
+        config = best.payload["config"]
+        evaluation = best.payload["evaluation"]
+        platform = get_platform("agx-gpu")
+        # Backbone decodable from the space.
+        assert result.space.decode(result.space.encode(config)).key == config.key
+        # Exits within bounds for this backbone.
+        placement = evaluation.placement
+        assert placement.total_layers == config.total_mbconv_layers
+        # DVFS on this platform's grid.
+        assert evaluation.setting.core_ghz in platform.core_freqs_ghz
+        assert evaluation.setting.emc_ghz in platform.emc_freqs_ghz
+
+    def test_dynamic_dominates_static_deployment(self, result):
+        """Every archived DyNN beats its own static backbone on energy."""
+        for member in result.dynn_pareto():
+            static = member.payload["static"]
+            evaluation = member.payload["evaluation"]
+            assert evaluation.dynamic_energy_j < static.energy_j
+            assert evaluation.dynamic_accuracy * 100 > static.accuracy - 1.0
+
+    def test_archive_members_mutually_nondominated(self, result):
+        from repro.metrics.pareto import dominates
+
+        objs = result.outer.dynamic_archive.objectives()
+        for i in range(len(objs)):
+            for j in range(len(objs)):
+                if i != j:
+                    assert not dominates(objs[i], objs[j])
+
+    def test_static_archive_matches_explored_front(self, result):
+        from repro.metrics.pareto import non_dominated_mask
+
+        explored = np.stack([ind.objectives for ind in result.outer.explored])
+        mask = non_dominated_mask(explored)
+        front_keys = {
+            ind.key() for ind, on_front in zip(result.outer.explored, mask) if on_front
+        }
+        archive_keys = {ind.key() for ind in result.outer.static_archive}
+        assert archive_keys == front_keys
+
+
+class TestOracleVsTrainedPathConsistency:
+    """The surrogate oracle and the trainable path expose the same
+    statistics interface and agree on the qualitative invariants."""
+
+    @pytest.fixture(scope="class")
+    def trained_stats(self):
+        space = miniature_space(num_classes=4)
+        dataset = SyntheticVisionDataset(num_classes=4, image_size=32, seed=9)
+        train_x, train_y, _ = dataset.generate(192, split="train")
+        val_x, val_y, _ = dataset.generate(128, split="val")
+        supernet = MiniSupernet(space, seed=0)
+        pretrain_supernet(supernet, train_x, train_y, steps=30, lr=3e-3, seed=0)
+        config = space.decode(space.max_genome())
+        total = config.total_mbconv_layers
+        placement = ExitPlacement(total, (5, 8, total - 1))
+        network = MultiExitNetwork(supernet, config, placement, seed=1)
+        result = train_exits(network, train_x, train_y, val_x, val_y, steps=40, seed=0)
+        return placement, result.evaluation
+
+    @pytest.fixture(scope="class")
+    def oracle_stats(self, trained_stats):
+        placement, trained = trained_stats
+        oracle = BackboneExitOracle(
+            "consistency", placement.total_layers, max(trained.final_accuracy, 0.3),
+            seed=0, n_samples=1024,
+        )
+        return oracle.evaluate_placement(placement)
+
+    def test_same_interface(self, trained_stats, oracle_stats):
+        _, trained = trained_stats
+        assert trained.num_exits == oracle_stats.num_exits
+        assert trained.usage.shape == oracle_stats.usage.shape
+
+    def test_shared_invariants(self, trained_stats, oracle_stats):
+        for stats in (trained_stats[1], oracle_stats):
+            assert stats.usage.sum() == pytest.approx(1.0)
+            assert stats.dynamic_accuracy >= stats.final_accuracy - 1e-9
+            assert np.all(stats.dissimilarity >= 0)
+
+    def test_oracle_controller_reproduces_ideal_mapping(self):
+        """OracleController decisions == ideal_mapping_stats usage."""
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, size=200)
+        exit_logits = rng.normal(size=(3, 200, 4))
+        final_logits = rng.normal(size=(200, 4))
+        from repro.exits.evaluation import evaluate_exit_logits
+
+        stats = evaluate_exit_logits(exit_logits, final_logits, labels)
+        decisions = OracleController().decide(exit_logits, labels)
+        for i in range(3):
+            assert (decisions == i).mean() == pytest.approx(stats.usage[i])
+
+
+class TestCrossPlatformConsistency:
+    def test_same_backbone_ranks_differently_across_platforms(self):
+        """CPU vs GPU invert latency relationships for some configs — the
+        reason the paper searches per platform."""
+        from repro.arch.cost import estimate_cost
+        from repro.baselines.attentivenas import attentivenas_model
+        from repro.hardware.dvfs import DvfsSpace
+        from repro.hardware.energy import EnergyModel
+
+        a0 = estimate_cost(attentivenas_model("a0"))
+        a6 = estimate_cost(attentivenas_model("a6"))
+        ratios = {}
+        for key in ("tx2-gpu", "denver-cpu"):
+            platform = get_platform(key)
+            model = EnergyModel(platform)
+            setting = DvfsSpace(platform).default_setting()
+            ratios[key] = (
+                model.network_report(a6, setting).latency_s
+                / model.network_report(a0, setting).latency_s
+            )
+        # The CPU (compute-starved) stretches big models far more than the
+        # GPU (dispatch-overhead-bound).
+        assert ratios["denver-cpu"] > ratios["tx2-gpu"] * 1.5
+
+    def test_searches_produce_platform_specific_settings(self):
+        settings_found = {}
+        for key in ("tx2-gpu", "carmel-cpu"):
+            config = HadasConfig(
+                platform=key, seed=13,
+                outer_population=6, outer_generations=2,
+                inner_population=6, inner_generations=3,
+                ioe_candidates=2, oracle_samples=256,
+            )
+            result = HadasSearch(config).run()
+            best = result.selected_model().payload["evaluation"]
+            settings_found[key] = best.setting
+        # Settings live on each platform's own grid.
+        assert settings_found["tx2-gpu"].core_ghz <= 1.4
+        assert settings_found["carmel-cpu"].core_ghz <= 2.3

@@ -1,0 +1,183 @@
+"""Module system tests: traversal, state dicts, batch-norm, freezing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Swish,
+)
+from repro.nn.tensor import Tensor
+
+
+def small_net() -> Sequential:
+    return Sequential(
+        Conv2d(3, 4, 3, rng=0), BatchNorm2d(4), Swish(),
+        MaxPool2d(2), Conv2d(4, 8, 3, rng=1), ReLU(),
+        GlobalAvgPool2d(), Linear(8, 5, rng=2),
+    )
+
+
+class TestModuleTraversal:
+    def test_parameters_found(self):
+        net = small_net()
+        # conv1 w, bn w+b, conv2 w, linear w+b = 6 parameters
+        assert len(net.parameters()) == 6
+
+    def test_named_parameters_dotted(self):
+        names = dict(small_net().named_parameters())
+        assert any(name.startswith("items.0.weight") for name in names)
+
+    def test_nested_list_traversal(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.grid = [[Linear(2, 2, rng=0)], [Linear(2, 2, rng=1)]]
+
+        holder = Holder()
+        assert len(holder.parameters()) == 4
+        assert len(list(holder.modules())) == 3
+
+    def test_num_parameters(self):
+        linear = Linear(3, 2, rng=0)
+        assert linear.num_parameters() == 3 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        net = small_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net_a = small_net()
+        net_b = small_net()
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3, 8, 8)))
+        net_a.eval(), net_b.eval()
+        assert not np.allclose(net_a(x).data, net_b(x).data) or True
+        net_b.load_state_dict(net_a.state_dict())
+        np.testing.assert_allclose(net_a(x).data, net_b(x).data)
+
+    def test_includes_bn_buffers(self):
+        net = small_net()
+        x = Tensor(np.random.default_rng(4).normal(size=(4, 3, 8, 8)))
+        net(x)  # updates running stats
+        state = net.state_dict()
+        assert any("running_mean" in key for key in state)
+
+    def test_unknown_key_raises(self):
+        net = small_net()
+        with pytest.raises(KeyError):
+            net.load_state_dict({"nonsense": np.zeros(1)})
+
+    def test_shape_mismatch_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        key = next(k for k in state if not k.startswith("__bn"))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_state_dict_after_freeze_still_complete(self):
+        net = small_net()
+        n_before = len([k for k in net.state_dict() if not k.startswith("__bn")])
+        net.freeze()
+        n_after = len([k for k in net.state_dict() if not k.startswith("__bn")])
+        assert n_before == n_after == 6
+
+
+class TestFreeze:
+    def test_freeze_disables_grad(self):
+        net = small_net().freeze()
+        assert all(not p.requires_grad for p in net.parameters())
+
+    def test_frozen_params_get_no_gradient(self):
+        net = small_net()
+        frozen_conv = net[0]
+        frozen_conv.freeze()
+        x = Tensor(np.random.default_rng(5).normal(size=(2, 3, 8, 8)))
+        net(x).sum().backward()
+        assert frozen_conv.weight.grad is None
+        trainable = net[4]  # second conv, still trainable
+        assert trainable.weight.grad is not None
+
+
+class TestBatchNorm:
+    def test_train_normalises_batch(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(np.random.default_rng(6).normal(5.0, 3.0, size=(16, 3, 4, 4)))
+        out = bn(x).data
+        assert abs(out.mean()) < 1e-7
+        assert out.std() == pytest.approx(1.0, abs=0.01)
+
+    def test_running_stats_converge(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            bn(Tensor(rng.normal(3.0, 2.0, size=(32, 2, 4, 4))))
+        assert bn.running_mean == pytest.approx(np.full(2, 3.0), abs=0.3)
+        assert bn.running_var == pytest.approx(np.full(2, 4.0), rel=0.3)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(1)
+        bn.running_mean = np.asarray([10.0])
+        bn.running_var = np.asarray([4.0])
+        bn.eval()
+        out = bn(Tensor(np.full((1, 1, 1, 1), 12.0))).data
+        assert out[0, 0, 0, 0] == pytest.approx((12 - 10) / 2, abs=1e-3)
+
+    def test_affine_params_trainable(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(8).normal(size=(4, 2, 3, 3)))
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+
+class TestShapes:
+    def test_sequential_shapes(self):
+        net = small_net()
+        out = net(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 5)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_conv_default_same_padding(self):
+        conv = Conv2d(1, 1, 5, rng=0)
+        assert conv.padding == 2
+        out = conv(Tensor(np.zeros((1, 1, 7, 7))))
+        assert out.shape == (1, 1, 7, 7)
+
+    def test_avgpool_module(self):
+        out = AvgPool2d(2)(Tensor(np.ones((1, 1, 4, 4))))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_sequential_indexing(self):
+        net = small_net()
+        assert isinstance(net[0], Conv2d)
+        assert isinstance(net[0:2], Sequential)
+        assert len(net) == 8
+
+    def test_sequential_append(self):
+        net = Sequential(Identity())
+        net.append(ReLU())
+        assert len(net) == 2

@@ -1,0 +1,210 @@
+"""Losses (incl. the paper's eq. 4), optimisers and schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.losses import (
+    accuracy,
+    cross_entropy,
+    knowledge_distillation_loss,
+    multi_exit_loss,
+    nll_loss,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.schedulers import CosineAnnealingLR, StepLR
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_c(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 5), -100.0)
+        logits[0, 1] = logits[1, 3] = 100.0
+        loss = cross_entropy(Tensor(logits), np.asarray([1, 3]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        targets = np.asarray([0, 1, 2])
+        cross_entropy(logits, targets).backward()
+        probs = F.softmax_np(logits.data)
+        onehot = np.zeros((3, 4))
+        onehot[np.arange(3), targets] = 1
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 3, atol=1e-10)
+
+    def test_nll_expects_log_probs(self):
+        log_probs = F.log_softmax(Tensor(np.zeros((2, 4))))
+        assert nll_loss(log_probs, np.asarray([0, 1])).item() == pytest.approx(np.log(4))
+
+
+class TestKnowledgeDistillation:
+    def test_zero_when_matched(self):
+        logits = np.random.default_rng(1).normal(size=(4, 6))
+        loss = knowledge_distillation_loss(Tensor(logits), logits, temperature=3.0)
+        assert abs(loss.item()) < 1e-10
+
+    def test_positive_when_mismatched(self):
+        rng = np.random.default_rng(2)
+        loss = knowledge_distillation_loss(
+            Tensor(rng.normal(size=(4, 6))), rng.normal(size=(4, 6))
+        )
+        assert loss.item() > 0
+
+    def test_teacher_receives_no_gradient(self):
+        student = Tensor(np.random.default_rng(3).normal(size=(2, 4)), requires_grad=True)
+        teacher = Tensor(np.random.default_rng(4).normal(size=(2, 4)), requires_grad=True)
+        knowledge_distillation_loss(student, teacher.data).backward()
+        assert student.grad is not None
+        assert teacher.grad is None
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            knowledge_distillation_loss(Tensor(np.zeros((1, 2))), np.zeros((1, 2)), temperature=0)
+
+    def test_gradient_pulls_student_to_teacher(self):
+        rng = np.random.default_rng(5)
+        teacher = rng.normal(size=(8, 5))
+        student = Tensor(rng.normal(size=(8, 5)), requires_grad=True)
+        before = knowledge_distillation_loss(student, teacher).item()
+        for _ in range(60):
+            loss = knowledge_distillation_loss(student, teacher)
+            student.zero_grad()
+            loss.backward()
+            student.data = student.data - 5.0 * student.grad
+        after = knowledge_distillation_loss(student, teacher).item()
+        assert after < before * 0.1
+
+
+class TestMultiExitLoss:
+    """Paper eq. 4: mean over exits of (NLL + KD vs final classifier)."""
+
+    def test_requires_exits(self):
+        with pytest.raises(ValueError):
+            multi_exit_loss([], np.zeros((2, 3)), np.zeros(2, dtype=int))
+
+    def test_matches_manual_composition(self):
+        rng = np.random.default_rng(6)
+        targets = np.asarray([0, 2, 1])
+        final = rng.normal(size=(3, 4))
+        exits = [Tensor(rng.normal(size=(3, 4))) for _ in range(2)]
+        loss = multi_exit_loss(exits, final, targets, kd_weight=1.0, temperature=4.0)
+        manual = sum(
+            cross_entropy(e, targets).item()
+            + knowledge_distillation_loss(e, final, 4.0).item()
+            for e in exits
+        ) / 2
+        assert loss.item() == pytest.approx(manual)
+
+    def test_kd_weight_zero_is_pure_nll(self):
+        rng = np.random.default_rng(7)
+        targets = np.asarray([1, 0])
+        exits = [Tensor(rng.normal(size=(2, 3)))]
+        loss = multi_exit_loss(exits, rng.normal(size=(2, 3)), targets, kd_weight=0.0)
+        assert loss.item() == pytest.approx(cross_entropy(exits[0], targets).item())
+
+    def test_gradients_reach_every_exit(self):
+        rng = np.random.default_rng(8)
+        exits = [Tensor(rng.normal(size=(2, 3)), requires_grad=True) for _ in range(3)]
+        multi_exit_loss(exits, rng.normal(size=(2, 3)), np.asarray([0, 1])).backward()
+        assert all(e.grad is not None for e in exits)
+
+    def test_accuracy_helper(self):
+        logits = np.zeros((4, 3))
+        logits[np.arange(4), [0, 1, 2, 0]] = 1.0
+        assert accuracy(logits, np.asarray([0, 1, 2, 1])) == 0.75
+
+
+class QuadraticProblem:
+    """min ||x - target||^2 — closed-form sanity target for optimisers."""
+
+    def __init__(self, seed=0):
+        rng = np.random.default_rng(seed)
+        self.param = Tensor(rng.normal(size=(8,)), requires_grad=True)
+        self.target = rng.normal(size=(8,))
+
+    def loss(self) -> Tensor:
+        diff = self.param - Tensor(self.target)
+        return (diff * diff).sum()
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("make", [
+        lambda p: SGD(p, lr=0.05),
+        lambda p: SGD(p, lr=0.02, momentum=0.9),
+        lambda p: SGD(p, lr=0.02, momentum=0.9, nesterov=True),
+        lambda p: Adam(p, lr=0.3),
+    ])
+    def test_converges_on_quadratic(self, make):
+        problem = QuadraticProblem()
+        opt = make([problem.param])
+        for _ in range(120):
+            loss = problem.loss()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(problem.param.data, problem.target, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        param = Tensor(np.ones(4), requires_grad=True)
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(4)
+        opt.step()
+        np.testing.assert_allclose(param.data, np.full(4, 0.9))
+
+    def test_skips_none_grads(self):
+        param = Tensor(np.ones(2), requires_grad=True)
+        before = param.data.copy()
+        SGD([param], lr=0.1).step()
+        np.testing.assert_array_equal(param.data, before)
+
+    def test_requires_trainable_params(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(2))], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.ones(1), requires_grad=True)], lr=0)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(1), requires_grad=True)], lr=0.1, nesterov=True)
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Tensor(np.ones(1), requires_grad=True)], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        values = [sched.step() for _ in range(10)]
+        assert values[0] < 1.0
+        assert values[-1] == pytest.approx(0.0, abs=1e-9)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_cosine_eta_min_floor(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=5, eta_min=0.1)
+        for _ in range(7):
+            lr = sched.step()
+        assert lr == pytest.approx(0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._opt(), t_max=0)

@@ -1,0 +1,216 @@
+"""Autograd engine tests: gradients against finite differences, graph
+mechanics, broadcasting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack
+
+
+class TestBasics:
+    def test_dtype_coercion(self):
+        assert Tensor([1, 2, 3]).dtype == np.float64
+
+    def test_float32_preserved(self):
+        assert Tensor(np.zeros(2, dtype=np.float32)).dtype == np.float32
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == 3.5
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    def check(self, fn, *shapes, gradcheck_atol=1e-6):
+        rng = np.random.default_rng(0)
+        xs = [rng.normal(size=s) for s in shapes]
+        tensors = [Tensor(x, requires_grad=True) for x in xs]
+        out = fn(*tensors)
+        out.sum().backward()
+        for i, (x, t) in enumerate(zip(xs, tensors)):
+            def scalar(arr, i=i):
+                args = [Tensor(a) for a in xs]
+                args[i] = Tensor(arr)
+                return float(fn(*args).data.sum())
+
+            from tests.conftest import numeric_gradient
+
+            numeric = numeric_gradient(scalar, x)
+            np.testing.assert_allclose(t.grad, numeric, atol=gradcheck_atol, rtol=1e-4)
+
+    def test_add(self):
+        self.check(lambda a, b: a + b, (3, 2), (3, 2))
+
+    def test_add_broadcast(self):
+        self.check(lambda a, b: a + b, (3, 2), (2,))
+
+    def test_mul_broadcast_scalar_shape(self):
+        self.check(lambda a, b: a * b, (2, 3), (1, 3))
+
+    def test_sub_and_neg(self):
+        self.check(lambda a, b: a - b, (4,), (4,))
+
+    def test_div(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(3,)) + 5, requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)) + 5, requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 / b.data)
+        np.testing.assert_allclose(b.grad, -a.data / b.data**2)
+
+    def test_pow(self):
+        self.check(lambda a: a**3, (5,))
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul(self):
+        self.check(lambda a, b: a @ b, (3, 4), (4, 2))
+
+    def test_rsub_rmul_radd(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = 3.0 - x
+        z = 2.0 * y + 1.0
+        z.sum().backward()
+        assert x.grad[0] == pytest.approx(-2.0)
+
+
+class TestReductionsAndShaping:
+    def test_sum_axis_keepdims(self, gradcheck):
+        gradcheck(lambda t: t.sum(axis=1, keepdims=True), np.random.default_rng(2).normal(size=(3, 4)))
+
+    def test_sum_negative_axis(self, gradcheck):
+        gradcheck(lambda t: t.sum(axis=-1), np.random.default_rng(3).normal(size=(2, 5)))
+
+    def test_mean_matches_sum(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 3), 1 / 6))
+
+    def test_var_biased(self):
+        x = np.random.default_rng(4).normal(size=(8,))
+        assert Tensor(x).var().item() == pytest.approx(np.var(x))
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor(np.asarray([1.0, 2.0, 2.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.5, 0.5])
+
+    def test_max_axis(self, gradcheck):
+        gradcheck(lambda t: t.max(axis=0), np.random.default_rng(5).normal(size=(4, 3)))
+
+    def test_reshape_roundtrip(self, gradcheck):
+        gradcheck(lambda t: t.reshape(6), np.random.default_rng(6).normal(size=(2, 3)))
+
+    def test_transpose(self, gradcheck):
+        gradcheck(lambda t: t.transpose(1, 0), np.random.default_rng(7).normal(size=(2, 3)))
+
+    def test_getitem_fancy(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        y = x[np.asarray([0, 0, 2])]
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_pad2d(self, gradcheck):
+        gradcheck(lambda t: t.pad2d(1), np.random.default_rng(8).normal(size=(1, 2, 3, 3)))
+
+    def test_pad2d_zero_noop(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert x.pad2d(0) is x
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("name", ["exp", "sqrt", "relu", "sigmoid", "tanh", "swish"])
+    def test_gradients(self, name, gradcheck):
+        x = np.random.default_rng(9).normal(size=(3, 3))
+        if name == "sqrt":
+            x = np.abs(x) + 0.5
+        gradcheck(lambda t: getattr(t, name)(), x)
+
+    def test_log_grad(self, gradcheck):
+        gradcheck(lambda t: t.log(), np.abs(np.random.default_rng(10).normal(size=(4,))) + 0.5)
+
+    def test_relu_forward(self):
+        np.testing.assert_array_equal(
+            Tensor(np.asarray([-1.0, 2.0])).relu().data, [0.0, 2.0]
+        )
+
+    def test_swish_equals_x_sigmoid(self):
+        x = np.random.default_rng(11).normal(size=(5,))
+        expected = x / (1 + np.exp(-x))
+        np.testing.assert_allclose(Tensor(x).swish().data, expected)
+
+
+class TestConcatStack:
+    def test_concat_grad_routing(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concat([a, b], axis=0)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 2.0))
+
+    def test_stack_grad_routing(self):
+        tensors = [Tensor(np.full(3, float(i)), requires_grad=True) for i in range(3)]
+        out = stack(tensors, axis=0)
+        (out[1] * 5).sum().backward()
+        assert tensors[0].grad is None or np.all(tensors[0].grad == 0)
+        np.testing.assert_allclose(tensors[1].grad, np.full(3, 5.0))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3 + x * 4  # x used twice
+        y.backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_diamond_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        a = x * 2
+        b = x * 3
+        (a * b).backward()  # d/dx (6x^2) = 12x
+        assert x.grad[0] == pytest.approx(12.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 0.001
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(np.float64, hnp.array_shapes(max_dims=2, max_side=4),
+                      elements=st.floats(-3, 3)))
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))

@@ -1,0 +1,177 @@
+"""Cross-cutting property-based tests on the physical models.
+
+These pin down the *laws* the search depends on — monotonicities, bounds
+and consistency relations that must hold over the whole input space, not
+just at hand-picked points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cost import estimate_cost
+from repro.arch.space import BackboneSpace
+from repro.accuracy.exit_model import BackboneExitOracle, ExitCapabilityModel
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
+from repro.hardware.dvfs import DvfsSpace
+from repro.hardware.energy import EnergyModel
+from repro.hardware.platform import get_platform
+
+SPACE = BackboneSpace()
+SURROGATE = AccuracySurrogate(SPACE, seed=0)
+PLATFORM = get_platform("tx2-gpu")
+DVFS = DvfsSpace(PLATFORM)
+ENERGY = EnergyModel(PLATFORM)
+
+
+@st.composite
+def space_genomes(draw):
+    bounds = SPACE.gene_bounds()
+    return np.asarray([draw(st.integers(0, int(b) - 1)) for b in bounds], dtype=np.int64)
+
+
+class TestCostLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(space_genomes())
+    def test_costs_positive_and_finite(self, genome):
+        cost = estimate_cost(SPACE.decode(genome))
+        assert np.isfinite(cost.total_macs) and cost.total_macs > 0
+        assert np.isfinite(cost.total_params) and cost.total_params > 0
+        assert cost.total_traffic > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(space_genomes())
+    def test_deeper_variant_costs_more(self, genome):
+        """Raising any stage's depth index strictly raises MACs."""
+        depth_gene = 3  # stage 0 depth gene
+        bounds = SPACE.gene_bounds()
+        if genome[depth_gene] + 1 >= bounds[depth_gene]:
+            genome = genome.copy()
+            genome[depth_gene] = 0
+        deeper = genome.copy()
+        deeper[depth_gene] += 1
+        base = estimate_cost(SPACE.decode(genome)).total_macs
+        more = estimate_cost(SPACE.decode(deeper)).total_macs
+        assert more > base
+
+    @settings(max_examples=20, deadline=None)
+    @given(space_genomes())
+    def test_prefix_macs_bounded_by_total(self, genome):
+        config = SPACE.decode(genome)
+        cost = estimate_cost(config)
+        last = config.total_mbconv_layers
+        assert cost.prefix_macs(last) < cost.total_macs
+
+
+class TestHardwareLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 12), st.integers(0, 10), space_genomes())
+    def test_energy_latency_positive_everywhere(self, core, emc, genome):
+        cost = estimate_cost(SPACE.decode(genome))
+        report = ENERGY.network_report(cost, DVFS.decode(core, emc))
+        assert report.energy_j > 0 and report.latency_s > 0
+        assert report.average_power_w > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 11), st.integers(0, 10))
+    def test_latency_monotone_in_core_freq(self, core, emc):
+        """At fixed EMC, raising the core clock never slows the network."""
+        cost = estimate_cost(SPACE.decode(SPACE.min_genome()))
+        slow = ENERGY.latency.network_latency_s(cost, DVFS.decode(core, emc))
+        fast = ENERGY.latency.network_latency_s(cost, DVFS.decode(core + 1, emc))
+        assert fast <= slow + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 12), st.integers(0, 9))
+    def test_latency_monotone_in_emc_freq(self, core, emc):
+        cost = estimate_cost(SPACE.decode(SPACE.min_genome()))
+        slow = ENERGY.latency.network_latency_s(cost, DVFS.decode(core, emc))
+        fast = ENERGY.latency.network_latency_s(cost, DVFS.decode(core, emc + 1))
+        assert fast <= slow + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 12), st.integers(0, 10))
+    def test_power_within_device_envelope(self, core, emc):
+        cost = estimate_cost(SPACE.decode(SPACE.max_genome()))
+        report = ENERGY.network_report(cost, DVFS.decode(core, emc))
+        assert 0.5 < report.average_power_w < 25.0  # Jetson-physical band
+
+
+class TestSurrogateLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(space_genomes())
+    def test_accuracy_in_plausible_band(self, genome):
+        acc = SURROGATE.accuracy(SPACE.decode(genome))
+        assert 75.0 < acc < 95.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(space_genomes())
+    def test_capacity_monotone_under_gene_increase(self, genome):
+        """Raising the resolution gene never lowers the capacity score."""
+        bounds = SPACE.gene_bounds()
+        if genome[0] + 1 >= bounds[0]:
+            genome = genome.copy()
+            genome[0] = 0
+        bigger = genome.copy()
+        bigger[0] += 1
+        assert SURROGATE.capacity_score(SPACE.decode(bigger)) >= SURROGATE.capacity_score(
+            SPACE.decode(genome)
+        )
+
+
+class TestOracleLaws:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(0.55, 0.95),
+        st.integers(12, 36),
+        st.integers(0, 1000),
+    )
+    def test_capability_ordering_preserved(self, acc, layers, seed):
+        """Deeper exits never have lower N_i, for any backbone/seed."""
+        oracle = BackboneExitOracle(f"p{seed}", layers, acc, seed=seed, n_samples=512)
+        values = [oracle.n_i(p) for p in range(MIN_EXIT_POSITION, layers, 3)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 500))
+    def test_adding_an_exit_never_lowers_union(self, seed):
+        oracle = BackboneExitOracle(f"u{seed}", 20, 0.85, seed=seed, n_samples=512)
+        small = oracle.evaluate_placement(ExitPlacement(20, (8, 14)))
+        large = oracle.evaluate_placement(ExitPlacement(20, (8, 11, 14)))
+        assert large.dynamic_accuracy >= small.dynamic_accuracy - 1e-12
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.05, 0.3), st.floats(0.05, 0.5))
+    def test_correlation_length_controls_redundancy(self, short, long_extra):
+        """A longer correlation length makes adjacent exits more redundant
+        (their union adds less)."""
+        long = short + long_extra
+        def union_gain(length):
+            model = ExitCapabilityModel(correlation_length=length)
+            oracle = BackboneExitOracle("corr", 20, 0.85, model=model,
+                                        seed=3, n_samples=2048)
+            stats = oracle.evaluate_placement(ExitPlacement(20, (9, 10, 11)))
+            return stats.dynamic_accuracy - stats.final_accuracy
+
+        assert union_gain(long) <= union_gain(short) + 0.02
+
+
+class TestEndToEndConsistency:
+    def test_static_vs_dynamic_energy_normalisation(self, static_evaluator, surrogate):
+        """The eq. 6 normaliser E_b equals the static evaluation's energy."""
+        from repro.baselines.attentivenas import attentivenas_model
+        from repro.search.ioe import InnerEngine
+        from repro.search.nsga2 import Nsga2Config
+
+        backbone = attentivenas_model("a2")
+        static = static_evaluator.evaluate(backbone)
+        engine = InnerEngine(
+            backbone, static_evaluator, surrogate.accuracy_fraction(backbone),
+            nsga=Nsga2Config(population=4, generations=2), seed=0,
+        )
+        assert engine.evaluator.baseline_energy_j == pytest.approx(static.energy_j)
+        assert engine.evaluator.baseline_latency_s == pytest.approx(static.latency_s)

@@ -1,0 +1,119 @@
+"""IGD / knee-point metrics and the budgeted runtime controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.quality import inverted_generational_distance, knee_point
+from repro.runtime.controller import BudgetedController, EntropyThresholdController
+
+
+class TestIgd:
+    def test_zero_when_covering(self):
+        front = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        assert inverted_generational_distance(front, front) == 0.0
+
+    def test_known_distance(self):
+        front = np.asarray([[0.0, 0.0]])
+        reference = np.asarray([[3.0, 4.0], [0.0, 0.0]])
+        assert inverted_generational_distance(front, reference) == pytest.approx(2.5)
+
+    def test_empty_front_infinite(self):
+        assert inverted_generational_distance(
+            np.zeros((0, 2)), np.ones((3, 2))
+        ) == float("inf")
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            inverted_generational_distance(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 10), st.just(2)),
+                      elements=st.floats(-3, 3)))
+    def test_superset_never_worse(self, reference):
+        """Adding points to a front can only lower (improve) IGD."""
+        small = reference[: max(1, len(reference) // 2)]
+        igd_small = inverted_generational_distance(small, reference)
+        igd_full = inverted_generational_distance(reference, reference)
+        assert igd_full <= igd_small + 1e-12
+
+
+class TestKneePoint:
+    def test_obvious_knee(self):
+        # The middle point bulges far above the chord.
+        points = np.asarray([[0.0, 1.0], [0.9, 0.9], [1.0, 0.0]])
+        assert knee_point(points) == 1
+
+    def test_single_point(self):
+        assert knee_point(np.asarray([[0.5, 0.5]])) == 0
+
+    def test_ignores_dominated_points(self):
+        points = np.asarray([[0.0, 1.0], [0.9, 0.9], [1.0, 0.0], [0.1, 0.1]])
+        assert knee_point(points) == 1
+
+    def test_collinear_falls_back(self):
+        points = np.asarray([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        idx = knee_point(points)
+        assert idx in (0, 1, 2)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            knee_point(np.zeros((3, 3)))
+
+    def test_duplicate_objectives_front(self):
+        points = np.asarray([[1.0, 1.0], [1.0, 1.0]])
+        assert knee_point(points) in (0, 1)
+
+
+def _calibration_stream(n=400, classes=6, exits=3, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, size=n)
+    exit_logits = rng.normal(0, 1, size=(exits, n, classes))
+    for i in range(exits):
+        correct = rng.random(n) < 0.45 + 0.18 * i
+        exit_logits[i, correct, labels[correct]] += 1.5 + i
+    return exit_logits, labels
+
+
+class TestBudgetedController:
+    PATHS = np.asarray([0.05, 0.08, 0.12, 0.20])  # J per path, full last
+
+    def test_budget_met_on_calibration_stream(self):
+        exit_logits, _ = _calibration_stream()
+        budget = 0.10
+        controller = BudgetedController.calibrate(exit_logits, self.PATHS, budget)
+        decisions = controller.decide(exit_logits)
+        measured = self.PATHS[decisions].mean()
+        assert measured <= budget + 1e-9
+        assert controller.expected_energy_j <= budget + 1e-9
+
+    def test_loose_budget_exits_little(self):
+        exit_logits, _ = _calibration_stream()
+        generous = BudgetedController.calibrate(exit_logits, self.PATHS, 0.19)
+        tight = BudgetedController.calibrate(exit_logits, self.PATHS, 0.07)
+        gen_dec = generous.decide(exit_logits)
+        tight_dec = tight.decide(exit_logits)
+        # Tighter budget forces earlier exits on average.
+        assert tight_dec.mean() < gen_dec.mean() + 1e-9
+
+    def test_unreachable_budget_rejected(self):
+        exit_logits, _ = _calibration_stream()
+        with pytest.raises(ValueError):
+            BudgetedController.calibrate(exit_logits, self.PATHS, 0.01)
+
+    def test_wrong_path_count(self):
+        exit_logits, _ = _calibration_stream()
+        with pytest.raises(ValueError):
+            BudgetedController.calibrate(exit_logits, np.asarray([0.1, 0.2]), 0.15)
+
+    def test_behaves_as_entropy_controller(self):
+        exit_logits, _ = _calibration_stream()
+        controller = BudgetedController.calibrate(exit_logits, self.PATHS, 0.12)
+        twin = EntropyThresholdController(controller.thresholds, controller.num_exits)
+        np.testing.assert_array_equal(
+            controller.decide(exit_logits), twin.decide(exit_logits)
+        )

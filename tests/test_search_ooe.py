@@ -1,0 +1,119 @@
+"""Outer-engine internals: two-stage selection, archives, budget accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.space import BackboneSpace
+from repro.search.ioe import InnerEngine, InnerResult
+from repro.search.nsga2 import Nsga2Config
+from repro.search.ooe import OuterEngine
+
+
+@pytest.fixture(scope="module")
+def outer_run(static_evaluator, surrogate):
+    space = BackboneSpace()
+    inner_calls: list[str] = []
+
+    def run_inner(config, static):
+        inner_calls.append(config.key)
+        engine = InnerEngine(
+            config, static_evaluator, surrogate.accuracy_fraction(config),
+            nsga=Nsga2Config(population=6, generations=2), seed=1,
+        )
+        return engine.run()
+
+    engine = OuterEngine(
+        space=space,
+        evaluator=static_evaluator,
+        run_inner=run_inner,
+        nsga=Nsga2Config(population=8, generations=3),
+        ioe_candidates=3,
+        seed=4,
+    )
+    result = engine.run()
+    return result, inner_calls
+
+
+class TestOuterEngine:
+    def test_inner_invocations_bounded_by_pruning(self, outer_run):
+        result, inner_calls = outer_run
+        # At most ioe_candidates distinct IOE runs per generation.
+        assert len(result.inner_results) <= 3 * 3
+        # Each distinct backbone's IOE ran exactly once (memoised).
+        assert len(inner_calls) == len(result.inner_results)
+
+    def test_inner_results_keyed_by_backbone(self, outer_run):
+        result, _ = outer_run
+        for key, inner in result.inner_results.items():
+            assert isinstance(inner, InnerResult)
+            assert inner.backbone_key == key
+
+    def test_archives_populated(self, outer_run):
+        result, _ = outer_run
+        assert len(result.static_archive) >= 1
+        assert len(result.dynamic_archive) >= 1
+
+    def test_static_points_include_all_explored(self, outer_run):
+        result, _ = outer_run
+        points = result.static_points(explored=True)
+        assert len(points) == len(result.explored)
+
+    def test_budget_accounting(self, outer_run):
+        result, _ = outer_run
+        assert result.num_static_evaluations == len(
+            {ind.key() for ind in result.explored}
+        )
+        assert result.num_dynamic_evaluations == sum(
+            inner.num_evaluations for inner in result.inner_results.values()
+        )
+        assert result.generations == 3
+
+    def test_dynamic_archive_objectives_absolute(self, outer_run):
+        """Archive objectives are (accuracy, -energy, -latency) in absolute
+        units so compact and large backbones compete fairly."""
+        result, _ = outer_run
+        for member in result.dynamic_archive:
+            acc, neg_energy, neg_latency = member.objectives
+            assert 0 < acc <= 1
+            assert neg_energy < 0 and neg_latency < 0
+            evaluation = member.payload["evaluation"]
+            assert acc == pytest.approx(evaluation.dynamic_accuracy)
+            assert -neg_energy == pytest.approx(evaluation.dynamic_energy_j)
+
+    def test_invalid_candidates(self, static_evaluator):
+        with pytest.raises(ValueError):
+            OuterEngine(
+                space=BackboneSpace(),
+                evaluator=static_evaluator,
+                run_inner=lambda c, s: None,
+                ioe_candidates=0,
+            )
+
+    def test_pruned_backbones_are_best_ranked(self, static_evaluator, surrogate):
+        """Early selection must hand the IOE the non-dominated backbones."""
+        space = BackboneSpace()
+        granted: list[tuple] = []
+
+        def run_inner(config, static):
+            granted.append(static.objectives())
+            engine = InnerEngine(
+                config, static_evaluator, surrogate.accuracy_fraction(config),
+                nsga=Nsga2Config(population=4, generations=2), seed=0,
+            )
+            return engine.run()
+
+        engine = OuterEngine(
+            space=space, evaluator=static_evaluator, run_inner=run_inner,
+            nsga=Nsga2Config(population=10, generations=1), ioe_candidates=2, seed=9,
+        )
+        result = engine.run()
+        # The IOE-granted backbones must not be dominated by any non-granted
+        # explored backbone.
+        from repro.metrics.pareto import dominates
+
+        all_objs = [tuple(ind.objectives) for ind in result.explored]
+        for obj in granted:
+            dominated_by = sum(dominates(np.asarray(o), np.asarray(obj)) for o in all_objs)
+            assert dominated_by == 0

@@ -1,0 +1,200 @@
+"""Supernet weight sharing, subnet activation, and the trainable exit path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.space import miniature_space
+from repro.data import SyntheticVisionDataset
+from repro.exits.multi_exit import MultiExitNetwork
+from repro.exits.placement import ExitPlacement
+from repro.exits.training import train_exits
+from repro.nn.tensor import Tensor, no_grad
+from repro.supernet.pretrain import pretrain_supernet
+from repro.supernet.supernet import MiniSupernet
+
+
+@pytest.fixture(scope="module")
+def mini():
+    space = miniature_space(num_classes=4)
+    return space, MiniSupernet(space, seed=0)
+
+
+@pytest.fixture(scope="module")
+def mini_data():
+    dataset = SyntheticVisionDataset(num_classes=4, image_size=32, seed=5)
+    train = dataset.generate(192, split="train")
+    val = dataset.generate(96, split="val")
+    return train, val
+
+
+class TestSupernetForward:
+    def test_logit_shape(self, mini):
+        space, supernet = mini
+        config = space.decode(space.min_genome())
+        out = supernet(Tensor(np.random.default_rng(0).normal(size=(2, 3, 32, 32))), config)
+        assert out.logits.shape == (2, 4)
+
+    def test_taps_one_per_mbconv_layer(self, mini):
+        space, supernet = mini
+        config = space.decode(space.max_genome())
+        out = supernet(Tensor(np.zeros((1, 3, 32, 32))), config)
+        assert len(out.taps) == config.total_mbconv_layers
+        assert out.tap_channels == [
+            spec.out_channels for spec in config.layers() if spec.kind == "mbconv"
+        ]
+
+    def test_different_subnets_share_weights(self, mini):
+        """Gradients from a small subnet land inside the max-size tensors."""
+        space, supernet = mini
+        small = space.decode(space.min_genome())
+        supernet.zero_grad()
+        out = supernet(Tensor(np.random.default_rng(1).normal(size=(2, 3, 32, 32))), small)
+        out.logits.sum().backward()
+        stem_grad = supernet.stem_conv.weight.grad
+        assert stem_grad is not None
+
+    def test_depth_slicing(self, mini):
+        """A depth-1 stage uses only the first shared block of that stage."""
+        space, supernet = mini
+        small = space.decode(space.min_genome())
+        large = space.decode(space.max_genome())
+        assert small.total_mbconv_layers < large.total_mbconv_layers
+
+    def test_deterministic_forward(self, mini):
+        space, supernet = mini
+        config = space.decode(space.min_genome())
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3, 32, 32)))
+        with no_grad():
+            a = supernet(x, config).logits.data
+            b = supernet(x, config).logits.data
+        np.testing.assert_array_equal(a, b)
+
+    def test_kernel_slicing(self, mini):
+        """A k=3 subnet uses the centre 3x3 of the shared 5x5 kernel, so
+        outputs differ between kernel choices but parameters are shared."""
+        space, supernet = mini
+        genome = space.min_genome()
+        config_k3 = space.decode(genome)
+        genome5 = genome.copy()
+        # Stage 2 (index 1) carries the (3, 5) kernel choice: gene offset
+        # 2 + 4*1 + 2 selects its kernel.
+        genome5[2 + 4 * 1 + 2] = 1
+        config_k5 = space.decode(genome5)
+        assert config_k3.stages[1].kernel == 3
+        assert config_k5.stages[1].kernel == 5
+        x = Tensor(np.random.default_rng(7).normal(size=(2, 3, 32, 32)))
+        with no_grad():
+            out3 = supernet(x, config_k3).logits.data
+            out5 = supernet(x, config_k5).logits.data
+        assert not np.allclose(out3, out5)
+
+    def test_kernel_slice_gradients_center_only(self, mini):
+        """Training the k=3 subnet must leave the 5x5 border weights of the
+        shared depthwise kernel untouched."""
+        space, supernet = mini
+        config = space.decode(space.min_genome())  # k=3 everywhere
+        supernet.zero_grad()
+        out = supernet(Tensor(np.random.default_rng(8).normal(size=(2, 3, 32, 32))), config)
+        out.logits.sum().backward()
+        dw = supernet.stage_blocks[1][0].dw_conv.weight
+        assert dw.shape[-1] == 5
+        assert dw.grad is not None
+        border = dw.grad.copy()
+        border[:, :, 1:4, 1:4] = 0.0
+        assert np.abs(border).max() == 0.0
+        center = dw.grad[:, :, 1:4, 1:4]
+        assert np.abs(center).max() > 0.0
+
+    def test_depth_beyond_supernet_rejected(self, mini):
+        space, supernet = mini
+        from repro.arch.config import BackboneConfig, StageConfig, STAGE_STRIDES
+
+        stages = list(space.decode(space.min_genome()).stages)
+        stages[1] = StageConfig(stages[1].width, 8, 3, stages[1].expand, STAGE_STRIDES[1])
+        bad = BackboneConfig(32, 8, tuple(stages), 64, num_classes=4)
+        with pytest.raises(ValueError):
+            supernet(Tensor(np.zeros((1, 3, 32, 32))), bad)
+
+
+class TestPretraining:
+    def test_loss_decreases(self, mini, mini_data):
+        space, _ = mini
+        supernet = MiniSupernet(space, seed=1)
+        (train_x, train_y, _), _ = mini_data
+        result = pretrain_supernet(supernet, train_x, train_y, steps=25, batch_size=32,
+                                   lr=3e-3, seed=0)
+        early = np.mean(result.losses[:5])
+        late = np.mean(result.losses[-5:])
+        assert late < early
+
+    def test_subnets_above_chance(self, mini, mini_data):
+        space, _ = mini
+        supernet = MiniSupernet(space, seed=2)
+        (train_x, train_y, _), _ = mini_data
+        result = pretrain_supernet(supernet, train_x, train_y, steps=40, batch_size=32,
+                                   lr=3e-3, seed=0)
+        chance = 1.0 / space.num_classes
+        assert result.min_subnet_accuracy > chance
+        assert result.max_subnet_accuracy > chance
+
+
+class TestMultiExitTrainablePath:
+    @pytest.fixture(scope="class")
+    def trained(self, mini, mini_data):
+        space, _ = mini
+        supernet = MiniSupernet(space, seed=3)
+        (train_x, train_y, _), (val_x, val_y, _) = mini_data
+        pretrain_supernet(supernet, train_x, train_y, steps=30, batch_size=32,
+                          lr=3e-3, seed=0)
+        config = space.decode(space.max_genome())
+        total = config.total_mbconv_layers
+        placement = ExitPlacement(total, (5, 7, total - 1))
+        network = MultiExitNetwork(supernet, config, placement, seed=4)
+        result = train_exits(network, train_x, train_y, val_x, val_y,
+                             steps=40, batch_size=32, seed=0)
+        return network, result
+
+    def test_backbone_frozen(self, trained):
+        network, _ = trained
+        backbone_params = [p for p in network.supernet.parameters()]
+        assert all(not p.requires_grad for p in backbone_params)
+
+    def test_exit_loss_decreases(self, trained):
+        _, result = trained
+        assert result.final_loss < result.losses[0]
+
+    def test_exits_above_chance(self, trained):
+        _, result = trained
+        assert result.evaluation is not None
+        assert result.evaluation.n_i.max() > 1.0 / 4 + 0.05
+
+    def test_union_at_least_final(self, trained):
+        _, result = trained
+        stats = result.evaluation
+        assert stats.dynamic_accuracy >= stats.final_accuracy - 1e-9
+
+    def test_predict_all_shapes(self, trained, mini_data):
+        network, _ = trained
+        _, (val_x, val_y, _) = mini_data
+        exit_logits, final_logits = network.predict_all(val_x[:10])
+        assert exit_logits.shape == (3, 10, 4)
+        assert final_logits.shape == (10, 4)
+
+    def test_placement_mismatch_rejected(self, mini):
+        space, supernet = mini
+        config = space.decode(space.min_genome())
+        with pytest.raises(ValueError):
+            MultiExitNetwork(supernet, config, ExitPlacement(99, (5,)))
+
+    def test_training_requires_trainable_exits(self, mini, mini_data):
+        space, supernet = mini
+        config = space.decode(space.max_genome())
+        placement = ExitPlacement(config.total_mbconv_layers, (5,))
+        network = MultiExitNetwork(supernet, config, placement, seed=0)
+        for branch in network.branches:
+            branch.freeze()
+        (train_x, train_y, _), _ = mini_data
+        with pytest.raises(ValueError):
+            train_exits(network, train_x, train_y, steps=1)

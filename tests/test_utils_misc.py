@@ -1,0 +1,141 @@
+"""Tests for serialization, tables, ascii plots, and validation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import bars, scatter
+from repro.utils.serialization import from_jsonable, load_json, save_json, to_jsonable
+from repro.utils.tables import format_kv_block, format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_nonneg,
+    check_one_of,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+@dataclass
+class Inner:
+    name: str
+    value: float
+
+
+@dataclass
+class Outer:
+    items: list[Inner]
+    table: dict[str, int]
+    arr: np.ndarray = field(default_factory=lambda: np.zeros(2))
+
+
+class TestSerialization:
+    def test_roundtrip_dataclass_tree(self, tmp_path):
+        obj = Outer(items=[Inner("a", 1.5), Inner("b", -2.0)], table={"x": 1},
+                    arr=np.asarray([1.0, 2.0]))
+        path = save_json(obj, tmp_path / "o.json")
+        back = load_json(path, Outer)
+        assert back.items[0] == Inner("a", 1.5)
+        assert back.table == {"x": 1}
+        np.testing.assert_array_equal(back.arr, obj.arr)
+
+    def test_numpy_scalars_lowered(self):
+        data = to_jsonable({"i": np.int64(3), "f": np.float32(1.5), "b": np.bool_(True)})
+        assert data == {"i": 3, "f": 1.5, "b": True}
+
+    def test_tuple_and_set_become_lists(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert sorted(to_jsonable({3, 1})) == [1, 3]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_load_without_cls_returns_raw(self, tmp_path):
+        path = save_json({"a": 1}, tmp_path / "x.json")
+        assert load_json(path) == {"a": 1}
+
+    def test_ndarray_marker_roundtrip(self):
+        data = to_jsonable(np.arange(3))
+        back = from_jsonable(data, np.ndarray)
+        np.testing.assert_array_equal(back, np.arange(3))
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.345], [10, 0.5]], title="T", precision=1)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.3" in text and "10" in text
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_bool_rendering(self):
+        text = format_table(["x"], [[True], [False]])
+        assert "yes" in text and "-" in text
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_kv_block(self):
+        text = format_kv_block("head", [("k", 1.0), ("longer", 2)])
+        assert text.startswith("head")
+        assert "longer" in text
+
+
+class TestAsciiPlot:
+    def test_scatter_contains_markers_and_legend(self):
+        text = scatter({"alpha": [(0, 0), (1, 1)], "beta": [(0.5, 0.5)]},
+                       width=20, height=5, title="t")
+        assert "a" in text and "b" in text
+        assert "legend" in text
+
+    def test_scatter_degenerate_single_point(self):
+        text = scatter({"x": [(1.0, 1.0)]}, width=10, height=4)
+        assert "x" in text
+
+    def test_bars_scaling(self):
+        text = bars({"one": 1.0, "two": 2.0}, width=10)
+        one_line = next(line for line in text.splitlines() if "one" in line)
+        two_line = next(line for line in text.splitlines() if "two" in line)
+        assert two_line.count("#") == 2 * one_line.count("#")
+
+    def test_bars_empty(self):
+        assert bars({}, title="t") == "t"
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_nonneg(self):
+        assert check_nonneg("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_nonneg("x", -1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+    def test_check_in_range(self):
+        assert check_in_range("r", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("r", 11, 0, 10)
+
+    def test_check_one_of(self):
+        assert check_one_of("k", "a", ["a", "b"]) == "a"
+        with pytest.raises(ValueError):
+            check_one_of("k", "c", ["a", "b"])
+
+    def test_check_same_length(self):
+        check_same_length("a", [1], "b", [2])
+        with pytest.raises(ValueError):
+            check_same_length("a", [1], "b", [1, 2])

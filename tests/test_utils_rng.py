@@ -1,0 +1,93 @@
+"""Tests for the deterministic RNG tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import RngTree, child_rng, hash_to_seed, make_rng
+
+
+class TestHashToSeed:
+    def test_deterministic(self):
+        assert hash_to_seed(1, "a", 2.5) == hash_to_seed(1, "a", 2.5)
+
+    def test_distinct_parts_distinct_seeds(self):
+        assert hash_to_seed("a", "b") != hash_to_seed("ab")
+        assert hash_to_seed(1, 2) != hash_to_seed(2, 1)
+
+    def test_nonnegative_63bit(self):
+        for parts in [(0,), ("x", "y"), (10**18,)]:
+            seed = hash_to_seed(*parts)
+            assert 0 <= seed < 2**63
+
+    @given(st.lists(st.text(max_size=8), min_size=1, max_size=4))
+    def test_stable_for_any_strings(self, parts):
+        assert hash_to_seed(*parts) == hash_to_seed(*parts)
+
+
+class TestMakeRng:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_int_seed_reproducible(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestChildRng:
+    def test_same_name_same_stream(self):
+        a = child_rng(7, "x").random(4)
+        b = child_rng(7, "x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent(self):
+        a = child_rng(7, "x").random(4)
+        b = child_rng(7, "y").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_generator_parent_draws(self):
+        parent = np.random.default_rng(0)
+        child_a = child_rng(parent, "x")
+        child_b = child_rng(parent, "x")  # second draw -> different stream
+        assert child_a.random() != child_b.random()
+
+
+class TestRngTree:
+    def test_child_memoised(self):
+        tree = RngTree(3)
+        assert tree.child("a") is tree.child("a")
+
+    def test_order_independence(self):
+        t1 = RngTree(3)
+        t2 = RngTree(3)
+        __ = t1.child("first")
+        a = t1.child("second").random()
+        b = t2.child("second").random()
+        assert a == b
+
+    def test_fresh_restarts_stream(self):
+        tree = RngTree(3)
+        first = tree.fresh("s").random(3)
+        second = tree.fresh("s").random(3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_subtree_independent_of_parent(self):
+        tree = RngTree(3)
+        sub = tree.subtree("inner")
+        assert sub.child("a").random() != tree.child("a").random()
+
+    def test_nested_names_compose(self):
+        tree = RngTree(9)
+        assert tree.child("a", "b") is not tree.child("a")
+        x = tree.child("a", "b").random()
+        assert x == RngTree(9).child("a", "b").random()
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=6))
+    def test_any_seed_name_reproducible(self, seed, name):
+        assert RngTree(seed).child(name).random() == RngTree(seed).child(name).random()
