@@ -1,0 +1,95 @@
+"""EvaluationService scaling bench: workers x cache temperature.
+
+Runs the same HADAS search (fixed seed) under workers ∈ {1, 2, 4} and with a
+cold vs warm persistent cache, recording wall-clock, evaluation counts and
+cache accounting.  The assertions pin the engine's two contracts rather than
+a speedup number (thread-level speedup on a numpy workload is hardware- and
+GIL-dependent):
+
+* every configuration produces the byte-identical dynamic Pareto front;
+* a warm-cache re-run performs zero new static measurements and zero new
+  inner-engine runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.search.hadas import HadasConfig, HadasSearch
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _config(**overrides) -> HadasConfig:
+    base = dict(
+        platform="tx2-gpu",
+        seed=7,
+        outer_population=8,
+        outer_generations=3,
+        inner_population=10,
+        inner_generations=4,
+        ioe_candidates=3,
+        oracle_samples=512,
+    )
+    base.update(overrides)
+    return HadasConfig(**base)
+
+
+def _timed_run(config: HadasConfig):
+    search = HadasSearch(config)
+    start = time.perf_counter()
+    result = search.run()
+    elapsed = time.perf_counter() - start
+    search.close()
+    return search, result, elapsed
+
+
+def _front_bytes(result) -> bytes:
+    members = sorted(result.dynn_pareto(), key=lambda ind: ind.key())
+    return np.stack([ind.objectives for ind in members]).tobytes()
+
+
+def test_parallel_scaling(tmp_path):
+    rows = []
+    fronts = set()
+
+    # --- workers sweep (no cache): parallel inner runs, identical results.
+    for workers in WORKER_COUNTS:
+        search, result, elapsed = _timed_run(_config(workers=workers))
+        static_evals, dynamic_evals = result.num_evaluations
+        rows.append(
+            (f"workers={workers}", "none", elapsed, static_evals, dynamic_evals,
+             search.service.stats.executed, 0)
+        )
+        fronts.add(_front_bytes(result))
+
+    # --- cache temperature at 1 worker: cold populates, warm re-reads.
+    cache_dir = str(tmp_path / "engine-cache")
+    for temperature in ("cold", "warm"):
+        search, result, elapsed = _timed_run(_config(cache_dir=cache_dir))
+        static_evals, dynamic_evals = result.num_evaluations
+        hits = search.cache.stats().hits
+        rows.append(
+            (f"cache {temperature}", "disk", elapsed, static_evals, dynamic_evals,
+             search.static_evaluator.num_measurements, hits)
+        )
+        fronts.add(_front_bytes(result))
+        if temperature == "warm":
+            assert search.static_evaluator.num_measurements == 0
+            assert search.cache.stats("static").misses == 0
+            assert search.cache.stats("inner").misses == 0
+
+    print()
+    header = f"{'run':>12} {'cache':>5} {'wall (s)':>9} {'static':>7} {'dynamic':>8} {'measured/exec':>13} {'hits':>5}"
+    print(header)
+    print("-" * len(header))
+    for name, cache, elapsed, static_evals, dynamic_evals, measured, hits in rows:
+        print(
+            f"{name:>12} {cache:>5} {elapsed:>9.3f} {static_evals:>7} "
+            f"{dynamic_evals:>8} {measured:>13} {hits:>5}"
+        )
+
+    # Same seed ⇒ one unique Pareto front across every executor/cache combo.
+    assert len(fronts) == 1

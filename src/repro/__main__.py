@@ -6,6 +6,7 @@ Usage::
     python -m repro table2
     python -m repro table3 --profile fast --platform tx2-gpu
     python -m repro fig5 --platforms tx2-gpu agx-gpu
+    python -m repro fig5 --workers 4 --cache-dir .cache/engine
     python -m repro all --profile fast
 
 Artifacts print the paper-style rows/series (the same renderers the
@@ -31,6 +32,15 @@ def _profile(name: str, seed: int) -> Profile:
     if name == "paper":
         return Profile.paper(seed)
     raise SystemExit(f"unknown profile {name!r}; expected fast or paper")
+
+
+def _engine_profile(args: "argparse.Namespace") -> Profile:
+    if args.workers is not None and args.workers <= 0:
+        raise SystemExit(f"--workers must be > 0, got {args.workers}")
+    profile = _profile(args.profile, args.seed)
+    return profile.with_engine(
+        workers=args.workers, executor=args.executor, cache_dir=args.cache_dir
+    )
 
 
 def _run_artifact(name: str, profile: Profile, platform: str, platforms: tuple[str, ...]) -> str:
@@ -63,13 +73,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="platform for single-platform artifacts")
     parser.add_argument("--platforms", nargs="+", default=list(PAPER_PLATFORM_ORDER),
                         help="platforms for fig5/fig6")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel evaluation workers (default: serial)")
+    parser.add_argument("--executor", default=None,
+                        choices=["auto", "serial", "thread", "process"],
+                        help="evaluation executor (default: auto)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent evaluation-result cache directory")
     args = parser.parse_args(argv)
 
     if args.artifact == "list":
         print("available artifacts:", ", ".join(_ARTIFACTS), "or 'all'")
         return 0
 
-    profile = _profile(args.profile, args.seed)
+    profile = _engine_profile(args)
     names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in names:
         start = time.time()

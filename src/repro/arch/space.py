@@ -17,12 +17,14 @@ mutation/crossover operate uniformly on index ranges.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.arch.config import STAGE_STRIDES, BackboneConfig, StageConfig
 from repro.utils.rng import make_rng
+from repro.utils.serialization import canonical_json
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,26 @@ class BackboneSpace:
         self.resolutions = resolutions
         self.stem_widths = stem_widths
         self.head_widths = head_widths
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the space definition.
+
+        Two spaces with identical choice tables share a fingerprint; any
+        table change yields a new one.  Persistent cache keys fold this in
+        because surrogate calibration is normalised against the space's
+        bounds — the same backbone scores differently under different
+        spaces.
+        """
+        payload = canonical_json(
+            {
+                "num_classes": self.num_classes,
+                "stages": self.stages,
+                "resolutions": self.resolutions,
+                "stem_widths": self.stem_widths,
+                "head_widths": self.head_widths,
+            }
+        )
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
 
     # ------------------------------------------------------------- geometry
     @property

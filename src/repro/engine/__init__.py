@@ -1,0 +1,39 @@
+"""Evaluation engine: pluggable executors + persistent result caching.
+
+The bi-level search spends essentially all of its time inside evaluations
+(static backbone measurements, inner-engine runs).  This subsystem decouples
+*what* is evaluated from *how*: an :class:`EvaluationService` accepts batches
+of pure evaluation tasks, runs them on a pluggable executor (``serial``,
+``thread`` or ``process``) and, for tasks that carry a content-addressed
+cache key, persists results on disk so repeated backbones across
+generations, restarts and experiment-runner memoisation are never
+re-measured.
+
+Determinism contract: every task submitted to the service must be a pure
+function of its arguments (the repo's RNG discipline — content-keyed
+``child_rng`` streams — guarantees this for all evaluators), and results are
+always returned in submission order.  Parallel execution is therefore
+bit-identical to serial execution.
+"""
+
+from repro.engine.cache import CacheKey, CacheStats, ResultCache
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.engine.service import EvalTask, EvaluationService, ServiceStats
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "ResultCache",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "EvalTask",
+    "EvaluationService",
+    "ServiceStats",
+]

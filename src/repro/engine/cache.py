@@ -1,0 +1,224 @@
+"""Content-addressed, persistent on-disk result cache.
+
+A cache entry is addressed by the blake2b digest of a canonical-JSON
+rendering of its key fields — ``(namespace, evaluator version, backbone key,
+platform, seed, gamma, ...)`` — so any change to any field, including a
+version bump, yields a different address and naturally invalidates stale
+entries without any scanning or TTL machinery.
+
+Two codecs are used transparently: values that survive
+:func:`repro.utils.serialization.to_jsonable` are stored as human-readable
+``<digest>.json`` files (static evaluations are three floats); richer object
+graphs (inner-engine results with their Pareto archives) fall back to
+``<digest>.pkl`` pickles.  Writes are atomic (temp file + rename), so a
+killed run never leaves a torn entry behind, and concurrent writers of the
+same key are idempotent because evaluations are pure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.utils.serialization import canonical_json, from_jsonable, to_jsonable
+
+#: Bump to invalidate every entry written by older engine code.
+ENGINE_CACHE_VERSION = "1"
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Address of one cache entry: namespace (for accounting) + digest."""
+
+    namespace: str
+    digest: str
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write accounting for one namespace (or the whole cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Persistent evaluation-result store shared by every engine layer.
+
+    Parameters
+    ----------
+    directory:
+        Root directory of the cache; created on first use.  Entries from
+        different namespaces share the directory (the digest already
+        incorporates the namespace).
+    version:
+        Cache-format version folded into every key; bumping it orphans all
+        existing entries (they stay on disk but are never addressed again).
+    """
+
+    directory: str | Path
+    version: str = ENGINE_CACHE_VERSION
+    _stats: dict[str, CacheStats] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self):
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------------- keys
+    def key(self, namespace: str, **fields: Any) -> CacheKey:
+        """Content-address a key from named fields (order-insensitive)."""
+        payload = canonical_json(
+            {"__version__": str(self.version), "__namespace__": namespace, **fields}
+        )
+        digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=20).hexdigest()
+        return CacheKey(namespace=namespace, digest=digest)
+
+    def stats(self, namespace: str | None = None) -> CacheStats:
+        """Accounting for one namespace, or aggregated over all of them."""
+        with self._lock:
+            if namespace is not None:
+                return self._stats.setdefault(namespace, CacheStats())
+            total = CacheStats()
+            for stats in self._stats.values():
+                total.hits += stats.hits
+                total.misses += stats.misses
+                total.puts += stats.puts
+            return total
+
+    def _record(self, namespace: str, *, hit: bool = False, put: bool = False) -> None:
+        with self._lock:
+            stats = self._stats.setdefault(namespace, CacheStats())
+            if put:
+                stats.puts += 1
+            elif hit:
+                stats.hits += 1
+            else:
+                stats.misses += 1
+
+    def _paths(self, key: CacheKey) -> tuple[Path, Path]:
+        return (
+            self.directory / f"{key.digest}.json",
+            self.directory / f"{key.digest}.pkl",
+        )
+
+    # -------------------------------------------------------------- get/put
+    def get(self, key: CacheKey, cls: type | None = None, default: Any = None) -> Any:
+        """Fetch the entry at ``key``; ``default`` on miss.
+
+        ``cls`` rebuilds JSON-stored dataclasses (ignored for pickles, which
+        carry their own types).
+        """
+        json_path, pkl_path = self._paths(key)
+        try:
+            if json_path.exists():
+                data = json.loads(json_path.read_text())
+                value = from_jsonable(data, cls) if cls is not None else data
+                self._record(key.namespace, hit=True)  # only after deserialization
+                return value
+            if pkl_path.exists():
+                with pkl_path.open("rb") as handle:
+                    value = pickle.load(handle)
+                self._record(key.namespace, hit=True)
+                return value
+        except (
+            OSError,
+            ValueError,
+            pickle.UnpicklingError,
+            EOFError,
+            # Stale pickles referencing moved/renamed classes:
+            AttributeError,
+            ImportError,
+        ):
+            pass  # torn/corrupt/stale entry: treat as a miss, re-evaluation overwrites it
+        self._record(key.namespace)
+        return default
+
+    def contains(self, key: CacheKey) -> bool:
+        """Existence check without touching hit/miss accounting."""
+        json_path, pkl_path = self._paths(key)
+        return json_path.exists() or pkl_path.exists()
+
+    def put(self, key: CacheKey, value: Any) -> Path:
+        """Store ``value`` at ``key`` (JSON when possible, pickle otherwise)."""
+        json_path, pkl_path = self._paths(key)
+        try:
+            rendered = json.dumps(to_jsonable(value), sort_keys=True)
+        except TypeError:
+            self._write_atomic(pkl_path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            self._record(key.namespace, put=True)
+            return pkl_path
+        self._write_atomic(json_path, rendered.encode("utf-8"))
+        self._record(key.namespace, put=True)
+        return json_path
+
+    def memoize(self, key: CacheKey, fn, cls: type | None = None) -> Any:
+        """Return the cached value at ``key``, computing and storing on miss."""
+        value = self.get(key, cls=cls, default=_MISS)
+        if value is not _MISS:
+            return value
+        value = fn()
+        self.put(key, value)
+        return value
+
+    def _write_atomic(self, path: Path, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------ inventory
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json")) + sum(
+            1 for _ in self.directory.glob("*.pkl")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed.
+
+        Also sweeps ``*.tmp`` remnants of writes that were hard-killed
+        between ``mkstemp`` and the atomic rename (safe here: a clear is an
+        explicit request, not something raced by concurrent writers).
+        """
+        removed = 0
+        for pattern in ("*.json", "*.pkl", "*.tmp"):
+            for path in self.directory.glob(pattern):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,111 @@
+"""Pluggable executors: where evaluation batches actually run.
+
+All three executors share one contract: ``run(calls)`` takes a sequence of
+``(fn, args)`` pairs and returns their results *in submission order* — the
+property that makes parallel execution bit-identical to serial execution for
+pure tasks.  Pools are created lazily and torn down by ``close()`` (the
+:class:`~repro.engine.service.EvaluationService` context manager does this).
+
+The process executor requires picklable ``fn``/``args``/results; tasks
+submitted by the search stack satisfy this (dataclasses + numpy arrays).
+Executors are never nested: a task running inside a pool must not submit to
+the same pool (thread pools would deadlock once saturated), which is why the
+search facade parallelises at exactly one level — across inner-engine runs
+and across population batches, never both.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.utils.validation import check_positive
+
+Call = tuple[Callable[..., Any], tuple]
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def _invoke(call: Call) -> Any:
+    fn, args = call
+    return fn(*args)
+
+
+class SerialExecutor:
+    """In-process, in-order execution (the zero-dependency default)."""
+
+    kind = "serial"
+    workers = 1
+
+    def run(self, calls: Sequence[Call]) -> list[Any]:
+        return [_invoke(call) for call in calls]
+
+    def close(self) -> None:
+        pass
+
+
+class _PoolExecutor:
+    """Shared lazy-pool plumbing for the thread/process executors."""
+
+    kind: str
+
+    def __init__(self, workers: int):
+        check_positive("workers", workers)
+        self.workers = workers
+        self._pool = None
+
+    def _make_pool(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def run(self, calls: Sequence[Call]) -> list[Any]:
+        if len(calls) <= 1:  # no point paying pool dispatch for one task
+            return [_invoke(call) for call in calls]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(_invoke, calls))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # Live pools cannot cross pickle boundaries (e.g. a service captured in
+    # a task shipped to a worker process); the copy re-creates its pool
+    # lazily if it is ever used.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool execution: cheap dispatch, shared in-memory caches."""
+
+    kind = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool execution: true parallelism, requires picklable tasks."""
+
+    kind = "process"
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def make_executor(kind: str, workers: int = 1):
+    """Build an executor; ``"auto"`` picks serial for 1 worker, threads above."""
+    if kind == "auto":
+        kind = "serial" if workers <= 1 else "thread"
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    if kind == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(
+        f"unknown executor {kind!r}; expected one of {('auto',) + EXECUTOR_KINDS}"
+    )

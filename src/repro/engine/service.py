@@ -1,0 +1,148 @@
+"""The EvaluationService: batched, cached, order-preserving evaluation.
+
+The search stack hands the service *batches* of tasks (a whole NSGA-II
+population, a generation's worth of inner-engine runs) instead of evaluating
+point-by-point.  The service resolves each task against the persistent
+:class:`~repro.engine.cache.ResultCache` (when the task carries a key),
+de-duplicates identical keys within the batch, runs the remaining misses on
+the configured executor and returns results in submission order.
+
+Tasks must be pure: same ``(fn, args)`` ⇒ same result.  Every evaluator in
+this repo derives its noise streams from content-keyed ``child_rng`` seeds,
+so this holds by construction and parallel schedules cannot change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.engine.cache import CacheKey, ResultCache
+from repro.engine.executors import make_executor
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One unit of evaluation work.
+
+    Attributes
+    ----------
+    fn, args:
+        The pure callable and its positional arguments.
+    key:
+        Optional content address; when set (and the service has a cache) the
+        result is looked up before executing and persisted after.
+    cls:
+        Optional dataclass type for rebuilding JSON-stored cache entries.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    key: CacheKey | None = None
+    cls: type | None = None
+
+
+@dataclass
+class ServiceStats:
+    """What the service did on behalf of the search."""
+
+    batches: int = 0
+    tasks: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+
+class EvaluationService:
+    """Runs evaluation batches on a pluggable executor with shared caching.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"`` (serial for
+        one worker, threads otherwise).
+    workers:
+        Degree of parallelism for pool executors.
+    cache:
+        Optional persistent :class:`ResultCache` consulted for keyed tasks.
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        workers: int = 1,
+        cache: ResultCache | None = None,
+    ):
+        self.cache = cache
+        self.executor = make_executor(executor, workers)
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear down executor pools (idempotent)."""
+        self.executor.close()
+
+    @property
+    def workers(self) -> int:
+        return self.executor.workers
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, task: EvalTask) -> Any:
+        """Evaluate a single task (batch of one)."""
+        return self.evaluate_batch([task])[0]
+
+    def evaluate_batch(self, tasks: Sequence[EvalTask]) -> list[Any]:
+        """Evaluate ``tasks``, returning results in submission order.
+
+        Keyed tasks are resolved against the cache first; within the batch,
+        tasks sharing a key are computed once.  Cache misses run on the
+        executor in submission order, so results are independent of worker
+        count and scheduling.
+        """
+        self.stats.batches += 1
+        self.stats.tasks += len(tasks)
+        results: list[Any] = [_MISS] * len(tasks)
+
+        pending: list[int] = []  # indices that must actually execute
+        owner_of_digest: dict[str, int] = {}  # first pending index per key
+        duplicates: list[tuple[int, int]] = []  # (index, owner index)
+        for index, task in enumerate(tasks):
+            if task.key is not None:
+                if task.key.digest in owner_of_digest:
+                    duplicates.append((index, owner_of_digest[task.key.digest]))
+                    self.stats.deduplicated += 1
+                    continue
+                if self.cache is not None:
+                    cached = self.cache.get(task.key, cls=task.cls, default=_MISS)
+                    if cached is not _MISS:
+                        results[index] = cached
+                        self.stats.cache_hits += 1
+                        continue
+                owner_of_digest[task.key.digest] = index
+            pending.append(index)
+
+        if pending:
+            outputs = self.executor.run(
+                [(tasks[i].fn, tasks[i].args) for i in pending]
+            )
+            self.stats.executed += len(pending)
+            for index, output in zip(pending, outputs):
+                results[index] = output
+                task = tasks[index]
+                if task.key is not None and self.cache is not None:
+                    self.cache.put(task.key, output)
+        for index, owner in duplicates:
+            results[index] = results[owner]
+        return results
+
+    def map(self, fn: Callable[..., Any], args_list: Sequence[tuple]) -> list[Any]:
+        """Convenience: evaluate ``fn`` over many argument tuples, unkeyed."""
+        return self.evaluate_batch([EvalTask(fn, args) for args in args_list])

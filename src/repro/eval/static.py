@@ -3,20 +3,30 @@
 Accuracy comes from the calibrated surrogate; latency and energy come from
 the simulated hardware-in-the-loop measurement at the platform's *default*
 DVFS setting — the paper explicitly leaves DVFS exploration to the IOE.
-Evaluations are cached by backbone key (the paper's supernet makes backbone
-evaluation cheap; measurement is the bottleneck their LUT/caching amortises).
+Evaluations are cached by backbone key in memory and, when a persistent
+:class:`~repro.engine.cache.ResultCache` is attached, on disk under a
+content address of (backbone key, platform, seed, measurement parameters,
+evaluator version) — so repeated backbones across generations, restarts and
+experiment-runner memoisation are never re-measured (the paper's supernet
+makes backbone evaluation cheap; measurement is the bottleneck their
+LUT/caching amortises).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.accuracy.surrogate import AccuracySurrogate
 from repro.arch.config import BackboneConfig
 from repro.arch.cost import NetworkCost, estimate_cost
+from repro.engine.cache import ResultCache
 from repro.hardware.dvfs import DvfsSetting, DvfsSpace
 from repro.hardware.measurement import HardwareInTheLoop
 from repro.hardware.platform import HardwarePlatform
+
+#: Bump when the static evaluation semantics change; orphans persisted entries.
+STATIC_EVALUATOR_VERSION = "1"
 
 
 @dataclass(frozen=True)
@@ -33,7 +43,17 @@ class StaticEvaluation:
 
 
 class StaticEvaluator:
-    """Evaluates S(b) for backbones on one platform, with caching."""
+    """Evaluates S(b) for backbones on one platform, with caching.
+
+    Parameters
+    ----------
+    platform, surrogate, hwil, seed:
+        The device model, accuracy surrogate and (optional) measurement
+        harness; ``seed`` keys the harness noise streams.
+    cache:
+        Optional persistent result cache shared with the rest of the engine;
+        hits skip both the surrogate and the HW-in-the-loop measurement.
+    """
 
     def __init__(
         self,
@@ -41,14 +61,28 @@ class StaticEvaluator:
         surrogate: AccuracySurrogate,
         hwil: HardwareInTheLoop | None = None,
         seed: int = 0,
+        cache: ResultCache | None = None,
     ):
         self.platform = platform
         self.surrogate = surrogate
         self.hwil = hwil or HardwareInTheLoop(platform, seed=seed)
         self.dvfs_space = DvfsSpace(platform)
         self.default_setting: DvfsSetting = self.dvfs_space.default_setting()
+        self.result_cache = cache
         self._cache: dict[str, StaticEvaluation] = {}
         self._cost_cache: dict[str, NetworkCost] = {}
+        self._lock = threading.Lock()
+        self.num_measurements = 0  # fresh measurements performed by *this* process
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def cost(self, config: BackboneConfig) -> NetworkCost:
         """Cost profile of a backbone (cached)."""
@@ -56,20 +90,55 @@ class StaticEvaluator:
             self._cost_cache[config.key] = estimate_cost(config)
         return self._cost_cache[config.key]
 
+    def _cache_key(self, config: BackboneConfig):
+        return self.result_cache.key(
+            "static",
+            evaluator_version=STATIC_EVALUATOR_VERSION,
+            backbone=config.key,
+            # config.key does not encode the classifier width, but the head's
+            # cost (and thus latency/energy) depends on it.
+            num_classes=config.num_classes,
+            platform=self.platform.name,
+            seed=self.hwil.seed,
+            # Surrogate accuracy is calibrated against the space's bounds
+            # and anchors, so both are result-determining inputs.
+            space=self.surrogate.space.fingerprint(),
+            anchors=self.surrogate.anchors,
+            surrogate_seed=self.surrogate.seed,
+            noise_cv=self.hwil.noise_cv,
+            repeats=self.hwil.repeats,
+            # Warm-up draws consume the measurement noise stream before the
+            # timed draws, so the means depend on it.
+            warmup=self.hwil.warmup,
+        )
+
     def evaluate(self, config: BackboneConfig) -> StaticEvaluation:
         """S(b) at default hardware settings (cached per backbone)."""
         if config.key in self._cache:
             return self._cache[config.key]
+        key = self._cache_key(config) if self.result_cache is not None else None
+        if key is not None:
+            cached = self.result_cache.get(key, cls=StaticEvaluation)
+            if cached is not None:
+                self._cache[config.key] = cached
+                return cached
         measurement = self.hwil.measure(self.cost(config), self.default_setting)
         evaluation = StaticEvaluation(
             accuracy=self.surrogate.accuracy(config),
             latency_s=measurement.latency_s_mean,
             energy_j=measurement.energy_j_mean,
         )
-        self._cache[config.key] = evaluation
-        return evaluation
+        # Thread executors may race two workers onto the same fresh backbone;
+        # both compute identical values, so insertion just needs to count once.
+        with self._lock:
+            if config.key not in self._cache:
+                self._cache[config.key] = evaluation
+                self.num_measurements += 1
+                if key is not None:
+                    self.result_cache.put(key, evaluation)
+        return self._cache[config.key]
 
     @property
     def num_evaluations(self) -> int:
-        """Distinct backbones evaluated so far."""
+        """Distinct backbones evaluated so far (including cache hits)."""
         return len(self._cache)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.search.hadas import HadasConfig
 
@@ -23,9 +23,14 @@ class Profile:
     ioe_candidates: int
     oracle_samples: int
     seed: int = 7
+    # Evaluation-engine knobs; orthogonal to the search budget (results are
+    # bit-identical for any worker count, so they are not part of identity).
+    workers: int = 1
+    executor: str = "auto"
+    cache_dir: str | None = None
 
     @staticmethod
-    def fast(seed: int = 7) -> "Profile":
+    def fast(seed: int = 7, **engine) -> "Profile":
         return Profile(
             name="fast",
             outer_population=12,
@@ -35,10 +40,11 @@ class Profile:
             ioe_candidates=3,
             oracle_samples=1024,
             seed=seed,
+            **engine,
         )
 
     @staticmethod
-    def paper(seed: int = 7) -> "Profile":
+    def paper(seed: int = 7, **engine) -> "Profile":
         return Profile(
             name="paper",
             outer_population=30,
@@ -48,7 +54,24 @@ class Profile:
             ioe_candidates=5,
             oracle_samples=4096,
             seed=seed,
+            **engine,
         )
+
+    def with_engine(
+        self,
+        workers: int | None = None,
+        executor: str | None = None,
+        cache_dir: str | None = None,
+    ) -> "Profile":
+        """Copy of this profile with evaluation-engine knobs overridden."""
+        updates: dict = {}
+        if workers is not None:
+            updates["workers"] = workers
+        if executor is not None:
+            updates["executor"] = executor
+        if cache_dir is not None:
+            updates["cache_dir"] = cache_dir
+        return replace(self, **updates) if updates else self
 
     def hadas_config(self, platform: str, gamma: float = 1.0) -> HadasConfig:
         """Materialise a :class:`HadasConfig` for a platform."""
@@ -62,4 +85,7 @@ class Profile:
             inner_generations=self.inner_generations,
             ioe_candidates=self.ioe_candidates,
             oracle_samples=self.oracle_samples,
+            workers=self.workers,
+            executor=self.executor,
+            cache_dir=self.cache_dir,
         )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.baselines.attentivenas import ATTENTIVENAS_MODELS, attentivenas_models
+from repro.engine.service import EvalTask
 from repro.eval.static import StaticEvaluation
 from repro.experiments.config import Profile
 from repro.metrics.dominance_ratio import DominanceReport, dominance_report
@@ -82,9 +83,20 @@ def run_platform_experiment(
     profile: Profile | None = None,
     gamma: float = 1.0,
     baselines: tuple[str, ...] = ATTENTIVENAS_MODELS,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> PlatformExperiment:
-    """Run (or fetch memoised) HADAS + optimized baselines on a platform."""
-    profile = profile or Profile.fast()
+    """Run (or fetch memoised) HADAS + optimized baselines on a platform.
+
+    ``workers``/``cache_dir`` override the profile's evaluation-engine knobs
+    (parallel inner runs / persistent result cache); neither changes any
+    result, so they are not part of the memo identity.  Baseline inner runs
+    route through :meth:`HadasSearch.run_inner`, sharing the persistent
+    cache with the search itself.
+    """
+    profile = (profile or Profile.fast()).with_engine(
+        workers=workers, cache_dir=cache_dir
+    )
     key = (platform, profile.name, profile.seed, gamma, baselines)
     if key in _MEMO:
         return _MEMO[key]
@@ -96,9 +108,19 @@ def run_platform_experiment(
     baseline_static = {
         name: search.static_evaluator.evaluate(config) for name, config in models.items()
     }
-    baseline_inner = {
-        name: search.make_inner_engine(config).run() for name, config in models.items()
-    }
+    # Baseline IOE runs are independent of each other: one batch through the
+    # search's service runs them concurrently (and cached) like any other.
+    baseline_inner = dict(
+        zip(
+            models.keys(),
+            search.service.evaluate_batch(
+                [EvalTask(search.run_inner, (config,)) for config in models.values()]
+            ),
+        )
+    )
+    # Release executor pools now that all batches ran; the service lazily
+    # re-creates them if the memoised search is ever driven again.
+    search.close()
     experiment = PlatformExperiment(
         platform=platform,
         profile=profile,

@@ -10,6 +10,7 @@ reproduces the paper's TX2 experiment at the configured budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -17,6 +18,9 @@ from repro.accuracy.exit_model import ExitCapabilityModel
 from repro.accuracy.surrogate import AccuracySurrogate
 from repro.arch.config import BackboneConfig
 from repro.arch.space import BackboneSpace
+from repro.engine.cache import ResultCache
+from repro.engine.executors import EXECUTOR_KINDS
+from repro.engine.service import EvaluationService
 from repro.eval.static import StaticEvaluation, StaticEvaluator
 from repro.hardware.platform import get_platform
 from repro.search.individual import Individual
@@ -24,6 +28,9 @@ from repro.search.ioe import InnerEngine, InnerResult
 from repro.search.nsga2 import Nsga2Config
 from repro.search.ooe import OuterEngine, OuterResult
 from repro.utils.validation import check_nonneg, check_positive
+
+#: Bump when inner-engine semantics change; orphans persisted inner results.
+INNER_ENGINE_VERSION = "1"
 
 
 @dataclass(frozen=True)
@@ -34,6 +41,14 @@ class HadasConfig:
     (#iterations = generations x population); the defaults here are the
     "fast" profile used by tests and benches.  ``paper_profile()`` returns
     the full budget.
+
+    ``workers``/``executor`` control the evaluation service: with more than
+    one worker, a generation's inner-engine runs (and static population
+    batches) execute concurrently — results are bit-identical to serial
+    because every evaluation is seeded by content, not by call order.
+    ``cache_dir`` attaches a persistent result cache, so re-runs at the same
+    configuration (across processes, restarts and experiment memoisation)
+    perform zero new static measurements and zero new inner runs.
     """
 
     platform: str = "tx2-gpu"
@@ -47,6 +62,9 @@ class HadasConfig:
     ioe_candidates: int = 4
     oracle_samples: int = 2048
     literal_ratios: bool = False
+    workers: int = 1
+    executor: str = "auto"
+    cache_dir: str | None = None
 
     def __post_init__(self):
         check_positive("outer_population", self.outer_population)
@@ -54,6 +72,12 @@ class HadasConfig:
         check_positive("inner_population", self.inner_population)
         check_positive("inner_generations", self.inner_generations)
         check_nonneg("gamma", self.gamma)
+        check_positive("workers", self.workers)
+        if self.executor not in ("auto",) + EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of "
+                f"{('auto',) + EXECUTOR_KINDS}"
+            )
 
     @property
     def outer_iterations(self) -> int:
@@ -151,8 +175,23 @@ class HadasResult:
         return picked
 
     def selected_model(self) -> Individual:
-        """The single model HADAS would hand to deployment."""
-        return self.top_models(1)[0]
+        """The single model HADAS would hand to deployment.
+
+        Raises
+        ------
+        RuntimeError
+            When the dynamic archive is empty (no inner run produced a
+            Pareto member), instead of an opaque ``IndexError``.
+        """
+        models = self.top_models(1)
+        if not models:
+            raise RuntimeError(
+                "dynamic archive is empty — no DyNN candidate was produced. "
+                "Run the search first, or increase the budget "
+                "(outer_generations / ioe_candidates / inner_generations) so "
+                "at least one inner-engine run completes."
+            )
+        return models[0]
 
     @property
     def num_evaluations(self) -> tuple[int, int]:
@@ -164,20 +203,57 @@ class HadasResult:
 
 
 class HadasSearch:
-    """Builds and runs the full bi-level HADAS pipeline."""
+    """Builds and runs the full bi-level HADAS pipeline.
+
+    The facade owns the run's :class:`EvaluationService` (executor + shared
+    persistent cache); the outer engine routes static population batches and
+    inner-engine runs through it.  Inner engines themselves run serial
+    NSGA-II loops — parallelism lives at exactly one level (across inner
+    runs), so pool executors are never nested.
+    """
 
     def __init__(
         self,
         config: HadasConfig = HadasConfig(),
         space: BackboneSpace | None = None,
         capability_model: ExitCapabilityModel | None = None,
+        service: EvaluationService | None = None,
     ):
         self.config = config
         self.platform = get_platform(config.platform)
         self.space = space or BackboneSpace(num_classes=config.num_classes)
         self.surrogate = AccuracySurrogate(self.space, seed=config.seed)
+        if service is not None:
+            # An injected service owns its executor and cache; engine knobs
+            # on the config must not silently disagree with it.
+            if config.workers != 1 or config.executor != "auto":
+                raise ValueError(
+                    "config.workers/config.executor conflict with the "
+                    "injected service; configure parallelism on the service "
+                    "(EvaluationService(executor=..., workers=...)) instead"
+                )
+            if config.cache_dir is not None and (
+                service.cache is None
+                or Path(config.cache_dir).resolve()
+                != Path(service.cache.directory).resolve()
+            ):
+                raise ValueError(
+                    "config.cache_dir conflicts with the injected service's "
+                    "cache; construct the service with "
+                    "EvaluationService(cache=ResultCache(cache_dir)) or drop "
+                    "cache_dir"
+                )
+            self.service = service
+            self.cache = service.cache
+        else:
+            self.cache = (
+                ResultCache(config.cache_dir) if config.cache_dir is not None else None
+            )
+            self.service = EvaluationService(
+                executor=config.executor, workers=config.workers, cache=self.cache
+            )
         self.static_evaluator = StaticEvaluator(
-            self.platform, self.surrogate, seed=config.seed
+            self.platform, self.surrogate, seed=config.seed, cache=self.cache
         )
         self.capability_model = capability_model or ExitCapabilityModel()
 
@@ -202,21 +278,61 @@ class HadasSearch:
             seed=self.config.seed,
         )
 
-    def _run_inner(self, backbone: BackboneConfig, _static: StaticEvaluation) -> InnerResult:
-        return self.make_inner_engine(backbone).run()
+    def _inner_cache_key(self, backbone: BackboneConfig):
+        return self.cache.key(
+            "inner",
+            evaluator_version=INNER_ENGINE_VERSION,
+            backbone=backbone.key,
+            # backbone.key does not encode the classifier/exit-head width.
+            num_classes=backbone.num_classes,
+            platform=self.platform.name,
+            space=self.space.fingerprint(),
+            anchors=self.surrogate.anchors,
+            seed=self.config.seed,
+            gamma=self.config.gamma,
+            population=self.config.inner_population,
+            generations=self.config.inner_generations,
+            oracle_samples=self.config.oracle_samples,
+            literal_ratios=self.config.literal_ratios,
+            capability_model=self.capability_model,
+        )
+
+    def run_inner(
+        self, backbone: BackboneConfig, static: StaticEvaluation | None = None
+    ) -> InnerResult:
+        """Run (or fetch from the persistent cache) one backbone's IOE.
+
+        This is the oracle path shared by the outer loop and the optimized
+        baselines: the full :class:`InnerResult` — oracle construction, the
+        whole (X, F) NSGA-II run and its Pareto archive — is content-
+        addressed by (backbone, platform, seed, gamma, budget, evaluator
+        version), so repeated backbones across generations, restarts and the
+        experiment runner's memoisation are never re-searched.
+        """
+        del static  # the inner engine derives its own normalisers
+        if self.cache is None:
+            return self.make_inner_engine(backbone).run()
+        return self.cache.memoize(
+            self._inner_cache_key(backbone),
+            lambda: self.make_inner_engine(backbone).run(),
+        )
+
+    # Backwards-compatible alias (pre-EvaluationService name).
+    _run_inner = run_inner
 
     def run(self) -> HadasResult:
         """Execute the bi-level search."""
         outer = OuterEngine(
             space=self.space,
             evaluator=self.static_evaluator,
-            run_inner=self._run_inner,
+            run_inner=self.run_inner,
             nsga=Nsga2Config(
                 population=self.config.outer_population,
                 generations=self.config.outer_generations,
             ),
             ioe_candidates=self.config.ioe_candidates,
             seed=self.config.seed,
+            service=self.service,
         )
         result = outer.run()
         return HadasResult(
@@ -226,3 +342,7 @@ class HadasSearch:
             surrogate=self.surrogate,
             static_evaluator=self.static_evaluator,
         )
+
+    def close(self) -> None:
+        """Tear down the service's executor pools (idempotent)."""
+        self.service.close()

@@ -139,6 +139,10 @@ class InnerEngine:
         Dissimilarity exponent (0 disables — the Fig. 7 ablation).
     nsga:
         Budget: #iterations = population x generations (paper: 3500).
+    service:
+        Optional evaluation service for batched (X, F) population
+        evaluation.  Leave ``None`` when the *outer* loop already runs inner
+        engines on a pooled service — executors must not be nested.
     """
 
     def __init__(
@@ -152,6 +156,7 @@ class InnerEngine:
         capability_model: ExitCapabilityModel | None = None,
         oracle_samples: int = 2048,
         seed: int = 0,
+        service=None,
     ):
         self.config = config
         self.nsga_config = nsga or Nsga2Config(population=20, generations=8)
@@ -180,6 +185,7 @@ class InnerEngine:
             evaluator=self.evaluator,
         )
         self.seed = seed
+        self.service = service
 
     def run(self) -> InnerResult:
         """Execute the NSGA-II loop and return the (X, F) Pareto set."""
@@ -187,6 +193,7 @@ class InnerEngine:
             self.problem,
             self.nsga_config,
             rng=child_rng(self.seed, "ioe", self.config.key),
+            service=self.service,
         )
         engine.run()
         archive = ParetoArchive()

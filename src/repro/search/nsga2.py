@@ -32,6 +32,17 @@ class Problem:
         """Return (objective vector to maximise, payload dict)."""
         raise NotImplementedError
 
+    def evaluate_batch(self, genomes: list[np.ndarray]) -> list[tuple[np.ndarray, dict]]:
+        """Evaluate many genomes; results in input order.
+
+        The default delegates to :meth:`evaluate` serially.  Engines route
+        whole populations through this hook (or an
+        :class:`~repro.engine.service.EvaluationService` when one is
+        attached), so problems backed by batchable evaluators can override
+        it without touching the search loop.
+        """
+        return [self.evaluate(genome) for genome in genomes]
+
     def crossover(
         self, a: np.ndarray, b: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
@@ -58,6 +69,22 @@ class Nsga2Config:
     @property
     def iterations(self) -> int:
         return self.population * self.generations
+
+
+def evaluate_genomes(
+    problem: Problem, genomes: list[np.ndarray], service=None
+) -> list[tuple[np.ndarray, dict]]:
+    """Dispatch a genome batch for evaluation (shared by every engine).
+
+    A problem that overrides :meth:`Problem.evaluate_batch` owns its
+    batching (vectorised evaluators etc.) and keeps that ownership even when
+    a service is attached; only the default point-wise implementation is
+    fanned out across the service's workers.
+    """
+    custom_batch = type(problem).evaluate_batch is not Problem.evaluate_batch
+    if service is not None and not custom_batch:
+        return service.map(problem.evaluate, [(genome,) for genome in genomes])
+    return problem.evaluate_batch(genomes)
 
 
 def rank_and_crowd(population: list[Individual]) -> None:
@@ -88,33 +115,53 @@ class NSGA2:
         config: Nsga2Config,
         rng=None,
         on_generation: Callable[[int, list[Individual]], None] | None = None,
+        service=None,
     ):
         self.problem = problem
         self.config = config
         self.rng = make_rng(rng)
         self.on_generation = on_generation
+        self.service = service  # optional EvaluationService for batch execution
         self.history: list[Individual] = []
         self._eval_cache: dict[tuple, tuple[np.ndarray, dict]] = {}
         self.num_evaluations = 0
 
     # --------------------------------------------------------------- pieces
     def _evaluate(self, individual: Individual) -> Individual:
-        key = individual.key()
-        if key not in self._eval_cache:
-            objectives, payload = self.problem.evaluate(individual.genome)
-            self._eval_cache[key] = (np.asarray(objectives, dtype=float), payload)
-            self.num_evaluations += 1
-        objectives, payload = self._eval_cache[key]
-        individual.objectives = objectives.copy()
-        individual.payload = dict(payload)
-        return individual
+        return self._evaluate_all([individual])[0]
+
+    def _evaluate_all(self, individuals: list[Individual]) -> list[Individual]:
+        """Batch-evaluate a population (deduplicated, order-preserving).
+
+        Unseen genomes are submitted as one batch — to the attached
+        :class:`EvaluationService` when present (parallel execution across
+        the population), otherwise to :meth:`Problem.evaluate_batch`.
+        Results are bit-identical to genome-by-genome evaluation because
+        evaluation consumes no engine RNG and tasks are pure.
+        """
+        fresh: dict[tuple, np.ndarray] = {}
+        for individual in individuals:
+            key = individual.key()
+            if key not in self._eval_cache and key not in fresh:
+                fresh[key] = individual.genome
+        if fresh:
+            genomes = list(fresh.values())
+            outputs = evaluate_genomes(self.problem, genomes, self.service)
+            for key, (objectives, payload) in zip(fresh, outputs):
+                self._eval_cache[key] = (np.asarray(objectives, dtype=float), payload)
+            self.num_evaluations += len(fresh)
+        for individual in individuals:
+            objectives, payload = self._eval_cache[individual.key()]
+            individual.objectives = objectives.copy()
+            individual.payload = dict(payload)
+        return individuals
 
     def _initial_population(self) -> list[Individual]:
         population = [
             Individual(genome=np.asarray(self.problem.sample(self.rng), dtype=np.int64))
             for _ in range(self.config.population)
         ]
-        return [self._evaluate(ind) for ind in population]
+        return self._evaluate_all(population)
 
     def _tournament(self, population: list[Individual]) -> Individual:
         a, b = self.rng.choice(len(population), size=2, replace=False)
@@ -124,9 +171,15 @@ class NSGA2:
         return ind_a if ind_a.crowding >= ind_b.crowding else ind_b
 
     def make_offspring(self, population: list[Individual]) -> list[Individual]:
-        """Mating selection + crossover + mutation -> evaluated children."""
-        children: list[Individual] = []
-        while len(children) < self.config.population:
+        """Mating selection + crossover + mutation -> evaluated children.
+
+        Variation (which consumes the engine RNG) runs to completion first;
+        the resulting genomes are then evaluated as one batch.  The RNG
+        stream is identical to interleaved per-child evaluation because
+        evaluation never draws from it.
+        """
+        genomes: list[np.ndarray] = []
+        while len(genomes) < self.config.population:
             parent_a = self._tournament(population)
             parent_b = self._tournament(population)
             if self.rng.random() < self.config.crossover_prob:
@@ -136,13 +189,13 @@ class NSGA2:
             else:
                 genome_a, genome_b = parent_a.copy_genome(), parent_b.copy_genome()
             for genome in (genome_a, genome_b):
-                if len(children) >= self.config.population:
+                if len(genomes) >= self.config.population:
                     break
-                mutated = self.problem.mutate(genome, self.rng)
-                children.append(
-                    self._evaluate(Individual(genome=np.asarray(mutated, dtype=np.int64)))
-                )
-        return children
+                genomes.append(self.problem.mutate(genome, self.rng))
+        children = [
+            Individual(genome=np.asarray(genome, dtype=np.int64)) for genome in genomes
+        ]
+        return self._evaluate_all(children)
 
     # ----------------------------------------------------------------- loop
     def run(self) -> list[Individual]:

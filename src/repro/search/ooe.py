@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.arch.config import BackboneConfig
 from repro.arch.space import BackboneSpace
+from repro.engine.service import EvalTask, EvaluationService
 from repro.eval.static import StaticEvaluation, StaticEvaluator
 from repro.search import operators
 from repro.search.archive import ParetoArchive
@@ -125,6 +126,12 @@ class OuterEngine:
         Outer budget; paper uses 450 iterations (= generations x population).
     ioe_candidates:
         Size of P'_B — backbones per generation granted an inner run.
+    service:
+        Evaluation service carrying the executor and result cache.  Static
+        population evaluations and the generation's inner-engine runs are
+        submitted through it as batches; inner runs within a generation are
+        embarrassingly parallel (each is seeded by its backbone key), so a
+        multi-worker service overlaps them without changing any result.
     """
 
     def __init__(
@@ -135,6 +142,7 @@ class OuterEngine:
         nsga: Nsga2Config | None = None,
         ioe_candidates: int = 4,
         seed: int = 0,
+        service: EvaluationService | None = None,
     ):
         check_positive("ioe_candidates", ioe_candidates)
         self.space = space
@@ -143,6 +151,7 @@ class OuterEngine:
         self.nsga_config = nsga or Nsga2Config(population=16, generations=6)
         self.ioe_candidates = ioe_candidates
         self.seed = seed
+        self.service = service or EvaluationService()
         self.problem = _BackboneProblem(space, evaluator)
 
     # ------------------------------------------------------------ internals
@@ -195,7 +204,12 @@ class OuterEngine:
         """Execute the full bi-level outer loop."""
         from repro.search.nsga2 import NSGA2  # local import to reuse machinery
 
-        engine = NSGA2(self.problem, self.nsga_config, rng=child_rng(self.seed, "ooe"))
+        engine = NSGA2(
+            self.problem,
+            self.nsga_config,
+            rng=child_rng(self.seed, "ooe"),
+            service=self.service,
+        )
         result = OuterResult(
             static_archive=ParetoArchive(), dynamic_archive=ParetoArchive()
         )
@@ -210,19 +224,34 @@ class OuterEngine:
             pruned = sorted(population, key=lambda ind: (ind.rank, -ind.crowding))
             pruned = pruned[: self.ioe_candidates]
 
-            # Inner runs + aggregation of dynamic evaluations.
-            combined: list[tuple[Individual, np.ndarray]] = []
+            # Inner runs + aggregation of dynamic evaluations.  All inner
+            # runs of a generation are submitted as one batch: each is a
+            # pure function of (backbone, seed), so the service may overlap
+            # them across workers while results stay identical to serial.
+            fresh: dict[str, Individual] = {}
             for backbone in pruned:
                 config: BackboneConfig = backbone.payload["config"]
-                if config.key in result.inner_results:
-                    inner = result.inner_results[config.key]
-                else:
-                    inner = self.run_inner(config, backbone.payload["static"])
-                    result.inner_results[config.key] = inner
+                if config.key not in result.inner_results:
+                    fresh.setdefault(config.key, backbone)
+            if fresh:
+                inners = self.service.evaluate_batch(
+                    [
+                        EvalTask(
+                            self.run_inner,
+                            (ind.payload["config"], ind.payload["static"]),
+                        )
+                        for ind in fresh.values()
+                    ]
+                )
+                for backbone, inner in zip(fresh.values(), inners):
+                    result.inner_results[backbone.payload["config"].key] = inner
                     result.num_dynamic_evaluations += inner.num_evaluations
                     result.dynamic_archive.add_all(
                         self._dynamic_individuals(backbone, inner)
                     )
+            combined: list[tuple[Individual, np.ndarray]] = []
+            for backbone in pruned:
+                inner = result.inner_results[backbone.payload["config"].key]
                 combined.append((backbone, self._combined_objectives(backbone, inner)))
 
             # Second selection on combined S+D scores -> P''_B.

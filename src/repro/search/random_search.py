@@ -12,19 +12,26 @@ import numpy as np
 
 from repro.search.archive import ParetoArchive
 from repro.search.individual import Individual
-from repro.search.nsga2 import Problem, rank_and_crowd
+from repro.search.nsga2 import Problem, evaluate_genomes, rank_and_crowd
 from repro.utils.rng import make_rng
 
 
 class RandomSearch:
-    """Uniform random sampling at a fixed evaluation budget."""
+    """Uniform random sampling at a fixed evaluation budget.
 
-    def __init__(self, problem: Problem, budget: int, rng=None):
+    When an :class:`~repro.engine.service.EvaluationService` is supplied,
+    the whole budget is evaluated as one batch through it (sampling is
+    independent of evaluation results, so the RNG stream — and therefore
+    every sampled genome — is unchanged).
+    """
+
+    def __init__(self, problem: Problem, budget: int, rng=None, service=None):
         if budget <= 0:
             raise ValueError(f"budget must be positive, got {budget}")
         self.problem = problem
         self.budget = budget
         self.rng = make_rng(rng)
+        self.service = service
         self.history: list[Individual] = []
         self.num_evaluations = 0
         self._seen: set[tuple] = set()
@@ -36,7 +43,10 @@ class RandomSearch:
         so the budget buys distinct evaluations, mirroring the NSGA-II
         engine's evaluation cache.
         """
-        while self.num_evaluations < self.budget:
+        genomes: list[np.ndarray] = []
+        # Only the unspent budget is sampled, so a repeated run() remains a
+        # no-op (as with the pre-batching evaluate-as-you-go loop).
+        while len(genomes) < self.budget - self.num_evaluations:
             genome = np.asarray(self.problem.sample(self.rng), dtype=np.int64)
             key = tuple(int(g) for g in genome)
             retries = 0
@@ -45,13 +55,16 @@ class RandomSearch:
                 key = tuple(int(g) for g in genome)
                 retries += 1
             self._seen.add(key)
-            objectives, payload = self.problem.evaluate(genome)
-            individual = Individual(
-                genome=genome,
-                objectives=np.asarray(objectives, dtype=float),
-                payload=dict(payload),
+            genomes.append(genome)
+        outputs = evaluate_genomes(self.problem, genomes, self.service)
+        for genome, (objectives, payload) in zip(genomes, outputs):
+            self.history.append(
+                Individual(
+                    genome=genome,
+                    objectives=np.asarray(objectives, dtype=float),
+                    payload=dict(payload),
+                )
             )
-            self.history.append(individual)
             self.num_evaluations += 1
         rank_and_crowd(self.history)
         return self.history

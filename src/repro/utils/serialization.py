@@ -86,6 +86,18 @@ def from_jsonable(data: Any, cls: type) -> Any:
     return cls(**kwargs)
 
 
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON rendering of ``obj`` (sorted keys, no whitespace).
+
+    Two structurally equal objects always render to the same string, which is
+    what makes the string a sound input for content addressing (the engine
+    cache hashes it to derive entry digests).
+    """
+    return json.dumps(
+        to_jsonable(obj), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
 def save_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
     """Serialise ``obj`` with :func:`to_jsonable` and write it to ``path``."""
     path = Path(path)

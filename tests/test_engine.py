@@ -1,0 +1,428 @@
+"""EvaluationService, executors and the persistent result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.engine.service import EvalTask, EvaluationService
+from repro.eval.static import StaticEvaluation
+from repro.search.hadas import HadasConfig, HadasResult, HadasSearch
+from repro.search.nsga2 import NSGA2, Nsga2Config
+from repro.search.ooe import OuterResult
+from repro.search.archive import ParetoArchive
+
+
+def _square(x):
+    return x * x
+
+
+def _tiny_config(**overrides) -> HadasConfig:
+    base = dict(
+        platform="tx2-gpu",
+        seed=5,
+        outer_population=6,
+        outer_generations=2,
+        inner_population=6,
+        inner_generations=2,
+        ioe_candidates=2,
+        oracle_samples=256,
+    )
+    base.update(overrides)
+    return HadasConfig(**base)
+
+
+def _pareto_bytes(result) -> bytes:
+    members = sorted(result.dynn_pareto(), key=lambda ind: ind.key())
+    return np.stack([ind.objectives for ind in members]).tobytes()
+
+
+# --------------------------------------------------------------------- cache
+class TestResultCache:
+    def test_json_roundtrip_dataclass(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("static", backbone="b1", platform="tx2")
+        evaluation = StaticEvaluation(accuracy=71.5, latency_s=0.02, energy_j=0.4)
+        path = cache.put(key, evaluation)
+        assert path.suffix == ".json"
+        assert cache.get(key, cls=StaticEvaluation) == evaluation
+
+    def test_pickle_fallback_for_rich_objects(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("inner", backbone="b1")
+        value = {"archive": ParetoArchive(), "arr": np.arange(3)}
+        path = cache.put(key, value)
+        assert path.suffix == ".pkl"
+        loaded = cache.get(key)
+        assert isinstance(loaded["archive"], ParetoArchive)
+        np.testing.assert_array_equal(loaded["arr"], np.arange(3))
+
+    def test_key_is_order_insensitive_and_content_addressed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = cache.key("static", backbone="b", seed=1)
+        b = cache.key("static", seed=1, backbone="b")
+        c = cache.key("static", seed=2, backbone="b")
+        assert a == b
+        assert a != c
+
+    def test_hit_miss_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("static", backbone="b")
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+        stats = cache.stats("static")
+        assert (stats.hits, stats.misses, stats.puts) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_version_bump_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, version="1")
+        old.put(old.key("static", backbone="b"), {"x": 1})
+        bumped = ResultCache(tmp_path, version="2")
+        assert bumped.get(bumped.key("static", backbone="b")) is None
+        assert bumped.stats("static").misses == 1
+
+    def test_memoize_computes_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("static", backbone="b")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 42}
+
+        assert cache.memoize(key, compute) == {"x": 42}
+        assert cache.memoize(key, compute) == {"x": 42}
+        assert len(calls) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("static", backbone="b")
+        (tmp_path / f"{key.digest}.json").write_text("{not json")
+        assert cache.get(key, default="fallback") == "fallback"
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key("a", i=1), {"x": 1})
+        cache.put(cache.key("b", i=2), {"arr": ParetoArchive()})
+        (tmp_path / "deadbeef.tmp").write_bytes(b"torn write")  # hard-kill remnant
+        assert len(cache) == 2
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_stale_pickle_is_a_miss(self, tmp_path):
+        import pickle
+
+        cache = ResultCache(tmp_path)
+        key = cache.key("inner", backbone="b")
+        # A pickle referencing a module that no longer exists (same-length
+        # rename keeps the pickle structurally valid).
+        payload = pickle.dumps(ParetoArchive()).replace(
+            b"repro.search.archive", b"repro.search.gonecls"
+        )
+        (tmp_path / f"{key.digest}.pkl").write_bytes(payload)
+        assert cache.get(key, default="recompute") == "recompute"
+
+
+# ----------------------------------------------------------------- executors
+class TestExecutors:
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ThreadExecutor(4), ProcessExecutor(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_order_preserved(self, executor):
+        calls = [(_square, (i,)) for i in range(10)]
+        try:
+            assert executor.run(calls) == [i * i for i in range(10)]
+        finally:
+            executor.close()
+
+    def test_make_executor_auto(self):
+        assert make_executor("auto", 1).kind == "serial"
+        auto = make_executor("auto", 4)
+        assert auto.kind == "thread"
+        auto.close()
+
+    def test_make_executor_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu-cluster")
+
+    def test_pool_survives_pickling_without_live_pool(self):
+        import pickle
+
+        executor = ThreadExecutor(2)
+        executor.run([(_square, (i,)) for i in range(4)])
+        clone = pickle.loads(pickle.dumps(executor))
+        try:
+            assert clone.run([(_square, (3,))]) == [9]
+        finally:
+            clone.close()
+            executor.close()
+
+
+# ------------------------------------------------------------------- service
+class TestEvaluationService:
+    def test_unkeyed_batch(self):
+        with EvaluationService(executor="thread", workers=4) as service:
+            results = service.map(_square, [(i,) for i in range(8)])
+        assert results == [i * i for i in range(8)]
+        assert service.stats.executed == 8
+
+    def test_keyed_tasks_hit_cache_across_batches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def expensive(x):
+            calls.append(x)
+            return x * x
+
+        with EvaluationService(cache=cache) as service:
+            key = cache.key("toy", x=3)
+            first = service.evaluate(EvalTask(expensive, (3,), key=key))
+            second = service.evaluate(EvalTask(expensive, (3,), key=key))
+        assert first == second == 9
+        assert calls == [3]
+        assert service.stats.cache_hits == 1
+
+    def test_within_batch_deduplication(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def expensive(x):
+            calls.append(x)
+            return x + 1
+
+        key = cache.key("toy", x=7)
+        with EvaluationService(cache=cache) as service:
+            results = service.evaluate_batch(
+                [EvalTask(expensive, (7,), key=key), EvalTask(expensive, (7,), key=key)]
+            )
+        assert results == [8, 8]
+        assert calls == [7]
+        assert service.stats.deduplicated == 1
+
+
+# --------------------------------------------------------- engine-in-the-loop
+class TestSearchDeterminism:
+    def test_custom_evaluate_batch_override_wins_over_service(self):
+        from repro.search.nsga2 import Problem
+        from repro.search import operators
+
+        class BatchProblem(Problem):
+            def __init__(self):
+                self.batch_calls = 0
+
+            def sample(self, rng):
+                return rng.integers(0, 4, size=3)
+
+            def evaluate(self, genome):
+                return np.asarray([float(genome.sum())]), {}
+
+            def evaluate_batch(self, genomes):
+                self.batch_calls += 1
+                return [self.evaluate(g) for g in genomes]
+
+            def crossover(self, a, b, rng):
+                return operators.uniform_crossover(a, b, rng)
+
+            def mutate(self, genome, rng):
+                return operators.creep_mutation(
+                    genome, np.asarray([4, 4, 4]), rng, prob=0.5
+                )
+
+        problem = BatchProblem()
+        with EvaluationService(executor="thread", workers=2) as service:
+            NSGA2(problem, Nsga2Config(population=6, generations=2), rng=0,
+                  service=service).run()
+        assert problem.batch_calls > 0  # override honored despite the service
+
+    def test_nsga2_service_matches_serial(self, static_evaluator):
+        from repro.arch.space import BackboneSpace
+        from repro.search.ooe import _BackboneProblem
+
+        problem = _BackboneProblem(BackboneSpace(), static_evaluator)
+        config = Nsga2Config(population=8, generations=3)
+        serial = NSGA2(problem, config, rng=3).run()
+        with EvaluationService(executor="thread", workers=4) as service:
+            parallel = NSGA2(problem, config, rng=3, service=service).run()
+        for a, b in zip(serial, parallel):
+            assert a.key() == b.key()
+            np.testing.assert_array_equal(a.objectives, b.objectives)
+
+    def test_parallel_workers_bit_identical_pareto(self):
+        serial = HadasSearch(_tiny_config()).run()
+        search = HadasSearch(_tiny_config(workers=4, executor="thread"))
+        parallel = search.run()
+        search.close()
+        assert _pareto_bytes(serial) == _pareto_bytes(parallel)
+
+    def test_process_executor_bit_identical_pareto(self):
+        serial = HadasSearch(_tiny_config()).run()
+        search = HadasSearch(_tiny_config(workers=2, executor="process"))
+        parallel = search.run()
+        search.close()
+        assert _pareto_bytes(serial) == _pareto_bytes(parallel)
+
+
+class TestPersistentCacheInSearch:
+    def test_warm_rerun_does_zero_static_measurements(self, tmp_path):
+        cold = HadasSearch(_tiny_config(cache_dir=str(tmp_path)))
+        cold_result = cold.run()
+        assert cold.static_evaluator.num_measurements > 0
+
+        warm = HadasSearch(_tiny_config(cache_dir=str(tmp_path)))
+        warm_result = warm.run()
+        assert warm.static_evaluator.num_measurements == 0
+        assert warm.cache.stats("static").misses == 0
+        assert warm.cache.stats("inner").misses == 0
+        assert _pareto_bytes(cold_result) == _pareto_bytes(warm_result)
+
+    def test_cached_results_match_uncached(self, tmp_path):
+        uncached = HadasSearch(_tiny_config()).run()
+        cached = HadasSearch(_tiny_config(cache_dir=str(tmp_path))).run()
+        assert _pareto_bytes(uncached) == _pareto_bytes(cached)
+
+    def test_static_evaluator_version_bump_remeasures(self, tmp_path, monkeypatch):
+        cold = HadasSearch(_tiny_config(cache_dir=str(tmp_path)))
+        cold.run()
+
+        import repro.eval.static as static_mod
+
+        monkeypatch.setattr(static_mod, "STATIC_EVALUATOR_VERSION", "999-test")
+        bumped = HadasSearch(_tiny_config(cache_dir=str(tmp_path)))
+        bumped.run()
+        assert bumped.static_evaluator.num_measurements > 0
+        assert bumped.cache.stats("static").misses > 0
+
+    def test_inner_engine_version_bump_reruns_ioe(self, tmp_path, monkeypatch):
+        cold = HadasSearch(_tiny_config(cache_dir=str(tmp_path)))
+        cold.run()
+
+        import repro.search.hadas as hadas_mod
+
+        monkeypatch.setattr(hadas_mod, "INNER_ENGINE_VERSION", "999-test")
+        bumped = HadasSearch(_tiny_config(cache_dir=str(tmp_path)))
+        bumped.run()
+        assert bumped.cache.stats("inner").misses > 0
+
+    def test_distinct_seeds_do_not_share_entries(self, tmp_path):
+        first = HadasSearch(_tiny_config(cache_dir=str(tmp_path)))
+        first.run()
+        other = HadasSearch(_tiny_config(seed=6, cache_dir=str(tmp_path)))
+        other.run()
+        assert other.static_evaluator.num_measurements > 0
+
+    def test_distinct_spaces_or_anchors_do_not_share_entries(
+        self, mini_space, tmp_path
+    ):
+        # Surrogate accuracy is calibrated against the space's bounds and
+        # anchors, so the cache keys must diverge for an identical config
+        # object when either differs.
+        import dataclasses
+
+        from repro.accuracy.surrogate import DEFAULT_ANCHORS, AccuracySurrogate
+        from repro.arch.space import BackboneSpace
+        from repro.eval.static import StaticEvaluator
+        from repro.hardware.platform import get_platform
+
+        assert BackboneSpace().fingerprint() == BackboneSpace().fingerprint()
+        assert BackboneSpace().fingerprint() != mini_space.fingerprint()
+
+        platform = get_platform("tx2-gpu")
+        cache = ResultCache(tmp_path)
+        space = BackboneSpace()
+        default_eval = StaticEvaluator(
+            platform, AccuracySurrogate(space, seed=0), seed=0, cache=cache
+        )
+        shifted_anchors = dataclasses.replace(
+            DEFAULT_ANCHORS, a0_accuracy=DEFAULT_ANCHORS.a0_accuracy - 1.0
+        )
+        shifted_eval = StaticEvaluator(
+            platform,
+            AccuracySurrogate(space, anchors=shifted_anchors, seed=0),
+            seed=0,
+            cache=cache,
+        )
+        config = space.sample(np.random.default_rng(0))
+        assert default_eval._cache_key(config) != shifted_eval._cache_key(config)
+
+    def test_distinct_num_classes_do_not_share_entries(self, tmp_path):
+        # config.key omits the classifier width, but head cost depends on it;
+        # the persistent key must separate the two.
+        first = HadasSearch(_tiny_config(cache_dir=str(tmp_path)))
+        first.run()
+        other = HadasSearch(_tiny_config(num_classes=10, cache_dir=str(tmp_path)))
+        other.run()
+        assert other.static_evaluator.num_measurements > 0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            HadasConfig(workers=0)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            HadasConfig(executor="quantum")
+
+    def test_injected_service_adopts_its_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with EvaluationService(cache=cache) as service:
+            search = HadasSearch(_tiny_config(), service=service)
+            assert search.cache is cache
+            matching = HadasSearch(
+                _tiny_config(cache_dir=str(tmp_path)), service=service
+            )
+            assert matching.cache is cache
+
+    def test_injected_service_engine_knob_conflict_raises(self, tmp_path):
+        with EvaluationService(executor="thread", workers=4) as service:
+            with pytest.raises(ValueError, match="workers"):
+                HadasSearch(_tiny_config(workers=4), service=service)
+
+    def test_injected_service_cache_conflict_raises(self, tmp_path):
+        with EvaluationService(cache=ResultCache(tmp_path / "a")) as service:
+            with pytest.raises(ValueError, match="conflicts"):
+                HadasSearch(_tiny_config(cache_dir=str(tmp_path / "b")), service=service)
+        with EvaluationService() as bare:
+            with pytest.raises(ValueError, match="conflicts"):
+                HadasSearch(_tiny_config(cache_dir=str(tmp_path / "c")), service=bare)
+
+
+class TestRandomSearchBudget:
+    def test_repeated_run_is_a_noop(self, static_evaluator):
+        from repro.arch.space import BackboneSpace
+        from repro.search.ooe import _BackboneProblem
+        from repro.search.random_search import RandomSearch
+
+        problem = _BackboneProblem(BackboneSpace(), static_evaluator)
+        search = RandomSearch(problem, budget=8, rng=3)
+        first = search.run()
+        second = search.run()
+        assert len(first) == len(second) == 8
+        assert search.num_evaluations == 8
+
+
+class TestEmptyArchiveGuidance:
+    def test_selected_model_raises_runtime_error(self, space, surrogate, static_evaluator):
+        result = HadasResult(
+            config=HadasConfig(),
+            outer=OuterResult(
+                static_archive=ParetoArchive(), dynamic_archive=ParetoArchive()
+            ),
+            space=space,
+            surrogate=surrogate,
+            static_evaluator=static_evaluator,
+        )
+        assert result.top_models(2) == []
+        with pytest.raises(RuntimeError, match="dynamic archive is empty"):
+            result.selected_model()
