@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate paper artifacts from the shell.
+"""Command-line entry point: paper artifacts, online serving, cache admin.
 
 Usage::
 
@@ -8,9 +8,13 @@ Usage::
     python -m repro fig5 --platforms tx2-gpu agx-gpu
     python -m repro fig5 --workers 4 --cache-dir .cache/engine
     python -m repro all --profile fast
+    python -m repro serve --trace diurnal --slo-ms 20
+    python -m repro cache stats --cache-dir .cache/engine
 
 Artifacts print the paper-style rows/series (the same renderers the
-benchmark suite uses).
+benchmark suite uses); ``serve`` runs the online serving simulator
+(``repro serve --help``); ``cache`` administers the persistent result
+cache (``repro cache --help``).
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ import time
 
 from repro.experiments import fig1, fig5, fig6, fig7, table1, table2, table3
 from repro.experiments.config import Profile
-from repro.hardware.platform import PAPER_PLATFORM_ORDER
+from repro.hardware.platform import PAPER_PLATFORM_ORDER, validate_platform_keys
 
 _ARTIFACTS = ("table1", "table2", "fig1", "fig5", "fig6", "fig7", "table3")
 
@@ -62,11 +66,25 @@ def _run_artifact(name: str, profile: Profile, platform: str, platforms: tuple[s
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Subcommands with their own parsers; everything else is an artifact.
+    if argv and argv[0] == "serve":
+        from repro.serving.cli import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.engine.cli import main as cache_main
+
+        return cache_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("artifact", help="one of: list, all, " + ", ".join(_ARTIFACTS))
+    parser.add_argument(
+        "artifact",
+        help="one of: list, all, " + ", ".join(_ARTIFACTS) + ", serve, cache",
+    )
     parser.add_argument("--profile", default="fast", help="fast (default) or paper")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--platform", default="tx2-gpu",
@@ -84,8 +102,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.artifact == "list":
         print("available artifacts:", ", ".join(_ARTIFACTS), "or 'all'")
+        print("other subcommands: serve (online serving), cache (cache admin)")
         return 0
 
+    try:
+        validate_platform_keys([args.platform, *args.platforms])
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
     profile = _engine_profile(args)
     names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in names:

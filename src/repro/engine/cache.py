@@ -23,6 +23,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -131,6 +132,49 @@ class ResultCache:
             self.directory / f"{key.digest}.pkl",
         )
 
+    # ---------------------------------------------------------------- index
+    # The digest folds the namespace and version in, so entries are
+    # unreachable (not just stale) after a version bump.  The index sidecar
+    # records (digest -> namespace, version) at write time, which is what
+    # lets `prune` find orphaned generations without guessing: filenames
+    # alone cannot be mapped back to the version that produced them.
+    @property
+    def _index_path(self) -> Path:
+        return self.directory / "index.jsonl"
+
+    def _index_append(self, key: CacheKey) -> None:
+        line = json.dumps(
+            {"digest": key.digest, "namespace": key.namespace, "version": str(self.version)}
+        )
+        with self._lock:
+            with self._index_path.open("a") as handle:
+                handle.write(line + "\n")
+
+    def index_entries(self) -> dict[str, dict]:
+        """Parse the index sidecar: digest -> {namespace, version} (last wins).
+
+        Corrupt lines (torn concurrent appends) are skipped; entries whose
+        files are gone are dropped.
+        """
+        entries: dict[str, dict] = {}
+        try:
+            lines = self._index_path.read_text().splitlines()
+        except OSError:
+            return entries
+        for line in lines:
+            try:
+                record = json.loads(line)
+                digest = record["digest"]
+            except (ValueError, TypeError, KeyError):
+                continue
+            entries[digest] = record
+        return {
+            digest: record
+            for digest, record in entries.items()
+            if (self.directory / f"{digest}.json").exists()
+            or (self.directory / f"{digest}.pkl").exists()
+        }
+
     # -------------------------------------------------------------- get/put
     def get(self, key: CacheKey, cls: type | None = None, default: Any = None) -> Any:
         """Fetch the entry at ``key``; ``default`` on miss.
@@ -176,9 +220,11 @@ class ResultCache:
         except TypeError:
             self._write_atomic(pkl_path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
             self._record(key.namespace, put=True)
+            self._index_append(key)
             return pkl_path
         self._write_atomic(json_path, rendered.encode("utf-8"))
         self._record(key.namespace, put=True)
+        self._index_append(key)
         return json_path
 
     def memoize(self, key: CacheKey, fn, cls: type | None = None) -> Any:
@@ -209,16 +255,110 @@ class ResultCache:
             1 for _ in self.directory.glob("*.pkl")
         )
 
+    def disk_stats(self) -> dict:
+        """On-disk inventory: entry/byte totals plus per-namespace and
+        per-version breakdowns from the index sidecar.
+
+        ``unindexed`` counts entry files the index does not know about
+        (written by pre-index engine versions); they are left alone by
+        :meth:`prune` unless explicitly requested.
+        """
+        files = {
+            path.stem: path
+            for pattern in ("*.json", "*.pkl")
+            for path in self.directory.glob(pattern)
+        }
+        entries = self.index_entries()
+        namespaces: dict[str, dict] = {}
+        versions: dict[str, int] = {}
+        for digest, record in entries.items():
+            size = files[digest].stat().st_size if digest in files else 0
+            space = namespaces.setdefault(
+                record.get("namespace", "?"), {"entries": 0, "bytes": 0}
+            )
+            space["entries"] += 1
+            space["bytes"] += size
+            version = str(record.get("version", "?"))
+            versions[version] = versions.get(version, 0) + 1
+        return {
+            "directory": str(self.directory),
+            "entries": len(files),
+            "bytes": sum(path.stat().st_size for path in files.values()),
+            "unindexed": len(set(files) - set(entries)),
+            "namespaces": namespaces,
+            "versions": versions,
+        }
+
+    def prune(
+        self,
+        keep_version: str | None = None,
+        orphans: bool = False,
+        orphan_min_age_s: float = 60.0,
+    ) -> int:
+        """Delete entries written under any version other than ``keep_version``.
+
+        Those entries are unreachable — the version is folded into every
+        digest — so pruning reclaims disk without affecting hit rates.
+        ``orphans=True`` additionally removes unindexed entry files (written
+        before the index existed; indistinguishable from stale, so opt-in).
+        Files younger than ``orphan_min_age_s`` are never swept as orphans:
+        a concurrent writer creates the entry file *before* its index line
+        lands, and the age guard keeps that window from looking orphaned.
+        Returns the number of entry files removed and rewrites the index to
+        the surviving entries.
+        """
+        keep = str(self.version if keep_version is None else keep_version)
+        entries = self.index_entries()
+        removed = 0
+        survivors: dict[str, dict] = {}
+        for digest, record in entries.items():
+            if str(record.get("version")) == keep:
+                survivors[digest] = record
+                continue
+            for suffix in (".json", ".pkl"):
+                path = self.directory / f"{digest}{suffix}"
+                if path.exists():
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        if orphans:
+            cutoff = time.time() - orphan_min_age_s
+            for pattern in ("*.json", "*.pkl"):
+                for path in self.directory.glob(pattern):
+                    if path.stem in entries:
+                        continue
+                    try:
+                        if path.stat().st_mtime > cutoff:
+                            continue  # too fresh: may be a racing writer's entry
+                    except OSError:
+                        continue
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        # Re-read instead of trusting the pre-deletion snapshot: index lines
+        # appended by concurrent writers while we swept must survive the
+        # rewrite, or their (live) entries would look orphaned forever.
+        with self._lock:
+            latest = self.index_entries()
+            survivors.update(
+                (digest, record)
+                for digest, record in latest.items()
+                if digest not in survivors and str(record.get("version")) == keep
+            )
+            rendered = "".join(json.dumps(record) + "\n" for record in survivors.values())
+            self._write_atomic(self._index_path, rendered.encode("utf-8"))
+        return removed
+
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed.
 
         Also sweeps ``*.tmp`` remnants of writes that were hard-killed
         between ``mkstemp`` and the atomic rename (safe here: a clear is an
-        explicit request, not something raced by concurrent writers).
+        explicit request, not something raced by concurrent writers) and
+        the index sidecar.
         """
         removed = 0
         for pattern in ("*.json", "*.pkl", "*.tmp"):
             for path in self.directory.glob(pattern):
                 path.unlink(missing_ok=True)
                 removed += 1
+        self._index_path.unlink(missing_ok=True)
         return removed

@@ -1,0 +1,79 @@
+"""``repro cache`` — inspect and maintain the persistent result cache.
+
+Subcommands::
+
+    repro cache stats --cache-dir .cache/engine
+    repro cache clear --cache-dir .cache/engine
+    repro cache prune --cache-dir .cache/engine [--keep-version 1] [--orphans]
+
+``stats`` reports entry/byte totals with per-namespace and per-version
+breakdowns; ``prune`` removes entries written under superseded cache
+versions (unreachable since the version is folded into every digest);
+``clear`` wipes the directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.engine.cache import ENGINE_CACHE_VERSION, ResultCache
+
+
+def _format_bytes(num: int) -> str:
+    size = float(num)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{int(size)} B"  # pragma: no cover - unreachable
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("action", choices=["stats", "clear", "prune"])
+    parser.add_argument(
+        "--cache-dir", required=True, help="persistent evaluation-result cache directory"
+    )
+    parser.add_argument(
+        "--keep-version",
+        default=None,
+        help=f"prune: version to keep (default: current, {ENGINE_CACHE_VERSION!r})",
+    )
+    parser.add_argument(
+        "--orphans",
+        action="store_true",
+        help="prune: also remove unindexed entries (pre-index cache files)",
+    )
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.disk_stats()
+        print(f"cache {stats['directory']}")
+        print(
+            f"  {stats['entries']} entries, {_format_bytes(stats['bytes'])}"
+            + (f" ({stats['unindexed']} unindexed)" if stats["unindexed"] else "")
+        )
+        for namespace, row in sorted(stats["namespaces"].items()):
+            print(
+                f"  namespace {namespace:>10s}: {row['entries']} entries, "
+                f"{_format_bytes(row['bytes'])}"
+            )
+        for version, count in sorted(stats["versions"].items()):
+            marker = " (current)" if version == str(cache.version) else ""
+            print(f"  version {version:>12s}: {count} entries{marker}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} files from {cache.directory}")
+        return 0
+    removed = cache.prune(keep_version=args.keep_version, orphans=args.orphans)
+    keep = args.keep_version if args.keep_version is not None else cache.version
+    print(
+        f"pruned {removed} entry files (kept version {keep!r}) in {cache.directory}"
+    )
+    return 0

@@ -10,12 +10,62 @@ dominates (run-to-idle argument), at high clocks the V²f term dominates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.arch.cost import LayerCost, NetworkCost
 from repro.hardware.dvfs import DvfsSetting
 from repro.hardware.latency import LatencyModel
 from repro.hardware.platform import HardwarePlatform
 from repro.hardware.power import PowerModel
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """Execution profile of one request path, split for batch accounting.
+
+    ``busy_s`` is roofline compute/memory time (serialised across a batch),
+    ``overhead_s`` is per-layer dispatch overhead (shared across a batch —
+    co-scheduled requests reuse the same kernel launches), ``dynamic_energy_j``
+    is the activity-scaled rail energy and ``passive_power_w`` the always-on
+    power (static + DRAM background) that burns for as long as the device is
+    occupied.
+    """
+
+    busy_s: float
+    overhead_s: float
+    dynamic_energy_j: float
+    passive_power_w: float
+
+    @property
+    def latency_s(self) -> float:
+        """Stand-alone (batch-of-one) latency."""
+        return self.busy_s + self.overhead_s
+
+    @property
+    def energy_j(self) -> float:
+        """Stand-alone (batch-of-one) energy."""
+        return self.dynamic_energy_j + self.passive_power_w * self.latency_s
+
+
+def batched_execution(profiles: Sequence[PathProfile]) -> tuple[float, float]:
+    """(latency, energy) of running several request paths as one micro-batch.
+
+    Busy time serialises (a single edge accelerator), but dispatch overhead
+    is paid once — by the path with the most of it, since shallower paths'
+    kernel launches are a prefix of the deepest path's.  Passive power burns
+    for the whole occupancy.  A batch of one reduces exactly to the path's
+    stand-alone latency/energy, so serving at batch size 1 matches the
+    offline :class:`EnergyModel` numbers.
+    """
+    if not profiles:
+        return 0.0, 0.0
+    longest = max(profiles, key=lambda p: p.overhead_s)
+    latency = sum(p.busy_s for p in profiles) + longest.overhead_s
+    energy = (
+        sum(p.dynamic_energy_j + p.passive_power_w * p.busy_s for p in profiles)
+        + longest.passive_power_w * longest.overhead_s
+    )
+    return latency, energy
 
 
 @dataclass(frozen=True)
@@ -66,6 +116,28 @@ class EnergyModel:
             core_energy_j=core_j,
             mem_energy_j=mem_j,
             static_energy_j=static_j,
+        )
+
+    def path_profile(self, layers: list[LayerCost], setting: DvfsSetting) -> PathProfile:
+        """Batch-decomposable profile of a layer sequence at one setting.
+
+        Consistent with :meth:`composite_report`: the profile's stand-alone
+        ``latency_s``/``energy_j`` equal the report's.
+        """
+        p_passive = self.power.static_power(setting) + self.power.mem_background_power(setting)
+        busy_s = overhead_s = dynamic_j = 0.0
+        for layer in layers:
+            timing = self.latency.layer_timing(layer, setting)
+            busy = timing.total_s - timing.overhead_s
+            dynamic_j += self.power.core_dynamic_power(setting, 1.0) * busy * timing.core_activity
+            dynamic_j += self.power.mem_dynamic_power(setting, 1.0) * busy * timing.mem_activity
+            busy_s += busy
+            overhead_s += timing.overhead_s
+        return PathProfile(
+            busy_s=busy_s,
+            overhead_s=overhead_s,
+            dynamic_energy_j=dynamic_j,
+            passive_power_w=p_passive,
         )
 
     def composite_report(self, layers: list[LayerCost], setting: DvfsSetting) -> EnergyReport:

@@ -240,6 +240,22 @@ PLATFORM_BUILDERS = {
 PAPER_PLATFORM_ORDER = ("agx-gpu", "carmel-cpu", "tx2-gpu", "denver-cpu")
 
 
+def validate_platform_keys(keys) -> None:
+    """Raise ``ValueError`` naming every unknown key and the valid set.
+
+    CLI front-ends wrap this into a clean usage error instead of letting a
+    bad ``--platform``/``--platforms`` argument surface as a deep KeyError
+    mid-experiment.
+    """
+    unknown = [key for key in keys if key not in PLATFORM_BUILDERS]
+    if unknown:
+        raise ValueError(
+            f"unknown platform{'s' if len(unknown) > 1 else ''} "
+            + ", ".join(repr(k) for k in unknown)
+            + f"; valid platforms: {', '.join(PAPER_PLATFORM_ORDER)}"
+        )
+
+
 def get_platform(key: str) -> HardwarePlatform:
     """Look up one of the four paper platforms by key."""
     if key not in PLATFORM_BUILDERS:

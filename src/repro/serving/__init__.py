@@ -1,0 +1,96 @@
+"""Online edge-serving: trace-driven simulation with adaptive runtime scaling.
+
+HADAS's output is a *dynamic* model — backbone + early exits + DVFS — whose
+value shows at deployment, under real traffic.  This package serves
+timestamped request streams through searched designs:
+
+* :mod:`~repro.serving.workload` — load generators (Poisson, bursty MMPP,
+  diurnal, replayed flash-crowd traces) with per-request difficulty;
+* :mod:`~repro.serving.batcher` — FIFO queue + micro-batcher (size cap /
+  head-of-line timeout);
+* :mod:`~repro.serving.stream` — difficulty-conditioned logits so the real
+  entropy controllers make the exit decisions;
+* :mod:`~repro.serving.governor` — the runtime-config ladder (exit-rate ×
+  DVFS tier) and the adaptive governor vs the static baseline;
+* :mod:`~repro.serving.scenarios` — thermal-cap and battery-budget
+  environments;
+* :mod:`~repro.serving.simulator` — the discrete-event loop with batched
+  hardware pricing and SLO telemetry;
+* :mod:`~repro.serving.harness` — spec → report cells, fanned out through
+  the engine's :class:`~repro.engine.service.EvaluationService`.
+
+Entry points: ``repro serve ...`` (CLI) and ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serving.batcher import BatchPolicy, MicroBatcher
+from repro.serving.governor import (
+    AdaptiveGovernor,
+    GovernorObservation,
+    RuntimeConfig,
+    ServingPolicy,
+    StaticPolicy,
+    plan_config_ladder,
+    static_config_for,
+)
+from repro.serving.harness import (
+    SERVING_CELL_VERSION,
+    ServingSpec,
+    ServingStack,
+    build_serving_stack,
+    build_trace_and_stream,
+    run_serving_cell,
+    sweep,
+)
+from repro.serving.scenarios import SCENARIO_NAMES, SCENARIOS, Scenario, get_scenario
+from repro.serving.simulator import ServingSimulator
+from repro.serving.stream import LogitsSynthesizer, ServingStream
+from repro.serving.telemetry import ServingReport, render_comparison, render_report
+from repro.serving.workload import (
+    LOAD_PATTERNS,
+    Request,
+    Trace,
+    bursty_trace,
+    diurnal_trace,
+    flash_crowd_trace,
+    make_trace,
+    poisson_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "AdaptiveGovernor",
+    "BatchPolicy",
+    "GovernorObservation",
+    "LOAD_PATTERNS",
+    "LogitsSynthesizer",
+    "MicroBatcher",
+    "Request",
+    "RuntimeConfig",
+    "SCENARIO_NAMES",
+    "SCENARIOS",
+    "SERVING_CELL_VERSION",
+    "Scenario",
+    "ServingPolicy",
+    "ServingReport",
+    "ServingSimulator",
+    "ServingSpec",
+    "ServingStack",
+    "ServingStream",
+    "StaticPolicy",
+    "Trace",
+    "build_serving_stack",
+    "build_trace_and_stream",
+    "bursty_trace",
+    "diurnal_trace",
+    "flash_crowd_trace",
+    "get_scenario",
+    "make_trace",
+    "plan_config_ladder",
+    "poisson_trace",
+    "render_comparison",
+    "render_report",
+    "replay_trace",
+    "run_serving_cell",
+    "static_config_for",
+    "sweep",
+]

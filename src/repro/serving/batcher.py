@@ -1,0 +1,91 @@
+"""FIFO request queue and micro-batcher for the serving simulator.
+
+The batcher implements the standard two-trigger policy used by serving
+systems: dispatch a batch when it is *full* (``max_batch`` requests) or when
+the oldest queued request has waited ``timeout_s`` — whichever comes first.
+While the device is busy, arrivals keep accumulating and may top the next
+batch up to ``max_batch`` ("opportunistic fill"), which is what makes
+micro-batching pay off exactly when the system is under pressure.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass
+
+from repro.serving.workload import Request, Trace
+from repro.utils.validation import check_nonneg, check_positive
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Micro-batching knobs: size cap and head-of-line timeout."""
+
+    max_batch: int = 8
+    timeout_s: float = 0.004
+
+    def __post_init__(self):
+        check_positive("max_batch", self.max_batch)
+        check_nonneg("timeout_s", self.timeout_s)
+
+
+class MicroBatcher:
+    """Deterministically forms micro-batches from a timestamped trace.
+
+    Drive it with the device's next-free time: each :meth:`next_batch` call
+    returns ``(start_s, batch)`` — the dispatch timestamp and the requests in
+    it — or ``None`` when the trace is exhausted.
+    """
+
+    def __init__(self, trace: Trace, policy: BatchPolicy):
+        self.policy = policy
+        self._arrivals: tuple[Request, ...] = trace.requests
+        self._times: list[float] = [r.arrival_s for r in trace.requests]
+        self._next = 0  # index of the next not-yet-queued arrival
+        self._queue: deque[Request] = deque()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (admitted but not dispatched)."""
+        return len(self._queue)
+
+    def backlog_at(self, now_s: float) -> int:
+        """Requests that have *arrived* but not been dispatched by ``now_s``."""
+        arrived = bisect_right(self._times, now_s)
+        return len(self._queue) + max(arrived - self._next, 0)
+
+    def _admit_until(self, cutoff_s: float) -> None:
+        while (
+            len(self._queue) < self.policy.max_batch
+            and self._next < len(self._arrivals)
+            and self._arrivals[self._next].arrival_s <= cutoff_s
+        ):
+            self._queue.append(self._arrivals[self._next])
+            self._next += 1
+
+    def next_batch(self, device_free_s: float) -> tuple[float, list[Request]] | None:
+        """Form the next batch given when the device frees up.
+
+        Dispatch time is ``max(device_free_s, trigger)`` where the trigger is
+        either the arrival of the batch-filling request or the head-of-line
+        timeout expiry.  Requests arriving while the batch waits for the
+        device join it up to ``max_batch``.
+        """
+        if not self._queue:
+            if self._next >= len(self._arrivals):
+                return None
+            self._queue.append(self._arrivals[self._next])
+            self._next += 1
+        head = self._queue[0]
+        expiry = head.arrival_s + self.policy.timeout_s
+        self._admit_until(expiry)
+        if len(self._queue) >= self.policy.max_batch:
+            trigger = self._queue[self.policy.max_batch - 1].arrival_s
+        else:
+            trigger = expiry
+        start = max(device_free_s, trigger)
+        self._admit_until(start)  # opportunistic fill while waiting for the device
+        size = min(self.policy.max_batch, len(self._queue))
+        batch = [self._queue.popleft() for _ in range(size)]
+        return start, batch

@@ -1,0 +1,113 @@
+"""``repro serve`` — run the online edge-serving simulator from the shell.
+
+Usage::
+
+    repro serve --trace diurnal --slo-ms 20
+    repro serve --trace bursty --scenario battery-budget --policy both
+    repro serve --trace poisson --platform agx-gpu --model a0 --json out.json
+    repro serve --trace replay --workers 4 --cache-dir .cache/engine
+
+``--policy both`` (the default) runs the static baseline and the adaptive
+governor on the *same* trace and logits stream and prints the comparison;
+grid cells go through the engine's EvaluationService, so ``--workers`` runs
+them concurrently and ``--cache-dir`` persists the reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.hardware.platform import PAPER_PLATFORM_ORDER, validate_platform_keys
+from repro.serving.harness import POLICY_NAMES, ServingSpec, sweep
+from repro.serving.scenarios import SCENARIO_NAMES
+from repro.serving.telemetry import render_comparison, render_report
+from repro.serving.workload import LOAD_PATTERNS
+from repro.utils.serialization import save_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--trace", "--pattern", dest="trace", default="poisson", choices=LOAD_PATTERNS,
+        help="load pattern feeding the simulator",
+    )
+    parser.add_argument("--scenario", default="nominal", choices=SCENARIO_NAMES)
+    parser.add_argument(
+        "--policy", default="both", choices=POLICY_NAMES + ("both",),
+        help="runtime policy; 'both' compares adaptive against the static baseline",
+    )
+    parser.add_argument("--slo-ms", type=float, default=75.0)
+    parser.add_argument("--platform", default="tx2-gpu",
+                        help=f"one of: {', '.join(PAPER_PLATFORM_ORDER)}")
+    parser.add_argument("--model", default="a3", help="AttentiveNAS backbone a0..a6")
+    parser.add_argument("--duration-s", type=float, default=20.0)
+    parser.add_argument("--utilization", type=float, default=0.7,
+                        help="offered load relative to the device's reference capacity")
+    parser.add_argument("--rate-hz", type=float, default=None,
+                        help="explicit mean arrival rate (overrides --utilization)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--num-exits", type=int, default=3)
+    parser.add_argument("--max-batch", type=int, default=6)
+    parser.add_argument("--batch-timeout-ms", type=float, default=4.0)
+    parser.add_argument("--window-ms", type=float, default=400.0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--executor", default="auto",
+                        choices=["auto", "serial", "thread", "process"])
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache for serving cells")
+    parser.add_argument("--json", default=None, help="write reports to this JSON file")
+    args = parser.parse_args(argv)
+
+    try:
+        validate_platform_keys([args.platform])
+    except ValueError as error:
+        parser.error(str(error))
+    if args.workers <= 0:
+        parser.error(f"--workers must be > 0, got {args.workers}")
+
+    policies = list(POLICY_NAMES) if args.policy == "both" else [args.policy]
+    try:
+        specs = [
+            ServingSpec(
+                platform=args.platform,
+                model=args.model,
+                pattern=args.trace,
+                scenario=args.scenario,
+                policy=policy,
+                slo_ms=args.slo_ms,
+                utilization=args.utilization,
+                rate_hz=args.rate_hz,
+                duration_s=args.duration_s,
+                num_exits=args.num_exits,
+                seed=args.seed,
+                max_batch=args.max_batch,
+                batch_timeout_ms=args.batch_timeout_ms,
+                window_ms=args.window_ms,
+            )
+            for policy in policies
+        ]
+    except ValueError as error:
+        parser.error(str(error))
+
+    reports = sweep(
+        specs, workers=args.workers, executor=args.executor, cache_dir=args.cache_dir
+    )
+    by_policy = dict(zip(policies, reports))
+    for report in reports:
+        print(render_report(report))
+        print()
+    if "static" in by_policy and "adaptive" in by_policy:
+        print(render_comparison(by_policy["static"], by_policy["adaptive"]))
+    if args.json is not None:
+        payload = {
+            "specs": [dataclasses.asdict(spec) for spec in specs],
+            "reports": reports,
+        }
+        path = save_json(payload, args.json)
+        print(f"\nwrote {path}")
+    return 0

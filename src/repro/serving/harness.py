@@ -1,0 +1,261 @@
+"""Serving cells: spec → stack → report, and the concurrent sweep.
+
+A :class:`ServingSpec` fully describes one serving run (platform, model,
+load pattern, scenario, policy, SLO, seed ...) as plain JSON-able fields.
+:func:`run_serving_cell` is the pure module-level function evaluating one
+spec — picklable for the process executor and content-addressable for the
+persistent :class:`~repro.engine.cache.ResultCache` — and :func:`sweep`
+fans a grid of specs through the PR-1 :class:`~repro.engine.service.
+EvaluationService` so a full scenario grid runs concurrently with results
+keyed into the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accuracy.exit_model import BackboneExitOracle
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.baselines.attentivenas import ATTENTIVENAS_MODELS, attentivenas_model
+from repro.engine.cache import ResultCache
+from repro.engine.service import EvalTask, EvaluationService
+from repro.eval.dynamic import DynamicEvaluator
+from repro.eval.static import StaticEvaluator
+from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
+from repro.hardware.dvfs import DvfsSpace
+from repro.hardware.energy import EnergyModel
+from repro.hardware.platform import get_platform, validate_platform_keys
+from repro.serving.batcher import BatchPolicy
+from repro.serving.governor import (
+    RuntimeConfig,
+    AdaptiveGovernor,
+    StaticPolicy,
+    plan_config_ladder,
+    static_config_for,
+)
+from repro.serving.scenarios import Scenario, get_scenario
+from repro.serving.simulator import ServingSimulator
+from repro.serving.stream import LogitsSynthesizer, ServingStream
+from repro.serving.telemetry import ServingReport
+from repro.serving.workload import LOAD_PATTERNS, Trace, make_trace
+from repro.utils.validation import check_positive
+
+#: Bump when serving-cell semantics change; orphans persisted serving entries.
+SERVING_CELL_VERSION = "1"
+
+POLICY_NAMES = ("static", "adaptive")
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """Everything one serving run depends on, as plain data."""
+
+    platform: str = "tx2-gpu"
+    model: str = "a3"
+    pattern: str = "poisson"
+    scenario: str = "nominal"
+    policy: str = "adaptive"
+    slo_ms: float = 75.0
+    utilization: float = 0.7  # offered load relative to reference capacity
+    rate_hz: float | None = None  # explicit arrival rate overrides utilization
+    duration_s: float = 20.0
+    num_exits: int = 3
+    seed: int = 7
+    max_batch: int = 6
+    batch_timeout_ms: float = 4.0
+    window_ms: float = 400.0
+    num_classes: int = 10
+    calibration_samples: int = 512
+
+    def __post_init__(self):
+        validate_platform_keys([self.platform])
+        if self.model not in ATTENTIVENAS_MODELS:
+            raise ValueError(
+                f"unknown model {self.model!r}; valid: {ATTENTIVENAS_MODELS}"
+            )
+        if self.pattern not in LOAD_PATTERNS:
+            raise ValueError(
+                f"unknown load pattern {self.pattern!r}; valid: {LOAD_PATTERNS}"
+            )
+        get_scenario(self.scenario)  # raises with the valid names
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy {self.policy!r}; valid: {POLICY_NAMES}")
+        check_positive("slo_ms", self.slo_ms)
+        check_positive("duration_s", self.duration_s)
+        check_positive("num_exits", self.num_exits)
+        check_positive("utilization", self.utilization)
+        if self.rate_hz is not None:
+            check_positive("rate_hz", self.rate_hz)
+
+
+@dataclass
+class ServingStack:
+    """Everything built once per (platform, model, seed) serving setup."""
+
+    spec: ServingSpec
+    evaluator: DynamicEvaluator
+    placement: ExitPlacement
+    synthesizer: LogitsSynthesizer
+    ladder: list[RuntimeConfig]
+    static_config: RuntimeConfig
+    batch_policy: BatchPolicy
+    scenario: Scenario
+    rate_hz: float
+
+    def battery_budget_j(self, num_requests: int) -> float | None:
+        """Absolute allowance: scenario scale × static-baseline spend."""
+        if self.scenario.battery_scale is None:
+            return None
+        return (
+            self.scenario.battery_scale
+            * self.static_config.expected_energy_j
+            * max(num_requests, 1)
+        )
+
+
+def default_placement(total_layers: int, num_exits: int) -> ExitPlacement:
+    """Exits spread over the backbone's depth (30–80 % of the layers)."""
+    fractions = np.linspace(0.3, 0.8, num_exits)
+    positions = sorted(
+        {
+            int(np.clip(round(f * total_layers), MIN_EXIT_POSITION, total_layers - 1))
+            for f in fractions
+        }
+    )
+    return ExitPlacement(total_layers, tuple(positions))
+
+
+def build_serving_stack(spec: ServingSpec) -> ServingStack:
+    """Materialise the full serving stack for one spec."""
+    platform = get_platform(spec.platform)
+    backbone = attentivenas_model(spec.model)
+    surrogate = AccuracySurrogate(seed=spec.seed)
+    static_eval = StaticEvaluator(platform, surrogate, seed=spec.seed)
+    static = static_eval.evaluate(backbone)
+    accuracy = surrogate.accuracy_fraction(backbone)
+    oracle = BackboneExitOracle(
+        backbone.key, backbone.total_mbconv_layers, accuracy, seed=spec.seed
+    )
+    evaluator = DynamicEvaluator(
+        config=backbone,
+        cost=static_eval.cost(backbone),
+        oracle=oracle,
+        energy_model=EnergyModel(platform),
+        baseline_energy_j=static.energy_j,
+        baseline_latency_s=static.latency_s,
+    )
+    placement = default_placement(backbone.total_mbconv_layers, spec.num_exits)
+    synthesizer = LogitsSynthesizer(
+        placement=placement,
+        backbone_accuracy=accuracy,
+        num_classes=spec.num_classes,
+        seed=spec.seed,
+    )
+    calibration = synthesizer.calibration_stream(spec.calibration_samples)
+    batch_policy = BatchPolicy(spec.max_batch, spec.batch_timeout_ms / 1e3)
+    ladder = plan_config_ladder(evaluator, placement, DvfsSpace(platform), calibration)
+
+    # Offered load is tied to the device: utilization × the capacity of the
+    # mid-rate "balanced" rung, so every platform is stressed comparably.
+    balanced = [c for c in ladder if c.name.endswith("-balanced")]
+    reference = balanced[len(balanced) // 2]
+    if spec.rate_hz is not None:
+        rate_hz = spec.rate_hz
+    else:
+        rate_hz = spec.utilization * reference.capacity_rps(batch_policy)
+
+    static_config = static_config_for(
+        ladder, rate_hz, spec.slo_ms / 1e3, batch_policy
+    )
+    return ServingStack(
+        spec=spec,
+        evaluator=evaluator,
+        placement=placement,
+        synthesizer=synthesizer,
+        ladder=ladder,
+        static_config=static_config,
+        batch_policy=batch_policy,
+        scenario=get_scenario(spec.scenario),
+        rate_hz=rate_hz,
+    )
+
+
+def build_trace_and_stream(stack: ServingStack) -> tuple[Trace, ServingStream]:
+    """The paired (trace, logits) inputs both policies are compared on."""
+    spec = stack.spec
+    trace = make_trace(spec.pattern, stack.rate_hz, spec.duration_s, seed=spec.seed)
+    stream = stack.synthesizer.synthesize(trace.difficulties())
+    return trace, stream
+
+
+def run_serving_cell(spec: ServingSpec) -> ServingReport:
+    """Evaluate one grid cell: pure function of the spec (cache-safe)."""
+    stack = build_serving_stack(spec)
+    trace, stream = build_trace_and_stream(stack)
+    if spec.policy == "static":
+        policy = StaticPolicy(stack.static_config)
+    else:
+        policy = AdaptiveGovernor(stack.ladder, stack.batch_policy)
+    simulator = ServingSimulator(
+        evaluator=stack.evaluator,
+        placement=stack.placement,
+        policy=policy,
+        ladder=stack.ladder,
+        scenario=stack.scenario,
+        slo_s=spec.slo_ms / 1e3,
+        batch_policy=stack.batch_policy,
+        window_s=spec.window_ms / 1e3,
+        battery_budget_j=stack.battery_budget_j(trace.num_requests),
+    )
+    return simulator.run(
+        trace, stream, platform=spec.platform, model=spec.model, seed=spec.seed
+    )
+
+
+def cell_cache_key(cache: ResultCache, spec: ServingSpec):
+    """Content address of one serving cell in the persistent cache."""
+    return cache.key(
+        "serving",
+        version=SERVING_CELL_VERSION,
+        spec=dataclasses.asdict(spec),
+    )
+
+
+def sweep(
+    specs: list[ServingSpec],
+    service: EvaluationService | None = None,
+    workers: int = 1,
+    executor: str = "auto",
+    cache_dir: str | None = None,
+) -> list[ServingReport]:
+    """Run a grid of serving cells concurrently through the engine.
+
+    Results come back in submission order; cells sharing a spec are
+    deduplicated within the batch and, with ``cache_dir`` set, persist
+    across runs under the ``serving`` cache namespace.
+    """
+    owned = service is None
+    if service is None:
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        service = EvaluationService(executor=executor, workers=workers, cache=cache)
+    try:
+        tasks = [
+            EvalTask(
+                run_serving_cell,
+                (spec,),
+                # `is not None`, not truthiness: an *empty* ResultCache has
+                # len() == 0 and would otherwise be skipped on first use.
+                key=cell_cache_key(service.cache, spec)
+                if service.cache is not None
+                else None,
+                cls=ServingReport,
+            )
+            for spec in specs
+        ]
+        return service.evaluate_batch(tasks)
+    finally:
+        if owned:
+            service.close()

@@ -1,0 +1,273 @@
+"""The discrete-event edge-serving simulator.
+
+Feeds a timestamped request :class:`~repro.serving.workload.Trace` through a
+:class:`~repro.serving.batcher.MicroBatcher` onto a single simulated edge
+device.  Per decision window the serving policy picks a
+:class:`~repro.serving.governor.RuntimeConfig` (entropy thresholds + DVFS);
+per batch the *real* entropy controller decides each request's exit, the
+hardware model prices the batch (busy time serialises, dispatch overhead is
+shared — :func:`repro.hardware.energy.batched_execution`), and the
+:class:`~repro.runtime.governor.DvfsGovernor` charges frequency-switch
+energy across the intra-batch exit sequence.  Thermal and battery state
+evolve alongside and feed back into the governor's observation.
+
+Everything is deterministic: the trace, the logits stream and every policy
+decision are pure functions of the seed and configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.dynamic import DynamicEvaluator
+from repro.exits.placement import ExitPlacement
+from repro.hardware.energy import PathProfile, batched_execution
+from repro.serving.batcher import BatchPolicy, MicroBatcher
+from repro.serving.governor import (
+    GovernorObservation,
+    RuntimeConfig,
+    ServingPolicy,
+    _profiles_for,
+)
+from repro.serving.scenarios import Scenario, ThermalState
+from repro.serving.stream import ServingStream
+from repro.serving.telemetry import ServingReport, percentile_ms
+from repro.serving.workload import Trace
+from repro.utils.validation import check_positive
+
+
+class ServingSimulator:
+    """Replays one trace through one policy on one simulated device.
+
+    Parameters
+    ----------
+    evaluator, placement:
+        The deployed DyNN (supplies per-path hardware profiles).
+    policy:
+        Static or adaptive serving policy.
+    ladder:
+        The full config menu — used for scenario scaling (hottest config
+        anchors the thermal model) and as the throttle fallback, even when
+        the policy itself is static.
+    scenario:
+        Environment (thermal cap / battery budget).
+    slo_s:
+        Per-request completion deadline.
+    window_s:
+        Governor decision period.  Backlog spikes (more than
+        ``emergency_backlog_batches`` full batches waiting) trigger an
+        immediate re-decision instead of waiting out the window — burst
+        onsets are reacted to at batch granularity.
+    battery_budget_j:
+        Absolute energy allowance (None = unconstrained); the harness
+        derives it from the scenario's ``battery_scale``.
+    """
+
+    def __init__(
+        self,
+        evaluator: DynamicEvaluator,
+        placement: ExitPlacement,
+        policy: ServingPolicy,
+        ladder: list[RuntimeConfig],
+        scenario: Scenario,
+        slo_s: float,
+        batch_policy: BatchPolicy | None = None,
+        window_s: float = 0.5,
+        switch_cost_j: float = 0.0,
+        battery_budget_j: float | None = None,
+        emergency_backlog_batches: float = 2.0,
+    ):
+        check_positive("slo_s", slo_s)
+        check_positive("window_s", window_s)
+        self.evaluator = evaluator
+        self.placement = placement
+        self.policy = policy
+        self.ladder = list(ladder)
+        self.scenario = scenario
+        self.slo_s = slo_s
+        self.batch_policy = batch_policy or BatchPolicy()
+        self.window_s = window_s
+        self.switch_cost_j = switch_cost_j
+        self.battery_budget_j = battery_budget_j
+        self.emergency_backlog = emergency_backlog_batches * self.batch_policy.max_batch
+        self._max_power_w = max(c.expected_power_w for c in self.ladder)
+        self._coolest = min(self.ladder, key=lambda c: c.expected_power_w)
+        self._profiles: dict[str, list[PathProfile]] = {}
+        self._controllers: dict[str, object] = {}
+
+    # ------------------------------------------------------------- internals
+    def _profiles_of(self, config: RuntimeConfig) -> list[PathProfile]:
+        if config.name not in self._profiles:
+            self._profiles[config.name] = _profiles_for(
+                self.evaluator, self.placement, config.dvfs_governor()
+            )
+        return self._profiles[config.name]
+
+    def _controller_of(self, config: RuntimeConfig):
+        if config.name not in self._controllers:
+            self._controllers[config.name] = config.controller()
+        return self._controllers[config.name]
+
+    def _observe(
+        self,
+        now_s: float,
+        trace: Trace,
+        arrivals: np.ndarray,
+        batcher: MicroBatcher,
+        thermal: ThermalState | None,
+        battery_spent_j: float,
+    ) -> GovernorObservation:
+        window_start = max(0.0, now_s - self.window_s)
+        lo = int(np.searchsorted(arrivals, window_start, side="left"))
+        hi = int(np.searchsorted(arrivals, now_s, side="right"))
+        span = max(now_s - window_start, 1e-9)
+        rate = (hi - lo) / span if now_s > 0 else trace.mean_rate_hz
+        power_cap = thermal.power_cap_w(self._max_power_w) if thermal else None
+        energy_cap = None
+        if self.battery_budget_j is not None:
+            remaining_j = max(self.battery_budget_j - battery_spent_j, 0.0)
+            remaining_requests = max(
+                trace.mean_rate_hz * max(trace.duration_s - now_s, 0.0), 1.0
+            )
+            energy_cap = remaining_j / remaining_requests
+        return GovernorObservation(
+            now_s=now_s,
+            window_s=self.window_s,
+            arrival_rate_hz=rate,
+            backlog=batcher.backlog_at(now_s),
+            slo_s=self.slo_s,
+            temperature_c=thermal.temperature_c if thermal else 0.0,
+            power_cap_w=power_cap,
+            energy_cap_j=energy_cap,
+        )
+
+    # -------------------------------------------------------------- main loop
+    def run(
+        self,
+        trace: Trace,
+        stream: ServingStream,
+        platform: str = "?",
+        model: str = "?",
+        seed: int = 0,
+    ) -> ServingReport:
+        """Serve the whole trace and aggregate telemetry."""
+        n = trace.num_requests
+        if stream.final_logits.shape[0] != n:
+            raise ValueError(
+                f"stream carries {stream.final_logits.shape[0]} requests, trace has {n}"
+            )
+        arrivals = trace.arrival_times()
+        batcher = MicroBatcher(trace, self.batch_policy)
+        thermal = (
+            ThermalState(self.scenario.thermal, self._max_power_w)
+            if self.scenario.thermal is not None
+            else None
+        )
+
+        completion = np.zeros(n)
+        correct = np.zeros(n, dtype=bool)
+        exit_counts = np.zeros(self.placement.num_exits + 1, dtype=np.int64)
+        total_energy = 0.0
+        switching_energy = 0.0
+        battery_spent = 0.0
+        battery_exhausted = False
+        num_batches = 0
+        throttled = 0
+        config_usage: dict[str, int] = {}
+        governor_decisions = 0
+
+        clock = 0.0  # last simulated instant (for thermal integration)
+        t_free = 0.0
+        next_decision = 0.0
+        config = self.policy.select(
+            GovernorObservation(
+                now_s=0.0,
+                window_s=self.window_s,
+                arrival_rate_hz=trace.mean_rate_hz,
+                backlog=0,
+                slo_s=self.slo_s,
+            )
+        )
+        governor_decisions += 1
+        next_decision = self.window_s
+
+        while (formed := batcher.next_batch(t_free)) is not None:
+            start, batch = formed
+            if thermal is not None and start > clock:
+                thermal.advance(0.0, start - clock)  # idle: device cools
+            spike = batcher.backlog_at(start) > self.emergency_backlog
+            if start >= next_decision or spike:
+                obs = self._observe(start, trace, arrivals, batcher, thermal, battery_spent)
+                config = self.policy.select(obs)
+                governor_decisions += 1
+                next_decision = start + self.window_s
+
+            active = config
+            if thermal is not None and thermal.throttled:
+                active = self._coolest  # hardware throttle overrides the policy
+                throttled += 1
+            config_usage[active.name] = config_usage.get(active.name, 0) + 1
+
+            indices = np.asarray([r.index for r in batch], dtype=np.int64)
+            exit_logits, final_logits, labels = stream.batch(indices)
+            decisions = self._controller_of(active).decide(exit_logits)
+            profiles = self._profiles_of(active)
+            latency, energy = batched_execution([profiles[d] for d in decisions])
+            switch = active.dvfs_governor(self.switch_cost_j).switching_energy(decisions)
+            energy += switch
+            switching_energy += switch
+
+            end = start + latency
+            completion[indices] = end
+            num_exits = self.placement.num_exits
+            for j, d in enumerate(decisions):
+                exit_counts[d] += 1
+                if d < num_exits:
+                    correct[indices[j]] = exit_logits[d, j].argmax() == labels[j]
+                else:
+                    correct[indices[j]] = final_logits[j].argmax() == labels[j]
+
+            total_energy += energy
+            battery_spent += energy
+            if self.battery_budget_j is not None and battery_spent > self.battery_budget_j:
+                battery_exhausted = True
+            if thermal is not None and latency > 0:
+                thermal.advance(energy / latency, latency)
+            clock = end
+            t_free = end
+            num_batches += 1
+
+        latencies = completion - arrivals
+        makespan = max(float(completion.max()) if n else 0.0, trace.duration_s)
+        return ServingReport(
+            pattern=trace.pattern,
+            scenario=self.scenario.name,
+            policy=self.policy.name,
+            platform=platform,
+            model=model,
+            seed=seed,
+            slo_ms=self.slo_s * 1e3,
+            num_requests=n,
+            duration_s=trace.duration_s,
+            offered_rate_rps=trace.mean_rate_hz,
+            throughput_rps=n / makespan if makespan > 0 else 0.0,
+            num_batches=num_batches,
+            mean_batch_size=n / num_batches if num_batches else 0.0,
+            latency_ms_mean=float(latencies.mean() * 1e3) if n else 0.0,
+            latency_ms_p50=percentile_ms(latencies, 50),
+            latency_ms_p95=percentile_ms(latencies, 95),
+            latency_ms_p99=percentile_ms(latencies, 99),
+            deadline_miss_rate=float((latencies > self.slo_s).mean()) if n else 0.0,
+            energy_per_request_j=total_energy / n if n else 0.0,
+            total_energy_j=total_energy,
+            switching_energy_j=switching_energy,
+            accuracy=float(correct.mean()) if n else 0.0,
+            exit_usage=[float(c) / n if n else 0.0 for c in exit_counts],
+            config_usage=config_usage,
+            governor_decisions=governor_decisions,
+            throttled_batches=throttled,
+            peak_temperature_c=thermal.peak_c if thermal is not None else 0.0,
+            battery_budget_j=self.battery_budget_j or 0.0,
+            battery_spent_j=battery_spent if self.battery_budget_j is not None else 0.0,
+            battery_exhausted=battery_exhausted,
+        )

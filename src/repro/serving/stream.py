@@ -1,0 +1,123 @@
+"""Difficulty-conditioned logits synthesis for serving streams.
+
+The serving simulator needs per-request exit logits so the *real* runtime
+controllers (`repro.runtime.controller`) can make entropy-threshold exit
+decisions.  This module maps each request's Beta-distributed difficulty to a
+per-exit logits vector using the same capability model as the exit oracle:
+a head at relative depth ``u`` has capability ``cap(u)``; its confidence
+margin on a request of difficulty ``d`` is proportional to ``cap(u) − d``
+(plus idiosyncratic noise).  Easy requests are confidently classified by
+shallow heads and exit early; hard requests stay uncertain until deep in
+the network — precisely the behaviour entropy thresholding exploits.
+
+Logits are synthesised for the *whole trace up front* (keyed by request
+index), so exit decisions for a given request are identical regardless of
+how the batcher groups it — static and adaptive policies are compared on a
+paired stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accuracy.exit_model import ExitCapabilityModel
+from repro.data.difficulty import DifficultyDistribution
+from repro.exits.placement import ExitPlacement
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ServingStream:
+    """Pre-synthesised logits for every request of a trace."""
+
+    exit_logits: np.ndarray  # (E, n, classes)
+    final_logits: np.ndarray  # (n, classes)
+    labels: np.ndarray  # (n,)
+
+    @property
+    def num_exits(self) -> int:
+        return self.exit_logits.shape[0]
+
+    def batch(self, indices: np.ndarray | list[int]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Slice the stream down to one micro-batch (by request index)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return self.exit_logits[:, idx], self.final_logits[idx], self.labels[idx]
+
+
+@dataclass(frozen=True)
+class LogitsSynthesizer:
+    """Difficulty → logits, conditioned on exit depth and head capability.
+
+    Parameters
+    ----------
+    placement:
+        The deployed exit configuration (relative depths set per-head
+        capability).
+    backbone_accuracy:
+        Final-classifier accuracy fraction (caps every head).
+    model:
+        The capability model shared with the exit oracle.
+    num_classes, margin_gain, margin_noise:
+        Logit-space geometry: the true-class margin is
+        ``margin_gain · max(cap − difficulty + noise, 0)``; zero margin
+        leaves the head at chance.
+    """
+
+    placement: ExitPlacement
+    backbone_accuracy: float
+    model: ExitCapabilityModel = ExitCapabilityModel()
+    num_classes: int = 10
+    margin_gain: float = 7.0
+    margin_noise: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self):
+        check_positive("num_classes", self.num_classes)
+        check_positive("margin_gain", self.margin_gain)
+
+    def synthesize(self, difficulties: np.ndarray, branch: str = "trace") -> ServingStream:
+        """Synthesise the full stream for ``difficulties`` (one per request).
+
+        ``branch`` keys an independent noise stream, so calibration and
+        serving draws never overlap.
+        """
+        difficulties = np.asarray(difficulties, dtype=float)
+        n = len(difficulties)
+        num_exits = self.placement.num_exits
+        rng = child_rng(self.seed, "serving", "logits", branch, self.placement.key)
+        labels = rng.integers(0, self.num_classes, size=n)
+        depths = np.concatenate([self.placement.relative_depths(), [1.0]])
+        capabilities = np.asarray(
+            [float(self.model.capability(self.backbone_accuracy, u)) for u in depths]
+        )
+        # Base logits are noise; heads add a margin on the true class that
+        # grows with (capability - difficulty).  Nearby depths share the
+        # perturbation (one draw per request), so consecutive heads agree —
+        # the correlation structure the oracle's GP encodes.
+        logits = rng.normal(0.0, 1.0, size=(num_exits + 1, n, self.num_classes))
+        perturbation = rng.normal(0.0, self.margin_noise, size=n)
+        for head, cap in enumerate(capabilities):
+            margin = np.clip(cap - difficulties + perturbation, 0.0, None)
+            logits[head, np.arange(n), labels] += self.margin_gain * margin
+        return ServingStream(
+            exit_logits=logits[:num_exits],
+            final_logits=logits[num_exits],
+            labels=labels,
+        )
+
+    def calibration_stream(
+        self,
+        n: int = 512,
+        difficulty: DifficultyDistribution | None = None,
+    ) -> ServingStream:
+        """A held-out stream for threshold tuning and usage estimation.
+
+        Drawn from the same difficulty distribution but a distinct seed
+        branch, so serving traces never tune on their own requests.
+        """
+        dist = difficulty or DifficultyDistribution()
+        rng = child_rng(self.seed, "serving", "calibration", self.placement.key)
+        return self.synthesize(dist.sample(n, rng), branch="calibration")

@@ -1,0 +1,122 @@
+"""SLO telemetry for serving runs: percentiles, misses, energy, exits.
+
+:class:`ServingReport` is deliberately plain (floats, lists, string-keyed
+dicts) so it survives ``to_jsonable`` round-trips — serving cells are cached
+in the persistent :class:`~repro.engine.cache.ResultCache` as JSON and
+rebuilt with ``from_jsonable``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def percentile_ms(latencies_s: np.ndarray, q: float) -> float:
+    """Latency percentile in milliseconds (0 for an empty run)."""
+    if len(latencies_s) == 0:
+        return 0.0
+    return float(np.percentile(latencies_s, q) * 1e3)
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate outcome of one serving run (one trace × one policy)."""
+
+    # Identity
+    pattern: str
+    scenario: str
+    policy: str
+    platform: str
+    model: str
+    seed: int
+    slo_ms: float
+    # Traffic
+    num_requests: int
+    duration_s: float
+    offered_rate_rps: float
+    throughput_rps: float
+    num_batches: int
+    mean_batch_size: float
+    # Latency / SLO
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    deadline_miss_rate: float
+    # Energy / accuracy
+    energy_per_request_j: float
+    total_energy_j: float
+    switching_energy_j: float
+    accuracy: float
+    exit_usage: list[float] = field(default_factory=list)
+    # Governor / environment
+    config_usage: dict[str, int] = field(default_factory=dict)  # batches per config
+    governor_decisions: int = 0
+    throttled_batches: int = 0
+    peak_temperature_c: float = 0.0
+    battery_budget_j: float = 0.0  # 0 when the scenario has no battery
+    battery_spent_j: float = 0.0
+    battery_exhausted: bool = False
+
+    @property
+    def met_slo_rate(self) -> float:
+        return 1.0 - self.deadline_miss_rate
+
+
+def render_report(report: ServingReport) -> str:
+    """One run as a human-readable block."""
+    lines = [
+        f"{report.pattern} x {report.scenario} x {report.policy} "
+        f"({report.model} on {report.platform}, seed {report.seed})",
+        f"  requests        {report.num_requests} over {report.duration_s:.1f}s "
+        f"(offered {report.offered_rate_rps:.1f} rps, served {report.throughput_rps:.1f} rps)",
+        f"  latency ms      mean {report.latency_ms_mean:.1f}  p50 {report.latency_ms_p50:.1f}  "
+        f"p95 {report.latency_ms_p95:.1f}  p99 {report.latency_ms_p99:.1f}",
+        f"  SLO {report.slo_ms:.0f}ms       miss rate {report.deadline_miss_rate * 100:.1f}%",
+        f"  energy          {report.energy_per_request_j * 1e3:.1f} mJ/request "
+        f"({report.total_energy_j:.2f} J total, switch {report.switching_energy_j * 1e3:.1f} mJ)",
+        f"  accuracy        {report.accuracy * 100:.1f}%",
+        f"  exits           " + " ".join(f"{u * 100:.0f}%" for u in report.exit_usage),
+        f"  batches         {report.num_batches} (mean size {report.mean_batch_size:.1f})",
+    ]
+    if report.config_usage:
+        top = sorted(report.config_usage.items(), key=lambda kv: -kv[1])[:4]
+        lines.append(
+            "  configs         "
+            + "  ".join(f"{name}:{count}" for name, count in top)
+            + f"  ({report.governor_decisions} decisions)"
+        )
+    if report.throttled_batches:
+        lines.append(
+            f"  thermal         {report.throttled_batches} throttled batches, "
+            f"peak {report.peak_temperature_c:.1f}C"
+        )
+    elif report.peak_temperature_c:
+        lines.append(f"  thermal         peak {report.peak_temperature_c:.1f}C")
+    if report.battery_budget_j:
+        lines.append(
+            f"  battery         spent {report.battery_spent_j:.2f} / "
+            f"{report.battery_budget_j:.2f} J"
+            + ("  EXHAUSTED" if report.battery_exhausted else "")
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(static: ServingReport, adaptive: ServingReport) -> str:
+    """Adaptive vs static summary line for one (pattern, scenario) cell."""
+    miss_delta = (static.deadline_miss_rate - adaptive.deadline_miss_rate) * 100
+    if static.energy_per_request_j > 0:
+        energy_delta = (
+            1.0 - adaptive.energy_per_request_j / static.energy_per_request_j
+        ) * 100
+    else:
+        energy_delta = 0.0
+    return (
+        f"adaptive vs static [{static.pattern} x {static.scenario}]: "
+        f"deadline misses {adaptive.deadline_miss_rate * 100:.1f}% vs "
+        f"{static.deadline_miss_rate * 100:.1f}% ({miss_delta:+.1f} pts), "
+        f"energy/request {adaptive.energy_per_request_j * 1e3:.1f} vs "
+        f"{static.energy_per_request_j * 1e3:.1f} mJ ({energy_delta:+.1f}% saved)"
+    )

@@ -426,3 +426,72 @@ class TestEmptyArchiveGuidance:
         assert result.top_models(2) == []
         with pytest.raises(RuntimeError, match="dynamic archive is empty"):
             result.selected_model()
+
+
+class TestCacheIndexAndPrune:
+    """The index sidecar behind `repro cache` stats/prune."""
+
+    def test_put_indexes_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("static", backbone="b1")
+        cache.put(key, {"x": 1})
+        entries = cache.index_entries()
+        assert entries[key.digest]["namespace"] == "static"
+        assert entries[key.digest]["version"] == str(cache.version)
+
+    def test_disk_stats_breakdown(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key("static", b=1), {"x": 1})
+        cache.put(cache.key("inner", b=2), {"y": 2})
+        stats = cache.disk_stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["namespaces"]["static"]["entries"] == 1
+        assert stats["namespaces"]["inner"]["entries"] == 1
+        assert stats["versions"][str(cache.version)] == 2
+        assert stats["unindexed"] == 0
+
+    def test_prune_removes_only_stale_versions(self, tmp_path):
+        old = ResultCache(tmp_path, version="0")
+        old_key = old.key("static", b=1)
+        old.put(old_key, {"x": "old"})
+        cur = ResultCache(tmp_path)
+        cur_key = cur.key("static", b=1)
+        cur.put(cur_key, {"x": "new"})
+        assert old_key.digest != cur_key.digest  # version is in the address
+        removed = cur.prune()
+        assert removed == 1
+        assert cur.get(cur_key) == {"x": "new"}
+        assert not cur.contains(old_key)
+        # Index rewritten to survivors only.
+        assert set(cur.index_entries()) == {cur_key.digest}
+
+    def test_prune_keeps_unindexed_unless_asked(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        orphan = tmp_path / "deadbeef.json"
+        orphan.write_text("{}")
+        assert cache.prune() == 0
+        assert orphan.exists()
+        assert cache.disk_stats()["unindexed"] == 1
+        # Fresh files are protected from the orphan sweep (racing-writer
+        # guard); an aged orphan is collected.
+        assert cache.prune(orphans=True) == 0
+        assert orphan.exists()
+        assert cache.prune(orphans=True, orphan_min_age_s=0.0) == 1
+        assert not orphan.exists()
+
+    def test_corrupt_index_lines_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("static", b=1)
+        cache.put(key, {"x": 1})
+        with (tmp_path / "index.jsonl").open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"no": "digest"}\n')
+        assert set(cache.index_entries()) == {key.digest}
+
+    def test_clear_removes_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key("static", b=1), {"x": 1})
+        cache.clear()
+        assert not (tmp_path / "index.jsonl").exists()
+        assert cache.index_entries() == {}

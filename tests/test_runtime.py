@@ -115,6 +115,30 @@ class TestTuneThresholds:
         assert thresholds.shape == (3,)
         assert (thresholds >= 0).all() and (thresholds <= 1).all()
 
+    @pytest.mark.parametrize("target", [0.2, 0.4, 0.6, 0.8])
+    def test_entropy_rate_hit_across_targets(self, target):
+        exit_logits, _, _ = _stream(n=600, seed=5)
+        thresholds = tune_thresholds(exit_logits, target, kind="entropy")
+        decisions = EntropyThresholdController(thresholds, 3).decide(exit_logits)
+        # Per-exit take rate: of the samples *reaching* each exit, the target
+        # fraction should stop there (the quantity tune_thresholds calibrates).
+        reached = len(decisions)
+        for i in range(3):
+            taken = (decisions == i).sum()
+            assert taken / reached == pytest.approx(target, abs=0.08)
+            reached -= taken
+            if reached < 40:  # too few survivors for a rate estimate
+                break
+
+    @pytest.mark.parametrize("target", [0.3, 0.6])
+    def test_confidence_rate_hit(self, target):
+        exit_logits, _, _ = _stream(n=600, seed=6)
+        thresholds = tune_thresholds(exit_logits, target, kind="confidence")
+        controller = ConfidenceThresholdController(thresholds, 3)
+        decisions = controller.decide(exit_logits)
+        first_rate = (decisions == 0).mean()
+        assert first_rate == pytest.approx(target, abs=0.08)
+
     def test_invalid_kind(self):
         exit_logits, _, _ = _stream()
         with pytest.raises(ValueError):
@@ -124,6 +148,48 @@ class TestTuneThresholds:
         exit_logits, _, _ = _stream()
         with pytest.raises(ValueError):
             tune_thresholds(exit_logits, 1.5)
+
+
+class TestControllerMonotonicity:
+    """Tighter thresholds must never produce *more* early exits."""
+
+    def test_entropy_early_exit_fraction_monotone(self):
+        exit_logits, _, _ = _stream(n=300)
+        fractions = []
+        for threshold in np.linspace(0.0, 1.0, 9):
+            decisions = EntropyThresholdController(threshold, 3).decide(exit_logits)
+            fractions.append((decisions < 3).mean())
+        assert fractions == sorted(fractions)
+        assert fractions[0] < fractions[-1]  # the sweep actually moves
+
+    def test_entropy_decisions_pointwise_monotone(self):
+        exit_logits, _, _ = _stream(n=300)
+        previous = None
+        for threshold in np.linspace(0.0, 1.0, 9):
+            decisions = EntropyThresholdController(threshold, 3).decide(exit_logits)
+            if previous is not None:
+                assert (decisions <= previous).all()  # looser -> exit no later
+            previous = decisions
+
+    def test_confidence_early_exit_fraction_monotone(self):
+        exit_logits, _, _ = _stream(n=300)
+        fractions = []
+        for threshold in np.linspace(0.0, 1.0, 9):
+            decisions = ConfidenceThresholdController(threshold, 3).decide(exit_logits)
+            fractions.append((decisions < 3).mean())
+        # Higher confidence bar = tighter: fractions non-increasing.
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] > fractions[-1]
+
+    def test_per_exit_tightening_single_exit(self):
+        exit_logits, _, _ = _stream(n=300)
+        loose = np.asarray([0.8, 0.8, 0.8])
+        for tightened in range(3):
+            thresholds = loose.copy()
+            thresholds[tightened] = 0.1
+            base = EntropyThresholdController(loose, 3).decide(exit_logits)
+            tight = EntropyThresholdController(thresholds, 3).decide(exit_logits)
+            assert (tight == tightened).sum() <= (base == tightened).sum()
 
 
 class TestGovernor:
@@ -150,6 +216,38 @@ class TestGovernor:
     def test_no_switch_cost_by_default(self):
         governor = DvfsGovernor(DvfsSetting(1.0, 1.0))
         assert governor.switching_energy(np.asarray([0, 1, 2])) == 0.0
+
+    def test_no_charge_when_exits_share_a_setting(self):
+        # Different exits mapped to the *same* operating point: the hardware
+        # never retunes, so alternating decisions must cost nothing.
+        shared = DvfsSetting(0.5, 0.5)
+        governor = DvfsGovernor(
+            DvfsSetting(1.0, 1.0),
+            per_exit={0: shared, 1: shared},
+            switch_cost_j=0.01,
+        )
+        assert governor.switching_energy(np.asarray([0, 1, 0, 1])) == 0.0
+        # ...but moving between the shared point and the default does charge.
+        assert governor.switching_energy(np.asarray([0, 2, 0])) == pytest.approx(0.02)
+
+    def test_switch_cost_counts_transitions_not_samples(self):
+        governor = DvfsGovernor(
+            DvfsSetting(1.0, 1.0),
+            per_exit={0: DvfsSetting(0.5, 0.5)},
+            switch_cost_j=0.01,
+        )
+        constant = np.zeros(50, dtype=np.int64)
+        assert governor.switching_energy(constant) == 0.0
+        blocks = np.asarray([0] * 10 + [1] * 10 + [0] * 10)  # two transitions
+        assert governor.switching_energy(blocks) == pytest.approx(0.02)
+
+    def test_single_sample_never_charged(self):
+        governor = DvfsGovernor(
+            DvfsSetting(1.0, 1.0),
+            per_exit={0: DvfsSetting(0.5, 0.5)},
+            switch_cost_j=0.01,
+        )
+        assert governor.switching_energy(np.asarray([0])) == 0.0
 
 
 class TestStreamSimulator:
