@@ -8,11 +8,15 @@ Usage::
     python -m repro fig5 --platforms tx2-gpu agx-gpu
     python -m repro fig5 --workers 4 --cache-dir .cache/engine
     python -m repro all --profile fast
+    python -m repro search --budget tiny --out design.json
     python -m repro serve --trace diurnal --slo-ms 20
+    python -m repro serve --from-result design.json --fleet tx2,xavier
     python -m repro cache stats --cache-dir .cache/engine
 
 Artifacts print the paper-style rows/series (the same renderers the
-benchmark suite uses); ``serve`` runs the online serving simulator
+benchmark suite uses); ``search`` runs the bi-level HADAS search and
+exports the selected design (``repro search --help``); ``serve`` runs the
+online serving simulator — single device or a heterogeneous fleet
 (``repro serve --help``); ``cache`` administers the persistent result
 cache (``repro cache --help``).
 """
@@ -72,6 +76,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serving.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "search":
+        from repro.search.cli import main as search_main
+
+        return search_main(argv[1:])
     if argv and argv[0] == "cache":
         from repro.engine.cli import main as cache_main
 
@@ -83,7 +91,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        help="one of: list, all, " + ", ".join(_ARTIFACTS) + ", serve, cache",
+        help="one of: list, all, " + ", ".join(_ARTIFACTS) + ", search, serve, cache",
     )
     parser.add_argument("--profile", default="fast", help="fast (default) or paper")
     parser.add_argument("--seed", type=int, default=7)
@@ -102,7 +110,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.artifact == "list":
         print("available artifacts:", ", ".join(_ARTIFACTS), "or 'all'")
-        print("other subcommands: serve (online serving), cache (cache admin)")
+        print("other subcommands: search (bi-level search), serve (online serving), "
+              "cache (cache admin)")
         return 0
 
     try:

@@ -147,8 +147,15 @@ class ResultCache:
             {"digest": key.digest, "namespace": key.namespace, "version": str(self.version)}
         )
         with self._lock:
-            with self._index_path.open("a") as handle:
-                handle.write(line + "\n")
+            with self._index_path.open("a+b") as handle:
+                # A hard-killed writer can leave a torn line with no trailing
+                # newline; start on a fresh line so this record cannot be
+                # welded onto the remnant and lost with it.
+                if handle.seek(0, os.SEEK_END) > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                handle.write(line.encode("utf-8") + b"\n")
 
     def index_entries(self) -> dict[str, dict]:
         """Parse the index sidecar: digest -> {namespace, version} (last wins).

@@ -239,6 +239,33 @@ PLATFORM_BUILDERS = {
 #: Paper presentation order (Fig. 5 left to right).
 PAPER_PLATFORM_ORDER = ("agx-gpu", "carmel-cpu", "tx2-gpu", "denver-cpu")
 
+#: Colloquial device names accepted anywhere a platform key is (``--fleet
+#: tx2,xavier``); values are canonical ``PLATFORM_BUILDERS`` keys.
+PLATFORM_ALIASES = {
+    "tx2": "tx2-gpu",
+    "xavier": "agx-gpu",
+    "agx": "agx-gpu",
+    "carmel": "carmel-cpu",
+    "denver": "denver-cpu",
+}
+
+
+def canonical_platform_key(key: str) -> str:
+    """Resolve an alias ("tx2", "xavier") to its canonical platform key.
+
+    Canonical keys pass through unchanged; unknown names also pass through —
+    validation (with its helpful error message) stays the job of
+    :func:`validate_platform_keys`.
+    """
+    return PLATFORM_ALIASES.get(key, key)
+
+
+def resolve_platform_keys(keys) -> list[str]:
+    """Alias-resolve *and* validate a sequence of platform names."""
+    resolved = [canonical_platform_key(key) for key in keys]
+    validate_platform_keys(resolved)
+    return resolved
+
 
 def validate_platform_keys(keys) -> None:
     """Raise ``ValueError`` naming every unknown key and the valid set.

@@ -1,0 +1,125 @@
+"""``repro search`` — run the bi-level HADAS search and export the design.
+
+Usage::
+
+    repro search --platform tx2-gpu --out hadas-design.json
+    repro search --budget tiny --seed 3 --out design.json
+    repro search --budget paper --workers 8 --cache-dir .cache/engine
+
+The written artifact carries the selected (B, X, F) design (plus the
+search's accuracy numbers) in the format ``repro serve --from-result``
+mounts, closing the loop::
+
+    repro search --budget tiny --out design.json && \\
+    repro serve --from-result design.json --fleet tx2,xavier --router difficulty_aware
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import time
+
+from repro.hardware.platform import PAPER_PLATFORM_ORDER, canonical_platform_key, validate_platform_keys
+from repro.search.hadas import HadasConfig, HadasSearch
+
+#: Named search budgets: (outer pop, outer gens, inner pop, inner gens, ioe
+#: candidates, oracle samples).  "tiny" exists for smoke tests and the
+#: search→serve round trip; "fast" matches the test/bench profile; "paper"
+#: is the 450/3500-iteration budget.
+BUDGETS = {
+    "tiny": (6, 2, 6, 3, 1, 256),
+    "fast": (16, 5, 16, 6, 4, 2048),
+    "paper": (30, 15, 50, 70, 5, 2048),
+}
+
+
+def build_config(args: argparse.Namespace) -> HadasConfig:
+    """Lower parsed CLI arguments to a :class:`HadasConfig`."""
+    outer_pop, outer_gen, inner_pop, inner_gen, candidates, samples = BUDGETS[args.budget]
+    return HadasConfig(
+        platform=args.platform,
+        seed=args.seed,
+        gamma=args.gamma,
+        outer_population=outer_pop,
+        outer_generations=outer_gen,
+        inner_population=inner_pop,
+        inner_generations=inner_gen,
+        ioe_candidates=candidates,
+        oracle_samples=samples,
+        workers=args.workers,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro search",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--platform", default="tx2-gpu",
+                        help=f"one of: {', '.join(PAPER_PLATFORM_ORDER)} (aliases ok)")
+    parser.add_argument("--budget", default="fast", choices=sorted(BUDGETS),
+                        help="search budget preset (tiny/fast/paper)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--gamma", type=float, default=1.0,
+                        help="dissimilarity exponent (0 disables)")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--executor", default="auto",
+                        choices=["auto", "serial", "thread", "process"])
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent evaluation-result cache directory")
+    parser.add_argument("--out", default="hadas-design.json",
+                        help="write the selected design artifact here")
+    args = parser.parse_args(argv)
+
+    args.platform = canonical_platform_key(args.platform)
+    try:
+        validate_platform_keys([args.platform])
+    except ValueError as error:
+        parser.error(str(error))
+    if args.workers <= 0:
+        parser.error(f"--workers must be > 0, got {args.workers}")
+
+    config = build_config(args)
+    search = HadasSearch(config)
+    start = time.perf_counter()
+    try:
+        result = search.run()
+    finally:
+        search.close()
+    elapsed = time.perf_counter() - start
+
+    design = result.deployed_design()
+    static_evals, dynamic_evals = result.num_evaluations
+    print(
+        f"search done in {elapsed:.1f}s on {config.platform} "
+        f"({static_evals} static / {dynamic_evals} dynamic evaluations, "
+        f"{len(result.dynn_pareto())} Pareto DyNNs)"
+    )
+    print(design.describe())
+    print(
+        f"  dynamic accuracy {design.dynamic_accuracy * 100:.1f}%  "
+        f"energy {design.dynamic_energy_j * 1e3:.1f} mJ  D={design.d_score:.3f}"
+    )
+
+    if args.out:
+        from repro.serving.deploy import save_design
+
+        path = save_design(
+            design,
+            args.out,
+            extra={
+                "config": dataclasses.asdict(config),
+                "search": {
+                    "elapsed_s": elapsed,
+                    "static_evaluations": static_evals,
+                    "dynamic_evaluations": dynamic_evals,
+                    "pareto_size": len(result.dynn_pareto()),
+                },
+            },
+        )
+        print(f"wrote {path}")
+    return 0

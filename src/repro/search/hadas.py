@@ -193,6 +193,28 @@ class HadasResult:
             )
         return models[0]
 
+    def deployed_design(self, label: str = "searched"):
+        """The selected model lowered to a serving-ready deployed design.
+
+        This is the search → serve hand-off: the returned
+        :class:`~repro.serving.deploy.DeployedDesign` carries the concrete
+        (B, X, F) triple plus the search surrogate's backbone accuracy, so
+        ``repro serve --from-result`` mounts exactly what the search chose.
+        """
+        # Imported lazily: serving depends on the search's Individual type,
+        # so a module-level import here would be circular.
+        from repro.serving.deploy import design_from_individual
+
+        best = self.selected_model()
+        backbone = best.payload["config"]
+        return design_from_individual(
+            best,
+            platform=self.config.platform,
+            seed=self.config.seed,
+            backbone_accuracy=self.surrogate.accuracy_fraction(backbone),
+            label=label,
+        )
+
     @property
     def num_evaluations(self) -> tuple[int, int]:
         """(static, dynamic) evaluation counts."""

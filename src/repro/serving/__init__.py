@@ -17,9 +17,16 @@ timestamped request streams through searched designs:
 * :mod:`~repro.serving.simulator` — the discrete-event loop with batched
   hardware pricing and SLO telemetry;
 * :mod:`~repro.serving.harness` — spec → report cells, fanned out through
-  the engine's :class:`~repro.engine.service.EvaluationService`.
+  the engine's :class:`~repro.engine.service.EvaluationService`;
+* :mod:`~repro.serving.deploy` — the searched-design mount
+  (``repro search --out`` → ``repro serve --from-result``);
+* :mod:`~repro.serving.router` — fleet request routers (round-robin,
+  least-backlog, difficulty-aware);
+* :mod:`~repro.serving.fleet` — N heterogeneous devices behind one queue,
+  with per-device governors and fleet-level telemetry.
 
-Entry points: ``repro serve ...`` (CLI) and ``benchmarks/bench_serving.py``.
+Entry points: ``repro serve ...`` (CLI), ``benchmarks/bench_serving.py``
+and ``benchmarks/bench_fleet.py``.
 """
 
 from repro.serving.batcher import BatchPolicy, MicroBatcher
@@ -41,10 +48,41 @@ from repro.serving.harness import (
     run_serving_cell,
     sweep,
 )
+from repro.serving.deploy import (
+    DeployedDesign,
+    design_from_individual,
+    load_design,
+    save_design,
+)
+from repro.serving.fleet import (
+    FLEET_CELL_VERSION,
+    DeviceTelemetry,
+    FleetReport,
+    FleetSimulator,
+    FleetSpec,
+    build_fleet_stacks,
+    build_fleet_trace_and_stream,
+    fleet_sweep,
+    run_fleet_cell,
+)
+from repro.serving.router import (
+    ROUTER_NAMES,
+    DifficultyAwareRouter,
+    FleetRouter,
+    LeastBacklogRouter,
+    RoundRobinRouter,
+    make_router,
+)
 from repro.serving.scenarios import SCENARIO_NAMES, SCENARIOS, Scenario, get_scenario
 from repro.serving.simulator import ServingSimulator
 from repro.serving.stream import LogitsSynthesizer, ServingStream
-from repro.serving.telemetry import ServingReport, render_comparison, render_report
+from repro.serving.telemetry import (
+    ServingReport,
+    render_comparison,
+    render_fleet_report,
+    render_report,
+    render_router_comparison,
+)
 from repro.serving.workload import (
     LOAD_PATTERNS,
     Request,
@@ -60,8 +98,19 @@ from repro.serving.workload import (
 __all__ = [
     "AdaptiveGovernor",
     "BatchPolicy",
+    "DeployedDesign",
+    "DeviceTelemetry",
+    "DifficultyAwareRouter",
+    "FLEET_CELL_VERSION",
+    "FleetReport",
+    "FleetRouter",
+    "FleetSimulator",
+    "FleetSpec",
     "GovernorObservation",
     "LOAD_PATTERNS",
+    "LeastBacklogRouter",
+    "ROUTER_NAMES",
+    "RoundRobinRouter",
     "LogitsSynthesizer",
     "MicroBatcher",
     "Request",
@@ -78,19 +127,29 @@ __all__ = [
     "ServingStream",
     "StaticPolicy",
     "Trace",
+    "build_fleet_stacks",
+    "build_fleet_trace_and_stream",
     "build_serving_stack",
     "build_trace_and_stream",
     "bursty_trace",
+    "design_from_individual",
     "diurnal_trace",
     "flash_crowd_trace",
+    "fleet_sweep",
     "get_scenario",
+    "load_design",
+    "make_router",
     "make_trace",
     "plan_config_ladder",
     "poisson_trace",
     "render_comparison",
+    "render_fleet_report",
     "render_report",
+    "render_router_comparison",
     "replay_trace",
+    "run_fleet_cell",
     "run_serving_cell",
+    "save_design",
     "static_config_for",
     "sweep",
 ]

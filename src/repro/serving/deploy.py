@@ -1,0 +1,124 @@
+"""Deployed-design plumbing: searched HADAS output → serving mount.
+
+A :class:`DeployedDesign` is the deployable (B, X, F) triple a HADAS run
+hands to the serving stack: the concrete backbone, the searched exit
+positions, the searched DVFS operating point, and the search-time accuracy
+numbers the oracle/synthesizer should reproduce.  It is plain frozen data,
+so it rides inside a :class:`~repro.serving.harness.ServingSpec` (and its
+cache key) unchanged, and round-trips through JSON — ``repro search --out
+design.json`` writes one, ``repro serve --from-result design.json`` mounts
+it instead of the default AttentiveNAS backbone + spread exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.arch.config import BackboneConfig
+from repro.exits.placement import ExitPlacement
+from repro.search.individual import Individual
+from repro.utils.serialization import from_jsonable, load_json, save_json, to_jsonable
+
+
+@dataclass(frozen=True)
+class DeployedDesign:
+    """One searched (B, X, F) design, ready to mount in the serving stack.
+
+    ``backbone_accuracy`` is the search surrogate's accuracy fraction for
+    the backbone — carried along so serving synthesises logits against the
+    *searched* model's capability, not a re-derived one.  ``core_ghz`` /
+    ``emc_ghz`` record the searched static DVFS point F; the serving
+    runtime re-plans its own DVFS ladder around the deployed network, so F
+    is provenance (and the offline operating point), not a runtime pin.
+    """
+
+    backbone: BackboneConfig
+    positions: tuple[int, ...]
+    core_ghz: float
+    emc_ghz: float
+    backbone_accuracy: float
+    label: str = "searched"
+    platform: str = "?"
+    seed: int = 0
+    d_score: float = 0.0
+    dynamic_accuracy: float = 0.0
+    dynamic_energy_j: float = 0.0
+
+    def __post_init__(self):
+        # Positions must decode to a valid placement for this backbone —
+        # fail at construction, not deep inside a serving run.
+        self.placement()
+        if not 0.0 < self.backbone_accuracy <= 1.0:
+            raise ValueError(
+                f"backbone_accuracy must be a fraction in (0, 1], got "
+                f"{self.backbone_accuracy}"
+            )
+
+    def placement(self) -> ExitPlacement:
+        """The searched exit configuration X."""
+        return ExitPlacement(self.backbone.total_mbconv_layers, self.positions)
+
+    @property
+    def num_exits(self) -> int:
+        return len(self.positions)
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        return (
+            f"{self.label}: {self.backbone.key} exits@{list(self.positions)} "
+            f"F=({self.core_ghz:.2f}, {self.emc_ghz:.2f}) GHz "
+            f"[searched on {self.platform}, seed {self.seed}]"
+        )
+
+
+def design_from_individual(
+    individual: Individual,
+    platform: str = "?",
+    seed: int = 0,
+    backbone_accuracy: float | None = None,
+    label: str = "searched",
+) -> DeployedDesign:
+    """Lower one dynamic-archive member to a :class:`DeployedDesign`.
+
+    The individual must carry the outer loop's payload: ``config`` (the
+    backbone) and ``evaluation`` (the inner engine's dynamic evaluation,
+    which holds the decoded placement and DVFS setting).
+    """
+    config: BackboneConfig = individual.payload["config"]
+    evaluation = individual.payload["evaluation"]
+    if backbone_accuracy is None:
+        # Static accuracy is reported in percent; the design carries fractions.
+        backbone_accuracy = individual.payload["static"].accuracy / 100.0
+    return DeployedDesign(
+        backbone=config,
+        positions=tuple(int(p) for p in evaluation.placement.positions),
+        core_ghz=float(evaluation.setting.core_ghz),
+        emc_ghz=float(evaluation.setting.emc_ghz),
+        backbone_accuracy=float(backbone_accuracy),
+        label=label,
+        platform=platform,
+        seed=seed,
+        d_score=float(evaluation.d_score),
+        dynamic_accuracy=float(evaluation.dynamic_accuracy),
+        dynamic_energy_j=float(evaluation.dynamic_energy_j),
+    )
+
+
+def save_design(design: DeployedDesign, path: str | Path, extra: dict | None = None) -> Path:
+    """Write a design artifact (``{"design": ..., **extra}``) as JSON."""
+    payload = {"design": to_jsonable(design)}
+    if extra:
+        payload.update(to_jsonable(extra))
+    return save_json(payload, path)
+
+
+def load_design(path: str | Path) -> DeployedDesign:
+    """Read a design back from ``save_design`` output (or a bare design)."""
+    data = load_json(path)
+    if isinstance(data, dict) and "design" in data:
+        data = data["design"]
+    design = from_jsonable(data, DeployedDesign)
+    if not isinstance(design, DeployedDesign):
+        raise ValueError(f"{path} does not contain a deployed design")
+    return design

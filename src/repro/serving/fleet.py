@@ -1,0 +1,699 @@
+"""Heterogeneous multi-device fleet serving behind one shared queue.
+
+A fleet is N simulated edge devices from the platform registry — a TX2
+GPU next to an AGX Xavier next to a Denver CPU — all mounting the *same*
+dynamic network (default spread or a searched
+:class:`~repro.serving.deploy.DeployedDesign`), each with its own runtime
+config ladder, micro-batcher, governor and thermal state (all reused from
+the single-device stack).  One trace arrives at a shared front door; a
+pluggable :class:`~repro.serving.router.FleetRouter` assigns every request
+to a device lane at arrival time, and each lane then batches and serves
+its share exactly like the single-device simulator would.
+
+Dispatch is deterministic: requests are routed in arrival order, and a
+lane only forms a batch once no future arrival could still join it (the
+same two-trigger + opportunistic-fill semantics as
+:class:`~repro.serving.batcher.MicroBatcher`, re-derived for a queue that
+grows one routed request at a time).
+
+:func:`run_fleet_cell` is the pure cell function; :func:`fleet_sweep` fans
+grids through the :class:`~repro.engine.service.EvaluationService` with
+results persisted under the ``fleet`` cache namespace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from bisect import bisect_left, bisect_right
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.cache import ResultCache
+from repro.engine.service import EvalTask, EvaluationService
+from repro.hardware.energy import PathProfile
+from repro.hardware.platform import resolve_platform_keys
+from repro.serving.batcher import BatchPolicy
+from repro.serving.deploy import DeployedDesign
+from repro.serving.governor import (
+    AdaptiveGovernor,
+    GovernorObservation,
+    RuntimeConfig,
+    ServingPolicy,
+    StaticPolicy,
+    _profiles_for,
+    static_config_for,
+)
+from repro.serving.harness import (
+    POLICY_NAMES,
+    ServingSpec,
+    ServingStack,
+    build_serving_stack,
+    reference_config,
+)
+from repro.serving.router import ROUTER_NAMES, FleetRouter, make_router
+from repro.serving.scenarios import Scenario, ThermalState, get_scenario
+from repro.serving.simulator import execute_batch
+from repro.serving.stream import ServingStream
+from repro.serving.telemetry import percentile_ms
+from repro.serving.workload import LOAD_PATTERNS, Request, Trace, make_trace
+from repro.utils.validation import check_positive
+
+#: Bump when fleet-cell semantics change; orphans persisted fleet entries.
+FLEET_CELL_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything one fleet serving run depends on, as plain data.
+
+    ``platforms`` accepts registry keys or aliases ("tx2", "xavier"); they
+    are canonicalised at construction so cache keys do not fork on
+    spelling.  The same model (named AttentiveNAS mount or searched
+    ``design``) is deployed on every device — the paper's premise is one
+    dynamic network scaling across heterogeneous hardware.
+    """
+
+    platforms: tuple[str, ...] = ("tx2-gpu", "agx-gpu")
+    model: str = "a3"
+    pattern: str = "poisson"
+    scenario: str = "nominal"
+    policy: str = "adaptive"
+    router: str = "difficulty_aware"
+    slo_ms: float = 75.0
+    utilization: float = 0.7  # offered load relative to fleet reference capacity
+    rate_hz: float | None = None  # explicit fleet arrival rate overrides utilization
+    duration_s: float = 20.0
+    num_exits: int = 3
+    seed: int = 7
+    max_batch: int = 6
+    batch_timeout_ms: float = 4.0
+    window_ms: float = 400.0
+    num_classes: int = 10
+    calibration_samples: int = 512
+    design: DeployedDesign | None = None
+
+    def __post_init__(self):
+        if not self.platforms:
+            raise ValueError("a fleet needs at least one platform")
+        object.__setattr__(
+            self, "platforms", tuple(resolve_platform_keys(self.platforms))
+        )
+        if self.router not in ROUTER_NAMES:
+            raise ValueError(f"unknown router {self.router!r}; valid: {ROUTER_NAMES}")
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy {self.policy!r}; valid: {POLICY_NAMES}")
+        get_scenario(self.scenario)
+        if self.pattern not in LOAD_PATTERNS:
+            raise ValueError(
+                f"unknown load pattern {self.pattern!r}; valid: {LOAD_PATTERNS}"
+            )
+        check_positive("slo_ms", self.slo_ms)
+        check_positive("duration_s", self.duration_s)
+        check_positive("utilization", self.utilization)
+        if self.rate_hz is not None:
+            check_positive("rate_hz", self.rate_hz)
+
+    def device_spec(self, platform: str, rate_hz: float | None = None) -> ServingSpec:
+        """The single-device spec a fleet member is built from."""
+        return ServingSpec(
+            platform=platform,
+            model=self.model,
+            pattern=self.pattern,
+            scenario=self.scenario,
+            policy=self.policy,
+            slo_ms=self.slo_ms,
+            utilization=self.utilization,
+            rate_hz=rate_hz,
+            duration_s=self.duration_s,
+            num_exits=self.num_exits,
+            seed=self.seed,
+            max_batch=self.max_batch,
+            batch_timeout_ms=self.batch_timeout_ms,
+            window_ms=self.window_ms,
+            num_classes=self.num_classes,
+            calibration_samples=self.calibration_samples,
+            design=self.design,
+        )
+
+    @property
+    def model_label(self) -> str:
+        if self.design is not None:
+            return f"{self.design.label}:{self.design.backbone.key}"
+        return self.model
+
+
+@dataclass(frozen=True)
+class DeviceTelemetry:
+    """Per-device slice of a fleet run (plain data, cache-safe)."""
+
+    platform: str
+    requests: int
+    share: float  # fraction of fleet requests routed here
+    batches: int
+    mean_batch_size: float
+    utilization: float  # busy seconds / fleet makespan
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    deadline_miss_rate: float
+    energy_j: float
+    energy_per_request_j: float
+    switching_energy_j: float
+    accuracy: float
+    exit_usage: list[float] = field(default_factory=list)
+    config_usage: dict[str, int] = field(default_factory=dict)
+    governor_decisions: int = 0
+    throttled_batches: int = 0
+    peak_temperature_c: float = 0.0
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregate outcome of one fleet run (one trace × one router)."""
+
+    # Identity
+    pattern: str
+    scenario: str
+    policy: str
+    router: str
+    model: str
+    seed: int
+    slo_ms: float
+    platforms: list[str] = field(default_factory=list)
+    # Traffic
+    num_requests: int = 0
+    duration_s: float = 0.0
+    offered_rate_rps: float = 0.0
+    throughput_rps: float = 0.0
+    # Latency / SLO (cross-device)
+    latency_ms_mean: float = 0.0
+    latency_ms_p50: float = 0.0
+    latency_ms_p95: float = 0.0
+    latency_ms_p99: float = 0.0
+    deadline_miss_rate: float = 0.0
+    # Energy / accuracy (fleet totals)
+    energy_per_request_j: float = 0.0
+    total_energy_j: float = 0.0
+    switching_energy_j: float = 0.0
+    accuracy: float = 0.0
+    exit_usage: list[float] = field(default_factory=list)
+    governor_decisions: int = 0
+    peak_temperature_c: float = 0.0
+    battery_budget_j: float = 0.0
+    battery_spent_j: float = 0.0
+    battery_exhausted: bool = False
+    # Per-device split
+    devices: list[DeviceTelemetry] = field(default_factory=list)
+
+    @property
+    def met_slo_rate(self) -> float:
+        return 1.0 - self.deadline_miss_rate
+
+
+class DeviceLane:
+    """One fleet member: a serving stack plus its live queue and meters.
+
+    The lane exposes the read-only :class:`~repro.serving.router.LaneState`
+    surface routers observe (queue depth, estimated wait, reference
+    capacity/energy) and owns the per-device governor state the simulator
+    drives (current config, decision clock, thermal, profile caches).
+    """
+
+    def __init__(self, index: int, stack: ServingStack, policy: ServingPolicy):
+        self.index = index
+        self.stack = stack
+        self.policy = policy
+        self.reference = reference_config(stack.ladder)
+        self.coolest = min(stack.ladder, key=lambda c: c.expected_power_w)
+        self.max_power_w = max(c.expected_power_w for c in stack.ladder)
+        # Live queue: routed-but-undispatched requests, FIFO by arrival.
+        self._queue: deque[Request] = deque()
+        self._queue_arrivals: deque[float] = deque()
+        self._routed_times: list[float] = []  # every routed arrival (rate window)
+        # Device clocks.
+        self.t_free = 0.0
+        self.clock = 0.0
+        self.next_decision = 0.0
+        self.config: RuntimeConfig | None = None
+        self.thermal: ThermalState | None = None
+        # Caches shared across batches.
+        self._profiles: dict[str, list[PathProfile]] = {}
+        self._controllers: dict[str, object] = {}
+        # Meters.
+        self.request_indices: list[int] = []
+        self.busy_s = 0.0
+        self.energy_j = 0.0
+        self.switching_energy_j = 0.0
+        self.num_batches = 0
+        self.throttled = 0
+        self.governor_decisions = 0
+        self.config_usage: dict[str, int] = {}
+        self.exit_counts = np.zeros(stack.placement.num_exits + 1, dtype=np.int64)
+
+    # -------------------------------------------------------- router surface
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def reference_capacity_rps(self) -> float:
+        return self.reference.capacity_rps(self.stack.batch_policy)
+
+    @property
+    def reference_energy_j(self) -> float:
+        return self.reference.expected_energy_j
+
+    def estimated_wait_s(self, now_s: float) -> float:
+        """Residual busy time plus queued work at reference capacity."""
+        residual = max(self.t_free - now_s, 0.0)
+        return residual + self.queue_depth / self.reference_capacity_rps
+
+    # ------------------------------------------------------------- the queue
+    def push(self, request: Request) -> None:
+        self._queue.append(request)
+        self._queue_arrivals.append(request.arrival_s)
+        self._routed_times.append(request.arrival_s)
+        self.request_indices.append(request.index)
+
+    def backlog_at(self, now_s: float) -> int:
+        """Routed requests that have arrived but not dispatched by ``now_s``."""
+        return bisect_right(list(self._queue_arrivals), now_s)
+
+    def arrival_rate_hz(self, now_s: float, window_s: float, fallback: float) -> float:
+        """Routed arrivals/second over the trailing window."""
+        if now_s <= 0:
+            return fallback
+        window_start = max(0.0, now_s - window_s)
+        lo = bisect_left(self._routed_times, window_start)
+        hi = bisect_right(self._routed_times, now_s)
+        return (hi - lo) / max(now_s - window_start, 1e-9)
+
+    def pending_start_s(self) -> float | None:
+        """Dispatch instant of the next batch, were it formed now.
+
+        Re-derives the :class:`~repro.serving.batcher.MicroBatcher`
+        trigger (full-batch fill or head-of-line timeout, whichever comes
+        first, floored by the device-free time) for a queue that only
+        knows arrivals routed so far.  ``None`` when the queue is empty.
+        """
+        if not self._queue:
+            return None
+        policy = self.stack.batch_policy
+        expiry = self._queue[0].arrival_s + policy.timeout_s
+        if (
+            len(self._queue) >= policy.max_batch
+            and self._queue_arrivals[policy.max_batch - 1] <= expiry
+        ):
+            trigger = self._queue_arrivals[policy.max_batch - 1]
+        else:
+            trigger = expiry
+        return max(self.t_free, trigger)
+
+    def next_ready_batch(self, until_s: float) -> tuple[float, list[Request]] | None:
+        """Form the next batch, but only once the fleet clock reaches it.
+
+        A batch is returned only when it dispatches before the next fleet
+        arrival (``until_s``), so no future arrival could still join it
+        (opportunistic fill up to the dispatch instant, as in the
+        single-device batcher) and — just as important — the governor
+        observations made at dispatch see every arrival up to the dispatch
+        instant, exactly like the single-device simulator's.
+        """
+        start = self.pending_start_s()
+        if start is None or start >= until_s:
+            return None  # empty, or the fleet clock has not reached it yet
+        policy = self.stack.batch_policy
+        size = 0
+        for arrival in self._queue_arrivals:
+            if size >= policy.max_batch or arrival > start:
+                break
+            size += 1
+        batch = [self._queue.popleft() for _ in range(size)]
+        for _ in range(size):
+            self._queue_arrivals.popleft()
+        return start, batch
+
+    # ---------------------------------------------------------- config state
+    def profiles_of(self, config: RuntimeConfig) -> list[PathProfile]:
+        if config.name not in self._profiles:
+            self._profiles[config.name] = _profiles_for(
+                self.stack.evaluator, self.stack.placement, config.dvfs_governor()
+            )
+        return self._profiles[config.name]
+
+    def controller_of(self, config: RuntimeConfig):
+        if config.name not in self._controllers:
+            self._controllers[config.name] = config.controller()
+        return self._controllers[config.name]
+
+
+def build_fleet_stacks(spec: FleetSpec) -> list[ServingStack]:
+    """One serving stack per platform, provisioned for its share of load.
+
+    With ``rate_hz`` unset every device is loaded at ``utilization`` × its
+    own reference capacity (the fleet rate is the sum); with an explicit
+    fleet rate, load splits proportionally to reference capacity and each
+    static config is re-provisioned for its share.
+    """
+    stacks = [build_serving_stack(spec.device_spec(p)) for p in spec.platforms]
+    if spec.rate_hz is not None:
+        capacities = [reference_config(s.ladder).capacity_rps(s.batch_policy) for s in stacks]
+        total = sum(capacities)
+        for stack, capacity in zip(stacks, capacities):
+            share = spec.rate_hz * capacity / total
+            stack.rate_hz = share
+            stack.static_config = static_config_for(
+                stack.ladder, share, spec.slo_ms / 1e3, stack.batch_policy
+            )
+    return stacks
+
+
+def build_fleet_trace_and_stream(
+    spec: FleetSpec, stacks: list[ServingStack]
+) -> tuple[Trace, ServingStream]:
+    """The shared (trace, logits) inputs every router is compared on.
+
+    Every stack mounts the same model, so the synthesizers are identical;
+    the stream comes from the first and is valid for all lanes.
+    """
+    fleet_rate = sum(stack.rate_hz for stack in stacks)
+    trace = make_trace(spec.pattern, fleet_rate, spec.duration_s, seed=spec.seed)
+    stream = stacks[0].synthesizer.synthesize(trace.difficulties())
+    return trace, stream
+
+
+class FleetSimulator:
+    """Replays one trace through a router onto N heterogeneous lanes."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        stacks: list[ServingStack],
+        switch_cost_j: float = 0.0,
+        emergency_backlog_batches: float = 2.0,
+    ):
+        self.spec = spec
+        self.scenario: Scenario = get_scenario(spec.scenario)
+        self.slo_s = spec.slo_ms / 1e3
+        self.window_s = spec.window_ms / 1e3
+        self.switch_cost_j = switch_cost_j
+        self.emergency_backlog = emergency_backlog_batches * spec.max_batch
+        self.lanes = [
+            DeviceLane(i, stack, self._policy_for(stack)) for i, stack in enumerate(stacks)
+        ]
+
+    def _policy_for(self, stack: ServingStack) -> ServingPolicy:
+        if self.spec.policy == "static":
+            return StaticPolicy(stack.static_config)
+        return AdaptiveGovernor(stack.ladder, stack.batch_policy)
+
+    def _battery_budget_j(self, trace: Trace) -> float | None:
+        """Fleet allowance: scenario scale × capacity-weighted static spend."""
+        if self.scenario.battery_scale is None:
+            return None
+        capacities = [lane.reference_capacity_rps for lane in self.lanes]
+        total = sum(capacities)
+        per_request = sum(
+            lane.stack.static_config.expected_energy_j * capacity / total
+            for lane, capacity in zip(self.lanes, capacities)
+        )
+        return self.scenario.battery_scale * per_request * max(trace.num_requests, 1)
+
+    def _observe(
+        self,
+        lane: DeviceLane,
+        now_s: float,
+        trace: Trace,
+        battery_budget_j: float | None,
+        battery_spent_j: float,
+    ) -> GovernorObservation:
+        share = lane.reference_capacity_rps / sum(
+            l.reference_capacity_rps for l in self.lanes
+        )
+        rate = lane.arrival_rate_hz(
+            now_s, self.window_s, fallback=trace.mean_rate_hz * share
+        )
+        power_cap = (
+            lane.thermal.power_cap_w(lane.max_power_w) if lane.thermal else None
+        )
+        energy_cap = None
+        if battery_budget_j is not None:
+            remaining_j = max(battery_budget_j - battery_spent_j, 0.0)
+            remaining_requests = max(
+                trace.mean_rate_hz * max(trace.duration_s - now_s, 0.0), 1.0
+            )
+            energy_cap = remaining_j / remaining_requests
+        return GovernorObservation(
+            now_s=now_s,
+            window_s=self.window_s,
+            arrival_rate_hz=rate,
+            backlog=lane.backlog_at(now_s),
+            slo_s=self.slo_s,
+            temperature_c=lane.thermal.temperature_c if lane.thermal else 0.0,
+            power_cap_w=power_cap,
+            energy_cap_j=energy_cap,
+        )
+
+    # -------------------------------------------------------------- main loop
+    def run(self, trace: Trace, stream: ServingStream) -> FleetReport:
+        n = trace.num_requests
+        if stream.final_logits.shape[0] != n:
+            raise ValueError(
+                f"stream carries {stream.final_logits.shape[0]} requests, trace has {n}"
+            )
+        arrivals = trace.arrival_times()
+        router: FleetRouter = make_router(self.spec.router, self.lanes, self.slo_s)
+
+        completion = np.zeros(n)
+        correct = np.zeros(n, dtype=bool)
+        battery_budget = self._battery_budget_j(trace)
+        battery_spent = 0.0
+        battery_exhausted = False
+
+        fleet_capacity = sum(lane.reference_capacity_rps for lane in self.lanes)
+        for lane in self.lanes:
+            lane.thermal = (
+                ThermalState(self.scenario.thermal, lane.max_power_w)
+                if self.scenario.thermal is not None
+                else None
+            )
+            # The t=0 observation is the same minimal one the single-device
+            # simulator hand-builds (no caps, no backlog) at the lane's
+            # capacity share of the mean rate — keeping a fleet of one
+            # bit-identical to ServingSimulator in *every* scenario.
+            lane.config = lane.policy.select(
+                GovernorObservation(
+                    now_s=0.0,
+                    window_s=self.window_s,
+                    arrival_rate_hz=trace.mean_rate_hz
+                    * lane.reference_capacity_rps / fleet_capacity,
+                    backlog=0,
+                    slo_s=self.slo_s,
+                )
+            )
+            lane.governor_decisions += 1
+            lane.next_decision = self.window_s
+
+        def dispatch(lane: DeviceLane, start: float, batch: list[Request]) -> None:
+            nonlocal battery_spent, battery_exhausted
+            if lane.thermal is not None and start > lane.clock:
+                lane.thermal.advance(0.0, start - lane.clock)  # idle: device cools
+            spike = lane.backlog_at(start) > self.emergency_backlog
+            if start >= lane.next_decision or spike:
+                obs = self._observe(lane, start, trace, battery_budget, battery_spent)
+                lane.config = lane.policy.select(obs)
+                lane.governor_decisions += 1
+                lane.next_decision = start + self.window_s
+            active = lane.config
+            if lane.thermal is not None and lane.thermal.throttled:
+                active = lane.coolest  # hardware throttle overrides the policy
+                lane.throttled += 1
+            lane.config_usage[active.name] = lane.config_usage.get(active.name, 0) + 1
+
+            indices = np.asarray([r.index for r in batch], dtype=np.int64)
+            outcome = execute_batch(
+                lane.controller_of(active),
+                lane.profiles_of(active),
+                active.dvfs_governor(self.switch_cost_j),
+                stream,
+                indices,
+            )
+            lane.switching_energy_j += outcome.switching_j
+
+            end = start + outcome.latency_s
+            completion[indices] = end
+            correct[indices] = outcome.correct
+            for d in outcome.decisions:
+                lane.exit_counts[d] += 1
+
+            lane.energy_j += outcome.energy_j
+            lane.busy_s += outcome.latency_s
+            battery_spent += outcome.energy_j
+            if battery_budget is not None and battery_spent > battery_budget:
+                battery_exhausted = True
+            if lane.thermal is not None and outcome.latency_s > 0:
+                lane.thermal.advance(
+                    outcome.energy_j / outcome.latency_s, outcome.latency_s
+                )
+            lane.clock = end
+            lane.t_free = end
+            lane.num_batches += 1
+
+        def drain(until: float) -> None:
+            # Dispatch ready batches across lanes in ascending start time
+            # (ties break on lane index): governors observing shared fleet
+            # state (the battery meter) always see it as of a simulated
+            # instant no later than their own decision time.
+            while True:
+                best: DeviceLane | None = None
+                best_start = float("inf")
+                for lane in self.lanes:
+                    start = lane.pending_start_s()
+                    if start is not None and start < until and start < best_start:
+                        best, best_start = lane, start
+                if best is None:
+                    break
+                formed = best.next_ready_batch(until)
+                dispatch(best, *formed)
+
+        for i, request in enumerate(trace.requests):
+            lane_index = router.route(request, request.arrival_s, self.lanes)
+            self.lanes[lane_index].push(request)
+            drain(arrivals[i + 1] if i + 1 < n else float("inf"))
+        drain(float("inf"))
+
+        return self._report(trace, completion, correct, battery_budget,
+                            battery_spent, battery_exhausted)
+
+    # -------------------------------------------------------------- telemetry
+    def _report(
+        self,
+        trace: Trace,
+        completion: np.ndarray,
+        correct: np.ndarray,
+        battery_budget: float | None,
+        battery_spent: float,
+        battery_exhausted: bool,
+    ) -> FleetReport:
+        n = trace.num_requests
+        arrivals = trace.arrival_times()
+        latencies = completion - arrivals
+        makespan = max(float(completion.max()) if n else 0.0, trace.duration_s)
+
+        devices = []
+        for lane in self.lanes:
+            idx = np.asarray(lane.request_indices, dtype=np.int64)
+            lane_lat = latencies[idx] if len(idx) else np.zeros(0)
+            served = len(idx)
+            devices.append(
+                DeviceTelemetry(
+                    platform=lane.stack.spec.platform,
+                    requests=served,
+                    share=served / n if n else 0.0,
+                    batches=lane.num_batches,
+                    mean_batch_size=served / lane.num_batches if lane.num_batches else 0.0,
+                    utilization=lane.busy_s / makespan if makespan > 0 else 0.0,
+                    latency_ms_p50=percentile_ms(lane_lat, 50),
+                    latency_ms_p95=percentile_ms(lane_lat, 95),
+                    latency_ms_p99=percentile_ms(lane_lat, 99),
+                    deadline_miss_rate=float((lane_lat > self.slo_s).mean()) if served else 0.0,
+                    energy_j=lane.energy_j,
+                    energy_per_request_j=lane.energy_j / served if served else 0.0,
+                    switching_energy_j=lane.switching_energy_j,
+                    accuracy=float(correct[idx].mean()) if served else 0.0,
+                    exit_usage=[float(c) / served if served else 0.0 for c in lane.exit_counts],
+                    config_usage=dict(lane.config_usage),
+                    governor_decisions=lane.governor_decisions,
+                    throttled_batches=lane.throttled,
+                    peak_temperature_c=lane.thermal.peak_c if lane.thermal is not None else 0.0,
+                )
+            )
+
+        exit_counts = np.sum([lane.exit_counts for lane in self.lanes], axis=0)
+        total_energy = sum(lane.energy_j for lane in self.lanes)
+        return FleetReport(
+            pattern=trace.pattern,
+            scenario=self.scenario.name,
+            policy=self.spec.policy,
+            router=self.spec.router,
+            model=self.spec.model_label,
+            seed=self.spec.seed,
+            slo_ms=self.slo_s * 1e3,
+            platforms=list(self.spec.platforms),
+            num_requests=n,
+            duration_s=trace.duration_s,
+            offered_rate_rps=trace.mean_rate_hz,
+            throughput_rps=n / makespan if makespan > 0 else 0.0,
+            latency_ms_mean=float(latencies.mean() * 1e3) if n else 0.0,
+            latency_ms_p50=percentile_ms(latencies, 50),
+            latency_ms_p95=percentile_ms(latencies, 95),
+            latency_ms_p99=percentile_ms(latencies, 99),
+            deadline_miss_rate=float((latencies > self.slo_s).mean()) if n else 0.0,
+            energy_per_request_j=total_energy / n if n else 0.0,
+            total_energy_j=total_energy,
+            switching_energy_j=sum(lane.switching_energy_j for lane in self.lanes),
+            accuracy=float(correct.mean()) if n else 0.0,
+            exit_usage=[float(c) / n if n else 0.0 for c in exit_counts],
+            governor_decisions=sum(lane.governor_decisions for lane in self.lanes),
+            peak_temperature_c=max(
+                (lane.thermal.peak_c for lane in self.lanes if lane.thermal is not None),
+                default=0.0,
+            ),
+            battery_budget_j=battery_budget or 0.0,
+            battery_spent_j=battery_spent if battery_budget is not None else 0.0,
+            battery_exhausted=battery_exhausted,
+            devices=devices,
+        )
+
+
+def run_fleet_cell(spec: FleetSpec) -> FleetReport:
+    """Evaluate one fleet grid cell: pure function of the spec (cache-safe)."""
+    stacks = build_fleet_stacks(spec)
+    trace, stream = build_fleet_trace_and_stream(spec, stacks)
+    return FleetSimulator(spec, stacks).run(trace, stream)
+
+
+def fleet_cache_key(cache: ResultCache, spec: FleetSpec):
+    """Content address of one fleet cell in the persistent cache."""
+    return cache.key(
+        "fleet",
+        version=FLEET_CELL_VERSION,
+        spec=dataclasses.asdict(spec),
+    )
+
+
+def fleet_sweep(
+    specs: list[FleetSpec],
+    service: EvaluationService | None = None,
+    workers: int = 1,
+    executor: str = "auto",
+    cache_dir: str | None = None,
+) -> list[FleetReport]:
+    """Run a grid of fleet cells concurrently through the engine.
+
+    Results come back in submission order; cells sharing a spec are
+    deduplicated within the batch and, with ``cache_dir`` set, persist
+    across runs under the ``fleet`` cache namespace.
+    """
+    owned = service is None
+    if service is None:
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        service = EvaluationService(executor=executor, workers=workers, cache=cache)
+    try:
+        tasks = [
+            EvalTask(
+                run_fleet_cell,
+                (spec,),
+                key=fleet_cache_key(service.cache, spec)
+                if service.cache is not None
+                else None,
+                cls=FleetReport,
+            )
+            for spec in specs
+        ]
+        return service.evaluate_batch(tasks)
+    finally:
+        if owned:
+            service.close()

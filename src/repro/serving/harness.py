@@ -29,6 +29,7 @@ from repro.hardware.dvfs import DvfsSpace
 from repro.hardware.energy import EnergyModel
 from repro.hardware.platform import get_platform, validate_platform_keys
 from repro.serving.batcher import BatchPolicy
+from repro.serving.deploy import DeployedDesign
 from repro.serving.governor import (
     RuntimeConfig,
     AdaptiveGovernor,
@@ -51,7 +52,14 @@ POLICY_NAMES = ("static", "adaptive")
 
 @dataclass(frozen=True)
 class ServingSpec:
-    """Everything one serving run depends on, as plain data."""
+    """Everything one serving run depends on, as plain data.
+
+    ``design`` mounts a searched :class:`~repro.serving.deploy.
+    DeployedDesign` — the backbone, exit placement and accuracy then come
+    from the search output instead of the named AttentiveNAS model with the
+    default exit spread (``model``/``num_exits`` are ignored for the mount
+    but kept in the cache key via the design itself).
+    """
 
     platform: str = "tx2-gpu"
     model: str = "a3"
@@ -69,10 +77,11 @@ class ServingSpec:
     window_ms: float = 400.0
     num_classes: int = 10
     calibration_samples: int = 512
+    design: DeployedDesign | None = None
 
     def __post_init__(self):
         validate_platform_keys([self.platform])
-        if self.model not in ATTENTIVENAS_MODELS:
+        if self.design is None and self.model not in ATTENTIVENAS_MODELS:
             raise ValueError(
                 f"unknown model {self.model!r}; valid: {ATTENTIVENAS_MODELS}"
             )
@@ -89,6 +98,13 @@ class ServingSpec:
         check_positive("utilization", self.utilization)
         if self.rate_hz is not None:
             check_positive("rate_hz", self.rate_hz)
+
+    @property
+    def model_label(self) -> str:
+        """What telemetry reports as the served model."""
+        if self.design is not None:
+            return f"{self.design.label}:{self.design.backbone.key}"
+        return self.model
 
 
 @dataclass
@@ -116,6 +132,16 @@ class ServingStack:
         )
 
 
+def reference_config(ladder: list[RuntimeConfig]) -> RuntimeConfig:
+    """The mid-rate "balanced" rung: the device's comparable-load anchor.
+
+    Used both to size offered load (utilization × its capacity) and, by the
+    fleet routers, as each device's capacity/energy reference.
+    """
+    balanced = [c for c in ladder if c.name.endswith("-balanced")]
+    return balanced[len(balanced) // 2]
+
+
 def default_placement(total_layers: int, num_exits: int) -> ExitPlacement:
     """Exits spread over the backbone's depth (30–80 % of the layers)."""
     fractions = np.linspace(0.3, 0.8, num_exits)
@@ -131,11 +157,17 @@ def default_placement(total_layers: int, num_exits: int) -> ExitPlacement:
 def build_serving_stack(spec: ServingSpec) -> ServingStack:
     """Materialise the full serving stack for one spec."""
     platform = get_platform(spec.platform)
-    backbone = attentivenas_model(spec.model)
+    if spec.design is not None:
+        backbone = spec.design.backbone
+        accuracy = spec.design.backbone_accuracy
+    else:
+        backbone = attentivenas_model(spec.model)
+        accuracy = None
     surrogate = AccuracySurrogate(seed=spec.seed)
     static_eval = StaticEvaluator(platform, surrogate, seed=spec.seed)
     static = static_eval.evaluate(backbone)
-    accuracy = surrogate.accuracy_fraction(backbone)
+    if accuracy is None:
+        accuracy = surrogate.accuracy_fraction(backbone)
     oracle = BackboneExitOracle(
         backbone.key, backbone.total_mbconv_layers, accuracy, seed=spec.seed
     )
@@ -147,7 +179,10 @@ def build_serving_stack(spec: ServingSpec) -> ServingStack:
         baseline_energy_j=static.energy_j,
         baseline_latency_s=static.latency_s,
     )
-    placement = default_placement(backbone.total_mbconv_layers, spec.num_exits)
+    if spec.design is not None:
+        placement = spec.design.placement()
+    else:
+        placement = default_placement(backbone.total_mbconv_layers, spec.num_exits)
     synthesizer = LogitsSynthesizer(
         placement=placement,
         backbone_accuracy=accuracy,
@@ -160,8 +195,7 @@ def build_serving_stack(spec: ServingSpec) -> ServingStack:
 
     # Offered load is tied to the device: utilization × the capacity of the
     # mid-rate "balanced" rung, so every platform is stressed comparably.
-    balanced = [c for c in ladder if c.name.endswith("-balanced")]
-    reference = balanced[len(balanced) // 2]
+    reference = reference_config(ladder)
     if spec.rate_hz is not None:
         rate_hz = spec.rate_hz
     else:
@@ -211,7 +245,7 @@ def run_serving_cell(spec: ServingSpec) -> ServingReport:
         battery_budget_j=stack.battery_budget_j(trace.num_requests),
     )
     return simulator.run(
-        trace, stream, platform=spec.platform, model=spec.model, seed=spec.seed
+        trace, stream, platform=spec.platform, model=spec.model_label, seed=spec.seed
     )
 
 

@@ -1,0 +1,150 @@
+"""Request routers for the heterogeneous serving fleet.
+
+A :class:`FleetRouter` picks, per arriving request, which device lane the
+request joins.  Routers see a read-only :class:`LaneState` per device —
+queue depth, device-free time, the lane's reference capacity and energy —
+and the request itself (whose ``difficulty`` scalar stands in for a cheap
+upstream difficulty predictor; HADAS's premise is exactly that easy inputs
+early-exit, so difficulty is observable-enough to estimate).
+
+Three policies:
+
+* ``round_robin`` — cyclic assignment, the classic oblivious baseline;
+* ``least_backlog`` — join the lane with the shortest *estimated drain
+  time* (queued work divided by the lane's capacity, plus residual device
+  busy time), i.e. join-the-shortest-queue corrected for heterogeneity;
+* ``difficulty_aware`` — lanes are ordered by capacity and each takes the
+  difficulty band matching its share of fleet capacity: cheap, weak
+  devices absorb easy requests (which early-exit and are fast anywhere),
+  hard requests go to high-headroom devices whose deep paths still meet
+  the SLO.  A spill guard reroutes to the least-loaded lane whenever the
+  banded choice's estimated wait would blow the deadline — bursty arrivals
+  degrade into least-backlog instead of queueing behind a weak device.
+
+Everything is deterministic: ties break on lane index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.serving.workload import Request
+
+#: Router names accepted by :func:`make_router` (CLI/bench vocabulary).
+ROUTER_NAMES = ("round_robin", "least_backlog", "difficulty_aware")
+
+
+class LaneState(Protocol):
+    """What a router may observe about one device lane."""
+
+    index: int
+
+    @property
+    def queue_depth(self) -> int: ...
+
+    @property
+    def reference_capacity_rps(self) -> float: ...
+
+    @property
+    def reference_energy_j(self) -> float: ...
+
+    def estimated_wait_s(self, now_s: float) -> float: ...
+
+
+class FleetRouter:
+    """Base: maps an arriving request to a lane index."""
+
+    name = "router"
+
+    def route(self, request: Request, now_s: float, lanes: Sequence[LaneState]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(FleetRouter):
+    """Cyclic assignment, blind to state and difficulty."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def route(self, request: Request, now_s: float, lanes: Sequence[LaneState]) -> int:
+        index = self._next % len(lanes)
+        self._next += 1
+        return index
+
+
+class LeastBacklogRouter(FleetRouter):
+    """Join the lane that will drain its queued work soonest."""
+
+    name = "least_backlog"
+
+    def route(self, request: Request, now_s: float, lanes: Sequence[LaneState]) -> int:
+        return min(lanes, key=lambda lane: (lane.estimated_wait_s(now_s), lane.index)).index
+
+
+@dataclass
+class _Band:
+    """Difficulty band [lo, hi) owned by one lane."""
+
+    lane_index: int
+    lo: float
+    hi: float
+
+
+class DifficultyAwareRouter(FleetRouter):
+    """Difficulty-banded assignment with an SLO spill guard.
+
+    Lanes sorted by reference capacity partition the difficulty axis into
+    bands proportional to their capacity share — the weakest (and usually
+    cheapest) lane owns the easiest band.  When the banded lane's estimated
+    wait exceeds ``spill_fraction``·SLO, the request spills to the lane
+    with the least estimated wait instead.
+    """
+
+    name = "difficulty_aware"
+
+    def __init__(self, lanes: Sequence[LaneState], slo_s: float, spill_fraction: float = 0.5):
+        if not lanes:
+            raise ValueError("difficulty-aware router needs at least one lane")
+        self.slo_s = slo_s
+        self.spill_fraction = spill_fraction
+        ordered = sorted(
+            lanes, key=lambda lane: (lane.reference_capacity_rps, lane.index)
+        )
+        total = sum(lane.reference_capacity_rps for lane in ordered)
+        self._bands: list[_Band] = []
+        lo = 0.0
+        for lane in ordered:
+            share = lane.reference_capacity_rps / total if total > 0 else 1.0 / len(ordered)
+            self._bands.append(_Band(lane.index, lo, lo + share))
+            lo += share
+        self._bands[-1].hi = 1.0 + 1e-9  # difficulty == 1.0 lands in the last band
+
+    def banded_lane(self, difficulty: float) -> int:
+        """The lane whose band contains ``difficulty`` (no spill logic)."""
+        for band in self._bands:
+            if band.lo <= difficulty < band.hi:
+                return band.lane_index
+        return self._bands[-1].lane_index
+
+    def route(self, request: Request, now_s: float, lanes: Sequence[LaneState]) -> int:
+        chosen = self.banded_lane(request.difficulty)
+        if lanes[chosen].estimated_wait_s(now_s) > self.spill_fraction * self.slo_s:
+            spill = min(
+                lanes, key=lambda lane: (lane.estimated_wait_s(now_s), lane.index)
+            )
+            return spill.index
+        return chosen
+
+
+def make_router(name: str, lanes: Sequence[LaneState], slo_s: float) -> FleetRouter:
+    """Build a router by name (the CLI/bench entry point)."""
+    if name == "round_robin":
+        return RoundRobinRouter()
+    if name == "least_backlog":
+        return LeastBacklogRouter()
+    if name == "difficulty_aware":
+        return DifficultyAwareRouter(lanes, slo_s)
+    raise ValueError(f"unknown router {name!r}; expected one of {ROUTER_NAMES}")

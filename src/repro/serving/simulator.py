@@ -17,6 +17,8 @@ decision are pure functions of the seed and configuration.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.eval.dynamic import DynamicEvaluator
@@ -34,6 +36,44 @@ from repro.serving.stream import ServingStream
 from repro.serving.telemetry import ServingReport, percentile_ms
 from repro.serving.workload import Trace
 from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Result of pricing one micro-batch through the deployed DyNN.
+
+    Shared by the single-device and fleet simulators so the execution
+    semantics — controller decisions, batched hardware pricing, switch
+    energy, per-request correctness — live in exactly one place.
+    """
+
+    decisions: object  # per-request exit index (num_exits = full network)
+    latency_s: float
+    energy_j: float  # includes switching energy
+    switching_j: float
+    correct: np.ndarray  # per-request correctness flags
+
+
+def execute_batch(controller, profiles, dvfs_governor, stream, indices) -> BatchOutcome:
+    """Run one micro-batch: real exit decisions + physical batch pricing."""
+    exit_logits, final_logits, labels = stream.batch(indices)
+    decisions = controller.decide(exit_logits)
+    latency, energy = batched_execution([profiles[d] for d in decisions])
+    switch = dvfs_governor.switching_energy(decisions)
+    num_exits = stream.num_exits
+    correct = np.empty(len(indices), dtype=bool)
+    for j, d in enumerate(decisions):
+        if d < num_exits:
+            correct[j] = exit_logits[d, j].argmax() == labels[j]
+        else:
+            correct[j] = final_logits[j].argmax() == labels[j]
+    return BatchOutcome(
+        decisions=decisions,
+        latency_s=latency,
+        energy_j=energy + switch,
+        switching_j=switch,
+        correct=correct,
+    )
 
 
 class ServingSimulator:
@@ -209,30 +249,27 @@ class ServingSimulator:
             config_usage[active.name] = config_usage.get(active.name, 0) + 1
 
             indices = np.asarray([r.index for r in batch], dtype=np.int64)
-            exit_logits, final_logits, labels = stream.batch(indices)
-            decisions = self._controller_of(active).decide(exit_logits)
-            profiles = self._profiles_of(active)
-            latency, energy = batched_execution([profiles[d] for d in decisions])
-            switch = active.dvfs_governor(self.switch_cost_j).switching_energy(decisions)
-            energy += switch
-            switching_energy += switch
+            outcome = execute_batch(
+                self._controller_of(active),
+                self._profiles_of(active),
+                active.dvfs_governor(self.switch_cost_j),
+                stream,
+                indices,
+            )
+            switching_energy += outcome.switching_j
 
-            end = start + latency
+            end = start + outcome.latency_s
             completion[indices] = end
-            num_exits = self.placement.num_exits
-            for j, d in enumerate(decisions):
+            correct[indices] = outcome.correct
+            for d in outcome.decisions:
                 exit_counts[d] += 1
-                if d < num_exits:
-                    correct[indices[j]] = exit_logits[d, j].argmax() == labels[j]
-                else:
-                    correct[indices[j]] = final_logits[j].argmax() == labels[j]
 
-            total_energy += energy
-            battery_spent += energy
+            total_energy += outcome.energy_j
+            battery_spent += outcome.energy_j
             if self.battery_budget_j is not None and battery_spent > self.battery_budget_j:
                 battery_exhausted = True
-            if thermal is not None and latency > 0:
-                thermal.advance(energy / latency, latency)
+            if thermal is not None and outcome.latency_s > 0:
+                thermal.advance(outcome.energy_j / outcome.latency_s, outcome.latency_s)
             clock = end
             t_free = end
             num_batches += 1

@@ -104,6 +104,57 @@ def render_report(report: ServingReport) -> str:
     return "\n".join(lines)
 
 
+def render_fleet_report(report) -> str:
+    """One fleet run (:class:`~repro.serving.fleet.FleetReport`) as text."""
+    lines = [
+        f"{report.pattern} x {report.scenario} x {report.router} router "
+        f"({report.model} on [{', '.join(report.platforms)}], "
+        f"{report.policy} governors, seed {report.seed})",
+        f"  requests        {report.num_requests} over {report.duration_s:.1f}s "
+        f"(offered {report.offered_rate_rps:.1f} rps, served {report.throughput_rps:.1f} rps)",
+        f"  latency ms      mean {report.latency_ms_mean:.1f}  p50 {report.latency_ms_p50:.1f}  "
+        f"p95 {report.latency_ms_p95:.1f}  p99 {report.latency_ms_p99:.1f}",
+        f"  SLO {report.slo_ms:.0f}ms       miss rate {report.deadline_miss_rate * 100:.1f}%",
+        f"  energy          {report.energy_per_request_j * 1e3:.1f} mJ/request "
+        f"({report.total_energy_j:.2f} J total)",
+        f"  accuracy        {report.accuracy * 100:.1f}%",
+        f"  exits           " + " ".join(f"{u * 100:.0f}%" for u in report.exit_usage),
+    ]
+    for device in report.devices:
+        lines.append(
+            f"  - {device.platform:<12s} {device.requests:>5d} reqs "
+            f"({device.share * 100:4.1f}%)  util {device.utilization * 100:5.1f}%  "
+            f"p95 {device.latency_ms_p95:7.1f}ms  "
+            f"{device.energy_per_request_j * 1e3:6.1f} mJ/req"
+            + (f"  {device.throttled_batches} throttled" if device.throttled_batches else "")
+        )
+    if report.battery_budget_j:
+        lines.append(
+            f"  battery         spent {report.battery_spent_j:.2f} / "
+            f"{report.battery_budget_j:.2f} J"
+            + ("  EXHAUSTED" if report.battery_exhausted else "")
+        )
+    return "\n".join(lines)
+
+
+def render_router_comparison(baseline, candidate) -> str:
+    """Candidate-vs-baseline router summary for one fleet cell."""
+    if baseline.total_energy_j > 0:
+        energy_delta = (1.0 - candidate.total_energy_j / baseline.total_energy_j) * 100
+    else:
+        energy_delta = 0.0
+    p95_delta = baseline.latency_ms_p95 - candidate.latency_ms_p95
+    return (
+        f"{candidate.router} vs {baseline.router} [{baseline.pattern} x "
+        f"{baseline.scenario}]: p95 {candidate.latency_ms_p95:.1f} vs "
+        f"{baseline.latency_ms_p95:.1f} ms ({p95_delta:+.1f} ms), "
+        f"fleet energy {candidate.total_energy_j:.2f} vs "
+        f"{baseline.total_energy_j:.2f} J ({energy_delta:+.1f}% saved), "
+        f"miss rate {candidate.deadline_miss_rate * 100:.1f}% vs "
+        f"{baseline.deadline_miss_rate * 100:.1f}%"
+    )
+
+
 def render_comparison(static: ServingReport, adaptive: ServingReport) -> str:
     """Adaptive vs static summary line for one (pattern, scenario) cell."""
     miss_delta = (static.deadline_miss_rate - adaptive.deadline_miss_rate) * 100

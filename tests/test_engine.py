@@ -495,3 +495,78 @@ class TestCacheIndexAndPrune:
         cache.clear()
         assert not (tmp_path / "index.jsonl").exists()
         assert cache.index_entries() == {}
+
+    def test_stats_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
+        assert stats["unindexed"] == 0
+        assert stats["namespaces"] == {}
+        assert stats["versions"] == {}
+        assert len(cache) == 0
+        assert cache.prune() == 0
+        assert cache.stats().hit_rate == 0.0
+
+    def test_prune_survives_racing_writer(self, tmp_path, monkeypatch):
+        """An entry PUT while prune is sweeping must survive the index rewrite.
+
+        The race window: prune snapshots the index, deletes stale files, then
+        rewrites the index.  A concurrent writer (stubbed here by hooking the
+        first ``index_entries`` call) lands a brand-new entry in that window —
+        prune's post-deletion re-read must fold it into the rewritten index.
+        """
+        old = ResultCache(tmp_path, version="0")
+        old.put(old.key("static", b=1), {"x": "old"})
+        cache = ResultCache(tmp_path)
+        racer = ResultCache(tmp_path)  # the concurrent writer
+        raced_key = racer.key("static", b="raced")
+
+        real_index_entries = ResultCache.index_entries
+        fired = {"done": False}
+
+        def racing_index_entries(self):
+            snapshot = real_index_entries(self)
+            if not fired["done"]:
+                fired["done"] = True
+                racer.put(raced_key, {"x": "raced"})  # lands inside the window
+            return snapshot
+
+        monkeypatch.setattr(ResultCache, "index_entries", racing_index_entries)
+        removed = cache.prune()
+        monkeypatch.undo()
+        assert removed == 1  # only the stale version-0 entry
+        assert cache.contains(raced_key)
+        assert raced_key.digest in cache.index_entries()
+        assert cache.get(raced_key) == {"x": "raced"}
+
+    def test_truncated_index_line_recovers(self, tmp_path):
+        """A torn append (hard kill mid-write) must not poison the index."""
+        cache = ResultCache(tmp_path)
+        first = cache.key("static", b=1)
+        cache.put(first, {"x": 1})
+        index = tmp_path / "index.jsonl"
+        # Simulate a torn final line: a second put whose index record was cut.
+        second = cache.key("static", b=2)
+        cache.put(second, {"x": 2})
+        content = index.read_text().splitlines()
+        index.write_text(content[0] + "\n" + content[1][: len(content[1]) // 2])
+        entries = cache.index_entries()
+        assert first.digest in entries
+        assert second.digest not in entries  # torn line skipped, not fatal
+        # The entry file itself is intact: reads hit, and stats count it as
+        # unindexed rather than losing it.
+        assert cache.get(second) == {"x": 2}
+        assert cache.disk_stats()["unindexed"] == 1
+        # Re-putting restores the index line.
+        cache.put(second, {"x": 2})
+        assert second.digest in cache.index_entries()
+
+    def test_index_last_record_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("static", b=1)
+        cache.put(key, {"x": 1})
+        cache.put(key, {"x": 2})  # idempotent overwrite appends a second line
+        entries = cache.index_entries()
+        assert entries[key.digest]["version"] == str(cache.version)
+        assert len(entries) == 1

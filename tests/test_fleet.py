@@ -1,0 +1,485 @@
+"""Fleet serving: routers, the multi-device simulator, deployed designs,
+the search → serve round trip, and the determinism guarantees."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.search.hadas import HadasConfig, HadasSearch
+from repro.serving.deploy import (
+    DeployedDesign,
+    design_from_individual,
+    load_design,
+    save_design,
+)
+from repro.serving.fleet import (
+    DeviceLane,
+    FleetSpec,
+    build_fleet_stacks,
+    build_fleet_trace_and_stream,
+    fleet_cache_key,
+    fleet_sweep,
+    run_fleet_cell,
+)
+from repro.serving.harness import ServingSpec, build_serving_stack, run_serving_cell
+from repro.serving.router import (
+    DifficultyAwareRouter,
+    LeastBacklogRouter,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.serving.telemetry import render_fleet_report, render_router_comparison
+from repro.serving.workload import Request
+
+
+@pytest.fixture(scope="module")
+def tiny_search_result():
+    """One shared tiny-budget HADAS run (the search side of the loop)."""
+    config = HadasConfig(
+        platform="tx2-gpu", seed=5,
+        outer_population=6, outer_generations=2,
+        inner_population=6, inner_generations=3,
+        ioe_candidates=1, oracle_samples=256,
+    )
+    return HadasSearch(config).run()
+
+
+@pytest.fixture(scope="module")
+def searched_design(tiny_search_result):
+    return tiny_search_result.deployed_design()
+
+
+# -------------------------------------------------------------------- routers
+class _FakeLane:
+    def __init__(self, index, capacity, energy, wait):
+        self.index = index
+        self.reference_capacity_rps = capacity
+        self.reference_energy_j = energy
+        self._wait = wait
+        self.queue_depth = 0
+
+    def estimated_wait_s(self, now_s):
+        return self._wait
+
+
+class TestRouters:
+    def test_round_robin_cycles(self):
+        router = RoundRobinRouter()
+        lanes = [_FakeLane(i, 10.0, 0.1, 0.0) for i in range(3)]
+        request = Request(index=0, arrival_s=0.0, difficulty=0.5)
+        assert [router.route(request, 0.0, lanes) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_least_backlog_picks_least_wait(self):
+        router = LeastBacklogRouter()
+        lanes = [
+            _FakeLane(0, 10.0, 0.1, 0.5),
+            _FakeLane(1, 10.0, 0.1, 0.1),
+            _FakeLane(2, 10.0, 0.1, 0.9),
+        ]
+        request = Request(index=0, arrival_s=0.0, difficulty=0.5)
+        assert router.route(request, 0.0, lanes) == 1
+
+    def test_least_backlog_ties_break_on_index(self):
+        router = LeastBacklogRouter()
+        lanes = [_FakeLane(i, 10.0, 0.1, 0.3) for i in range(3)]
+        request = Request(index=0, arrival_s=0.0, difficulty=0.5)
+        assert router.route(request, 0.0, lanes) == 0
+
+    def test_difficulty_bands_follow_capacity_order(self):
+        # Lane 1 is the weak device: it owns the easy band despite its index.
+        lanes = [_FakeLane(0, 30.0, 0.3, 0.0), _FakeLane(1, 10.0, 0.1, 0.0)]
+        router = DifficultyAwareRouter(lanes, slo_s=0.075)
+        assert router.banded_lane(0.01) == 1  # easy -> weak lane (share 0.25)
+        assert router.banded_lane(0.9) == 0  # hard -> strong lane
+        assert router.banded_lane(1.0) == 0  # boundary difficulty still routed
+
+    def test_difficulty_spills_on_backlog(self):
+        busy_weak = _FakeLane(0, 10.0, 0.1, 10.0)  # banded choice, swamped
+        idle_strong = _FakeLane(1, 30.0, 0.3, 0.0)
+        router = DifficultyAwareRouter([busy_weak, idle_strong], slo_s=0.075)
+        easy = Request(index=0, arrival_s=0.0, difficulty=0.01)
+        assert router.banded_lane(easy.difficulty) == 0
+        assert router.route(easy, 0.0, [busy_weak, idle_strong]) == 1
+
+    def test_make_router_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("telepathic", [], 0.075)
+
+
+# ------------------------------------------------------------------ fleet spec
+class TestFleetSpec:
+    def test_aliases_canonicalised(self):
+        spec = FleetSpec(platforms=("tx2", "xavier"))
+        assert spec.platforms == ("tx2-gpu", "agx-gpu")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one platform"):
+            FleetSpec(platforms=())
+        with pytest.raises(ValueError, match="unknown platform"):
+            FleetSpec(platforms=("gamecube",))
+        with pytest.raises(ValueError, match="unknown router"):
+            FleetSpec(router="telepathic")
+        with pytest.raises(ValueError, match="unknown policy"):
+            FleetSpec(policy="vibes")
+        with pytest.raises(ValueError, match="unknown load pattern"):
+            FleetSpec(pattern="sawtooth")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            FleetSpec(scenario="underwater")
+
+    def test_alias_spelling_shares_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = fleet_cache_key(cache, FleetSpec(platforms=("tx2", "xavier")))
+        b = fleet_cache_key(cache, FleetSpec(platforms=("tx2-gpu", "agx-gpu")))
+        assert a == b
+
+
+# -------------------------------------------------------------- lane batching
+class TestDeviceLane:
+    @pytest.fixture(scope="class")
+    def lane(self):
+        stack = build_serving_stack(ServingSpec(duration_s=4.0, max_batch=4))
+        from repro.serving.governor import StaticPolicy
+
+        return DeviceLane(0, stack, StaticPolicy(stack.static_config))
+
+    def _requests(self, times):
+        return [Request(index=i, arrival_s=float(t), difficulty=0.5) for i, t in enumerate(times)]
+
+    def test_waits_for_fleet_clock(self, lane):
+        lane._queue.clear(); lane._queue_arrivals.clear()
+        lane.t_free = 0.0
+        for r in self._requests([0.0, 0.001]):
+            lane.push(r)
+        # Head expiry is 4 ms; the fleet clock is still at 1 ms: not ready.
+        assert lane.next_ready_batch(until_s=0.001) is None
+        formed = lane.next_ready_batch(until_s=1.0)
+        assert formed is not None
+        start, batch = formed
+        assert start == pytest.approx(0.004)
+        assert [r.index for r in batch] == [0, 1]
+
+    def test_full_batch_dispatches_at_fill_time(self, lane):
+        lane._queue.clear(); lane._queue_arrivals.clear()
+        lane.t_free = 0.0
+        for r in self._requests([0.0, 0.001, 0.002, 0.003, 0.0035]):
+            lane.push(r)
+        start, batch = lane.next_ready_batch(until_s=1.0)
+        assert start == pytest.approx(0.003)  # 4th arrival fills max_batch=4
+        assert [r.index for r in batch] == [0, 1, 2, 3]
+        assert lane.queue_depth == 1
+
+    def test_opportunistic_fill_while_device_busy(self, lane):
+        lane._queue.clear(); lane._queue_arrivals.clear()
+        lane.t_free = 0.5
+        for r in self._requests([0.0, 0.2, 0.4]):
+            lane.push(r)
+        start, batch = lane.next_ready_batch(until_s=1.0)
+        assert start == pytest.approx(0.5)
+        assert [r.index for r in batch] == [0, 1, 2]
+
+
+# ---------------------------------------------------------------- fleet cells
+class TestFleetCell:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fleet_cell(
+            FleetSpec(platforms=("tx2-gpu", "agx-gpu"), pattern="bursty", duration_s=5.0)
+        )
+
+    def test_report_consistency(self, report):
+        assert report.num_requests > 0
+        assert len(report.devices) == 2
+        assert sum(d.requests for d in report.devices) == report.num_requests
+        assert sum(d.share for d in report.devices) == pytest.approx(1.0)
+        assert sum(report.exit_usage) == pytest.approx(1.0)
+        assert report.latency_ms_p50 <= report.latency_ms_p95 <= report.latency_ms_p99
+        assert report.total_energy_j == pytest.approx(
+            sum(d.energy_j for d in report.devices)
+        )
+        assert 0 <= report.deadline_miss_rate <= 1
+        assert 0 < report.accuracy <= 1
+        for device in report.devices:
+            assert 0 <= device.utilization <= 1
+            assert sum(device.exit_usage) == pytest.approx(1.0 if device.requests else 0.0)
+
+    def test_render_fleet_report(self, report):
+        text = render_fleet_report(report)
+        assert "tx2-gpu" in text and "agx-gpu" in text
+        assert "p95" in text
+
+    @pytest.mark.parametrize("scenario", ["nominal", "thermal-cap", "battery-budget"])
+    def test_fleet_of_one_matches_single_device(self, scenario):
+        """A one-lane fleet must reproduce the single-device simulator exactly
+        — in every scenario, including the capped ones."""
+        fleet = run_fleet_cell(
+            FleetSpec(platforms=("tx2-gpu",), pattern="bursty", scenario=scenario,
+                      router="round_robin", duration_s=5.0)
+        )
+        single = run_serving_cell(ServingSpec(platform="tx2-gpu", pattern="bursty",
+                                              scenario=scenario, duration_s=5.0))
+        assert fleet.num_requests == single.num_requests
+        assert fleet.latency_ms_p95 == pytest.approx(single.latency_ms_p95, abs=1e-9)
+        assert fleet.latency_ms_p99 == pytest.approx(single.latency_ms_p99, abs=1e-9)
+        assert fleet.total_energy_j == pytest.approx(single.total_energy_j, abs=1e-9)
+        assert fleet.deadline_miss_rate == pytest.approx(single.deadline_miss_rate)
+        assert fleet.exit_usage == single.exit_usage
+        assert fleet.accuracy == pytest.approx(single.accuracy)
+        assert fleet.battery_spent_j == pytest.approx(single.battery_spent_j, abs=1e-9)
+        assert fleet.battery_exhausted == single.battery_exhausted
+        assert fleet.peak_temperature_c == pytest.approx(single.peak_temperature_c)
+
+    def test_difficulty_aware_beats_round_robin_bursty(self):
+        """The PR acceptance contract, at test scale."""
+        base = dict(platforms=("tx2-gpu", "agx-gpu"), pattern="bursty", duration_s=8.0)
+        rr = run_fleet_cell(FleetSpec(router="round_robin", **base))
+        da = run_fleet_cell(FleetSpec(router="difficulty_aware", **base))
+        assert da.latency_ms_p95 <= rr.latency_ms_p95
+        assert da.total_energy_j <= rr.total_energy_j
+        assert "vs" in render_router_comparison(rr, da)
+
+    def test_thermal_and_battery_scenarios(self):
+        thermal = run_fleet_cell(
+            FleetSpec(platforms=("tx2-gpu", "agx-gpu"), scenario="thermal-cap",
+                      duration_s=4.0)
+        )
+        assert thermal.peak_temperature_c > 0
+        battery = run_fleet_cell(
+            FleetSpec(platforms=("tx2-gpu", "agx-gpu"), scenario="battery-budget",
+                      duration_s=4.0)
+        )
+        assert battery.battery_budget_j > 0
+        assert battery.battery_spent_j > 0
+
+
+# -------------------------------------------------------------- determinism
+class TestDeterminism:
+    """Same seed ⇒ bit-identical telemetry, however the cells are executed."""
+
+    SPECS = [
+        FleetSpec(platforms=("tx2-gpu", "agx-gpu"), pattern="bursty",
+                  router=router, duration_s=4.0)
+        for router in ("round_robin", "difficulty_aware")
+    ]
+
+    def test_rerun_is_bit_identical(self):
+        assert run_fleet_cell(self.SPECS[0]) == run_fleet_cell(self.SPECS[0])
+
+    def test_thread_executor_matches_serial(self):
+        serial = fleet_sweep(self.SPECS, executor="serial")
+        threaded = fleet_sweep(self.SPECS, workers=2, executor="thread")
+        assert serial == threaded
+
+    def test_warm_cache_matches_cold(self, tmp_path):
+        cold = fleet_sweep(self.SPECS, cache_dir=str(tmp_path))
+        warm = fleet_sweep(self.SPECS, cache_dir=str(tmp_path))
+        assert cold == warm
+        cache = ResultCache(tmp_path)
+        assert cache.stats("fleet").misses == 0  # second sweep fully warm
+        assert len(cache) == 2
+
+    def test_single_device_sweep_matches_across_executors(self, tmp_path):
+        specs = [
+            ServingSpec(pattern="bursty", policy=policy, duration_s=4.0)
+            for policy in ("static", "adaptive")
+        ]
+        from repro.serving.harness import sweep
+
+        serial = sweep(specs, executor="serial")
+        threaded = sweep(specs, workers=2, executor="thread")
+        assert serial == threaded
+        cold = sweep(specs, cache_dir=str(tmp_path))
+        warm = sweep(specs, cache_dir=str(tmp_path))
+        assert cold == warm == serial
+
+
+# ---------------------------------------------------------- deployed designs
+class TestDeployedDesign:
+    def test_design_from_search_result(self, tiny_search_result, searched_design):
+        best = tiny_search_result.selected_model()
+        assert searched_design.backbone == best.payload["config"]
+        assert searched_design.positions == best.payload["evaluation"].placement.positions
+        assert searched_design.core_ghz == best.payload["evaluation"].setting.core_ghz
+        assert 0 < searched_design.backbone_accuracy <= 1
+        assert searched_design.platform == "tx2-gpu"
+
+    def test_design_round_trips_through_json(self, tmp_path, searched_design):
+        path = save_design(searched_design, tmp_path / "design.json", extra={"note": "x"})
+        assert load_design(path) == searched_design
+        # A bare design payload (no wrapper) also loads.
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(json.loads(path.read_text())["design"]))
+        assert load_design(bare) == searched_design
+
+    def test_design_validates_positions(self):
+        from repro.baselines.attentivenas import attentivenas_model
+
+        backbone = attentivenas_model("a0")
+        with pytest.raises(ValueError):
+            DeployedDesign(
+                backbone=backbone,
+                positions=(1,),  # below MIN_EXIT_POSITION
+                core_ghz=1.0, emc_ghz=1.0, backbone_accuracy=0.8,
+            )
+        with pytest.raises(ValueError, match="backbone_accuracy"):
+            DeployedDesign(
+                backbone=backbone,
+                positions=(6,),
+                core_ghz=1.0, emc_ghz=1.0, backbone_accuracy=80.0,  # percent, not fraction
+            )
+
+    def test_design_from_individual_requires_payload(self):
+        from repro.search.individual import Individual
+
+        bare = Individual(genome=np.zeros(3, dtype=np.int64))
+        with pytest.raises(KeyError):
+            design_from_individual(bare)
+
+
+# --------------------------------------------------- search → serve round trip
+class TestSearchToServe:
+    """End-to-end regression: the *searched* design is what gets served."""
+
+    def test_serving_stack_mounts_searched_design(self, searched_design):
+        spec = ServingSpec(duration_s=3.0, design=searched_design)
+        stack = build_serving_stack(spec)
+        assert stack.placement.positions == searched_design.positions
+        assert stack.evaluator.config == searched_design.backbone
+        assert stack.synthesizer.backbone_accuracy == pytest.approx(
+            searched_design.backbone_accuracy
+        )
+
+    def test_single_device_serves_searched_design(self, searched_design):
+        report = run_serving_cell(ServingSpec(duration_s=3.0, design=searched_design))
+        # The report names the searched design, not the default mount ...
+        assert report.model.startswith("searched:")
+        assert searched_design.backbone.key in report.model
+        # ... and its exit histogram matches the searched placement.
+        assert len(report.exit_usage) == searched_design.num_exits + 1
+        assert sum(report.exit_usage) == pytest.approx(1.0)
+        assert report.num_requests > 0
+        assert report.latency_ms_p50 <= report.latency_ms_p95 <= report.latency_ms_p99
+        assert report.energy_per_request_j > 0
+
+    def test_fleet_serves_searched_design(self, searched_design):
+        report = run_fleet_cell(
+            FleetSpec(platforms=("tx2-gpu", "agx-gpu"), duration_s=3.0,
+                      design=searched_design)
+        )
+        assert report.model.startswith("searched:")
+        assert len(report.exit_usage) == searched_design.num_exits + 1
+        assert sum(d.requests for d in report.devices) == report.num_requests
+
+    def test_design_changes_cache_key(self, tmp_path, searched_design):
+        from repro.serving.harness import cell_cache_key
+
+        cache = ResultCache(tmp_path)
+        default = cell_cache_key(cache, ServingSpec(duration_s=3.0))
+        mounted = cell_cache_key(cache, ServingSpec(duration_s=3.0, design=searched_design))
+        assert default != mounted
+
+    def test_cli_round_trip(self, tmp_path, capsys):
+        """`repro search --out` → `repro serve --from-result --fleet`."""
+        from repro.__main__ import main
+
+        out = tmp_path / "design.json"
+        assert main([
+            "search", "--budget", "tiny", "--seed", "3", "--out", str(out),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main([
+            "serve", "--from-result", str(out), "--fleet", "tx2,xavier",
+            "--router", "difficulty_aware", "--trace", "bursty",
+            "--duration-s", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "mounting searched:" in output
+        assert "difficulty_aware router" in output
+        assert "tx2-gpu" in output and "agx-gpu" in output
+
+    def test_cli_rejects_bad_design_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"a design\"}")
+        with pytest.raises(SystemExit):
+            main(["serve", "--from-result", str(bad), "--duration-s", "1"])
+        assert "cannot load design" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------- CLI
+class TestFleetCli:
+    def test_serve_fleet_compares_routers(self, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "serve", "--fleet", "tx2,xavier", "--router", "all",
+            "--duration-s", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "difficulty_aware vs round_robin" in out
+        assert "least_backlog vs round_robin" in out
+
+    def test_serve_fleet_writes_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "fleet.json"
+        assert main([
+            "serve", "--fleet", "tx2-gpu,agx-gpu", "--router", "difficulty_aware",
+            "--trace", "bursty", "--duration-s", "2", "--json", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["specs"][0]["router"] == "difficulty_aware"
+        assert payload["specs"][0]["platforms"] == ["tx2-gpu", "agx-gpu"]
+        assert payload["reports"][0]["num_requests"] > 0
+        assert len(payload["reports"][0]["devices"]) == 2
+
+    def test_serve_fleet_rejects_unknown_platform(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--fleet", "tx2,gamecube", "--duration-s", "1"])
+        assert "valid platforms" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------- cache codec
+class TestFleetCache:
+    def test_fleet_report_json_round_trip(self, tmp_path):
+        from repro.serving.fleet import FleetReport
+
+        cache = ResultCache(tmp_path)
+        spec = FleetSpec(platforms=("tx2-gpu", "agx-gpu"), duration_s=3.0)
+        report = run_fleet_cell(spec)
+        key = fleet_cache_key(cache, spec)
+        path = cache.put(key, report)
+        assert path.suffix == ".json"  # plain-data report, human-readable
+        rebuilt = cache.get(key, cls=FleetReport)
+        assert rebuilt == report
+        assert rebuilt.devices[0] == report.devices[0]
+
+    def test_sweep_dedupes_identical_specs(self, tmp_path):
+        spec = FleetSpec(platforms=("tx2-gpu",), duration_s=3.0)
+        reports = fleet_sweep([spec, spec], cache_dir=str(tmp_path))
+        assert reports[0] == reports[1]
+        assert len(ResultCache(tmp_path)) == 1
+
+
+# ----------------------------------------------------- load split / stacks
+class TestFleetStacks:
+    def test_explicit_rate_splits_by_capacity(self):
+        spec = FleetSpec(platforms=("tx2-gpu", "agx-gpu"), rate_hz=60.0)
+        stacks = build_fleet_stacks(spec)
+        assert sum(s.rate_hz for s in stacks) == pytest.approx(60.0)
+        assert stacks[1].rate_hz > stacks[0].rate_hz  # agx is the stronger device
+
+    def test_stream_covers_whole_trace(self):
+        spec = FleetSpec(platforms=("tx2-gpu", "agx-gpu"), duration_s=3.0)
+        stacks = build_fleet_stacks(spec)
+        trace, stream = build_fleet_trace_and_stream(spec, stacks)
+        assert stream.final_logits.shape[0] == trace.num_requests
+        # Identical mounts ⇒ identical placements on every lane.
+        assert len({s.placement.positions for s in stacks}) == 1

@@ -11,14 +11,17 @@ from hypothesis import strategies as st
 from repro.arch.cost import LayerCost, estimate_cost
 from repro.baselines.attentivenas import attentivenas_model
 from repro.hardware.dvfs import DvfsSetting, DvfsSpace
-from repro.hardware.energy import EnergyModel
+from repro.hardware.energy import EnergyModel, PathProfile, batched_execution
 from repro.hardware.latency import LatencyModel
 from repro.hardware.measurement import HardwareInTheLoop
 from repro.hardware.platform import (
     PAPER_PLATFORM_ORDER,
+    PLATFORM_ALIASES,
     VoltageCurve,
+    canonical_platform_key,
     get_platform,
     list_platforms,
+    resolve_platform_keys,
 )
 from repro.hardware.power import PowerModel
 
@@ -35,6 +38,18 @@ class TestPlatformRegistry:
     def test_unknown_platform(self):
         with pytest.raises(KeyError):
             get_platform("rtx-4090")
+
+    def test_aliases_resolve_to_registry_keys(self):
+        for alias, key in PLATFORM_ALIASES.items():
+            assert canonical_platform_key(alias) == key
+            assert key in PAPER_PLATFORM_ORDER
+        assert canonical_platform_key("tx2-gpu") == "tx2-gpu"  # canonical passes through
+        assert canonical_platform_key("rtx-4090") == "rtx-4090"  # unknown untouched
+
+    def test_resolve_platform_keys_validates(self):
+        assert resolve_platform_keys(["tx2", "xavier"]) == ["tx2-gpu", "agx-gpu"]
+        with pytest.raises(ValueError, match="valid platforms"):
+            resolve_platform_keys(["tx2", "gamecube"])
 
     # Table II DVFS grid counts and ranges, per platform.
     @pytest.mark.parametrize("key,n_core,lo,hi,n_emc,emc_lo,emc_hi", [
@@ -295,3 +310,69 @@ class TestMeasurement:
         hwil.measure(self._cost(), tx2_dvfs.decode(0, 0))
         hwil.measure(self._cost(), tx2_dvfs.decode(1, 0))
         assert hwil.cache_size == 2
+
+
+class TestBatchedExecutionGoldenValues:
+    """`batched_execution` pinned against hand-computed numbers.
+
+    Fleet pricing is built on this function; these goldens freeze the
+    busy-time-serialises / shared-dispatch-overhead semantics so a drift in
+    either silently re-pricing every serving and fleet benchmark is caught
+    here first.  All expected values are worked out by hand from
+
+        latency = sum(busy_i) + max_overhead
+        energy  = sum(dynamic_i + passive_i * busy_i)
+                  + passive(argmax overhead) * max_overhead
+    """
+
+    # PathProfile(busy_s, overhead_s, dynamic_energy_j, passive_power_w)
+    SHALLOW = PathProfile(0.005, 0.001, 0.01, 1.5)
+    MIDDLE = PathProfile(0.010, 0.002, 0.05, 2.0)
+    DEEP = PathProfile(0.020, 0.005, 0.08, 3.0)
+
+    def test_single_path_golden(self):
+        latency, energy = batched_execution([self.MIDDLE])
+        assert latency == pytest.approx(0.012, rel=1e-12)  # 0.010 + 0.002
+        # 0.05 + 2.0 * 0.010 + 2.0 * 0.002 = 0.074
+        assert energy == pytest.approx(0.074, rel=1e-12)
+        assert latency == pytest.approx(self.MIDDLE.latency_s, rel=1e-12)
+        assert energy == pytest.approx(self.MIDDLE.energy_j, rel=1e-12)
+
+    def test_mixed_batch_golden(self):
+        latency, energy = batched_execution([self.SHALLOW, self.MIDDLE, self.DEEP])
+        # busy serialises: 0.005 + 0.010 + 0.020; deepest overhead 0.005 shared.
+        assert latency == pytest.approx(0.040, rel=1e-12)
+        # (0.01 + 1.5*0.005) + (0.05 + 2.0*0.010) + (0.08 + 3.0*0.020)
+        #   + 3.0*0.005 (deep path's passive burns the shared overhead)
+        # = 0.0175 + 0.070 + 0.140 + 0.015 = 0.2425
+        assert energy == pytest.approx(0.2425, rel=1e-12)
+
+    def test_homogeneous_batch_golden(self):
+        latency, energy = batched_execution([self.DEEP] * 4)
+        assert latency == pytest.approx(4 * 0.020 + 0.005, rel=1e-12)  # 0.085
+        # 4 * (0.08 + 3.0*0.020) + 3.0*0.005 = 4*0.14 + 0.015 = 0.575
+        assert energy == pytest.approx(0.575, rel=1e-12)
+
+    def test_batch_order_does_not_change_price(self):
+        forward = batched_execution([self.SHALLOW, self.MIDDLE, self.DEEP])
+        backward = batched_execution([self.DEEP, self.MIDDLE, self.SHALLOW])
+        assert forward == pytest.approx(backward, rel=1e-12)
+
+    def test_overhead_tie_charges_first_deepest(self):
+        # Two paths tie on overhead but differ on passive power: the shared
+        # overhead is charged at the *first* maximal path's passive power
+        # (Python max semantics) — pinned so batch pricing stays stable.
+        a = PathProfile(0.010, 0.004, 0.02, 1.0)
+        b = PathProfile(0.010, 0.004, 0.02, 5.0)
+        _, energy_ab = batched_execution([a, b])
+        _, energy_ba = batched_execution([b, a])
+        # a first: (0.02+1.0*0.01) + (0.02+5.0*0.01) + 1.0*0.004 = 0.104
+        assert energy_ab == pytest.approx(0.104, rel=1e-12)
+        # b first: same busy terms + 5.0*0.004 = 0.120
+        assert energy_ba == pytest.approx(0.120, rel=1e-12)
+
+    def test_zero_overhead_batch(self):
+        p = PathProfile(0.003, 0.0, 0.004, 2.0)
+        latency, energy = batched_execution([p, p])
+        assert latency == pytest.approx(0.006, rel=1e-12)
+        assert energy == pytest.approx(2 * (0.004 + 2.0 * 0.003), rel=1e-12)
