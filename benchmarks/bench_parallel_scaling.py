@@ -1,18 +1,26 @@
-"""EvaluationService scaling bench: workers x cache temperature.
+"""EvaluationService scaling bench: workers x executor kind x cache.
 
-Runs the same HADAS search (fixed seed) under workers ∈ {1, 2, 4} and with a
-cold vs warm persistent cache, recording wall-clock, evaluation counts and
-cache accounting.  The assertions pin the engine's two contracts rather than
-a speedup number (thread-level speedup on a numpy workload is hardware- and
+Runs the same HADAS search (fixed seed) under workers ∈ {1, 2, 4}, across
+executor kinds (serial / thread / process — the latter fed by the slim task
+codec), and with a cold vs warm persistent cache, recording wall-clock,
+evaluation counts and cache accounting.  A fig5-style multi-platform sweep
+records the sharded speedup the experiment CLI's ``--executor process``
+delivers.  The assertions pin the engine's contracts rather than exact
+speedup numbers (thread-level speedup on a numpy workload is hardware- and
 GIL-dependent):
 
-* every configuration produces the byte-identical dynamic Pareto front;
+* every configuration produces the byte-identical dynamic Pareto front, and
+  the sharded fig5 sweep renders byte-identically to the serial loop;
+* with ≥ 2 cores, the codec-backed process executor sustains at least
+  serial throughput at the fast budget (with ≥ 4 cores, the 4-platform
+  fig5 shard must be ≥ 2x faster than serial);
 * a warm-cache re-run performs zero new static measurements and zero new
   inner-engine runs.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -93,3 +101,90 @@ def test_parallel_scaling(tmp_path):
 
     # Same seed ⇒ one unique Pareto front across every executor/cache combo.
     assert len(fronts) == 1
+
+
+def _fast_budget_config(**engine) -> HadasConfig:
+    """The `fast` profile budget (what tests/CI sweeps run)."""
+    from repro.experiments.config import Profile
+
+    return Profile.fast(seed=7, **engine).hadas_config("tx2-gpu")
+
+
+def test_executor_kind_sweep():
+    """serial vs thread vs process at the fast budget, workers=4.
+
+    Process tasks ride the slim task codec (specs, not pickled evaluator
+    graphs); with at least two cores that must sustain serial throughput —
+    the contract that makes `--executor process` worth choosing.
+    """
+    runs = [("serial", 1), ("thread", 4), ("process", 4)]
+    rows: list[tuple[str, float]] = []
+    fronts = set()
+    for executor, workers in runs:
+        search, result, elapsed = _timed_run(
+            _fast_budget_config(workers=workers, executor=executor)
+        )
+        rows.append((executor, elapsed))
+        fronts.add(_front_bytes(result))
+
+    print()
+    serial_wall = rows[0][1]
+    print(f"{'executor':>8} {'workers':>7} {'wall (s)':>9} {'vs serial':>9}")
+    for (executor, workers), (_, elapsed) in zip(runs, rows):
+        print(
+            f"{executor:>8} {workers:>7} {elapsed:>9.3f} {serial_wall / elapsed:>8.2f}x"
+        )
+
+    assert len(fronts) == 1  # bit-identical across executor kinds
+    process_wall = rows[2][1]
+    if (os.cpu_count() or 1) >= 2:
+        # Throughput: process >= serial (codec keeps per-task transport slim).
+        assert process_wall <= serial_wall * 1.05, (
+            f"process executor slower than serial at fast budget: "
+            f"{process_wall:.2f}s vs {serial_wall:.2f}s"
+        )
+
+
+def test_fig5_sharded_process_scaling():
+    """The headline 4-platform fig5 sweep: serial loop vs process shards.
+
+    Records the speedup `python -m repro fig5 --executor process --workers 4`
+    delivers at the fast budget; on a >= 4-core runner the sharded sweep
+    must be at least 2x faster than the serial loop, byte-identical output.
+    """
+    import dataclasses
+
+    from repro.experiments import fig5
+    from repro.experiments.config import Profile
+    from repro.experiments.runner import clear_memo
+    from repro.hardware.platform import PAPER_PLATFORM_ORDER
+
+    profile = Profile.fast(seed=7)
+
+    clear_memo()
+    start = time.perf_counter()
+    serial = fig5.run(profile, platforms=PAPER_PLATFORM_ORDER)
+    serial_wall = time.perf_counter() - start
+    serial_text = fig5.render(serial)
+
+    clear_memo()
+    sharded_profile = dataclasses.replace(profile, workers=4, executor="process")
+    start = time.perf_counter()
+    sharded = fig5.run(sharded_profile, platforms=PAPER_PLATFORM_ORDER)
+    sharded_wall = time.perf_counter() - start
+    clear_memo()
+
+    speedup = serial_wall / sharded_wall
+    print(
+        f"\nfig5 4-platform sweep: serial {serial_wall:.1f}s, "
+        f"process x4 {sharded_wall:.1f}s ({speedup:.2f}x, "
+        f"{os.cpu_count()} cores)"
+    )
+    assert fig5.render(sharded) == serial_text  # bit-identical report
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"sharded fig5 below 2x on a {cores}-core machine: {speedup:.2f}x"
+        )
+    elif cores >= 2:
+        assert sharded_wall <= serial_wall * 1.05

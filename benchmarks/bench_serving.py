@@ -89,7 +89,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--model", default="a3")
     parser.add_argument("--platform", default="tx2-gpu")
     parser.add_argument("--workers", type=int, default=4)
-    parser.add_argument("--executor", default="thread")
+    parser.add_argument("--executor", default="auto",
+                        help="auto routes the codec-backed grid to a process pool")
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--json", default="serving-report.json")
     args = parser.parse_args(argv)

@@ -55,7 +55,9 @@ def _run_artifact(name: str, profile: Profile, platform: str, platforms: tuple[s
     if name == "table1":
         return table1.render(table1.run())
     if name == "table2":
-        return table2.render(table2.run())
+        return table2.render(
+            table2.run(workers=profile.workers, executor=profile.executor)
+        )
     if name == "fig1":
         return fig1.render(fig1.run(profile, platform))
     if name == "fig5":

@@ -23,12 +23,22 @@ A :class:`BackboneExitOracle` caches one correctness column per position, so
 the inner engine's thousands of placement evaluations per backbone reuse the
 same columns — and exits at the same position are identical across
 placements, which keeps the dissimilarity signal consistent.
+
+With a persistent :class:`~repro.engine.cache.ResultCache` attached, columns
+are additionally content-addressed on disk (namespace ``oracle``, bit-packed
+JSON).  Columns depend only on the *accuracy side* of the problem —
+(backbone key, backbone accuracy, capability model, difficulty distribution,
+sample count, seed) — and **not** on the platform or its DVFS grid, so a
+re-search where only the hardware side changed (a trimmed DVFS grid, a new
+platform) warm-starts every oracle from cached columns instead of
+regenerating the Monte-Carlo population.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +47,12 @@ from repro.exits.evaluation import ExitEvaluation, ideal_mapping_stats
 from repro.exits.placement import ExitPlacement
 from repro.utils.rng import child_rng
 from repro.utils.validation import check_positive, check_probability
+
+if TYPE_CHECKING:  # imported lazily at runtime; keeps accuracy/ engine-free
+    from repro.engine.cache import ResultCache
+
+#: Bump when column semantics change; orphans persisted oracle columns.
+ORACLE_COLUMN_VERSION = "1"
 
 
 @dataclass(frozen=True)
@@ -108,6 +124,11 @@ class BackboneExitOracle:
         Capability model and sample-difficulty distribution.
     n_samples:
         Monte-Carlo population size (2048 keeps N_i std below 1 point).
+    cache:
+        Optional persistent :class:`~repro.engine.cache.ResultCache`;
+        columns are stored bit-packed under the platform-independent
+        ``oracle`` namespace, warm-starting re-searches where only the
+        hardware side (DVFS grid, platform) changed.
     """
 
     def __init__(
@@ -119,6 +140,7 @@ class BackboneExitOracle:
         difficulty: DifficultyDistribution | None = None,
         n_samples: int = 2048,
         seed: int = 0,
+        cache: "ResultCache | None" = None,
     ):
         check_probability("backbone_accuracy", backbone_accuracy)
         check_positive("n_samples", n_samples)
@@ -129,6 +151,7 @@ class BackboneExitOracle:
         self.difficulty = difficulty or DifficultyDistribution()
         self.n_samples = n_samples
         self.seed = seed
+        self.cache = cache
         rng = child_rng(seed, "difficulties", backbone_key)
         self._difficulties = self.difficulty.sample(n_samples, rng)
         gp_rng = child_rng(seed, "exit-gp", backbone_key)
@@ -140,9 +163,37 @@ class BackboneExitOracle:
         weights = self.model.basis(u)
         return (self._latent @ weights) * self.model.idiosyncratic_sigma
 
+    def _column_key(self, key: int | str):
+        """Content address of one column: accuracy-side fields only.
+
+        Deliberately excludes anything hardware-side, which is what makes
+        DVFS-grid-only changes warm-start from cached columns.
+        """
+        return self.cache.key(
+            "oracle",
+            evaluator_version=ORACLE_COLUMN_VERSION,
+            backbone=self.backbone_key,
+            layers=self.total_layers,
+            accuracy=self.backbone_accuracy,
+            model=self.model,
+            difficulty=self.difficulty,
+            samples=self.n_samples,
+            seed=self.seed,
+            column=str(key),
+        )
+
     def _column(self, key: int | str, capability: float, u: float) -> np.ndarray:
         if key in self._columns:
             return self._columns[key]
+        cache_key = self._column_key(key) if self.cache is not None else None
+        if cache_key is not None:
+            stored = self.cache.get(cache_key)
+            if stored is not None:
+                column = np.unpackbits(
+                    np.asarray(stored["bits"], dtype=np.uint8), count=self.n_samples
+                ).astype(bool)
+                self._columns[key] = column
+                return column
         # The head ranks samples by perceived difficulty and classifies
         # exactly its capability fraction: marginals are exact while the GP
         # keeps correctness strongly correlated between nearby depths.
@@ -152,6 +203,10 @@ class BackboneExitOracle:
         if n_correct > 0:
             easiest = np.argpartition(score, max(n_correct - 1, 0))[:n_correct]
             column[easiest] = True
+        if cache_key is not None:
+            # Bit-packed + plain ints keeps the entry a small JSON file
+            # (~n/8 bytes) rather than a pickle of the bool array.
+            self.cache.put(cache_key, {"bits": np.packbits(column).tolist()})
         self._columns[key] = column
         return column
 

@@ -18,12 +18,14 @@ bit-identical to serial execution.
 
 from repro.engine.cache import CacheKey, CacheStats, ResultCache
 from repro.engine.executors import (
+    AutoExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     make_executor,
 )
 from repro.engine.service import EvalTask, EvaluationService, ServiceStats
+from repro.engine.tasks import TaskSpec, register_task, run_spec, spec_task, task_spec
 
 __all__ = [
     "CacheKey",
@@ -32,8 +34,14 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "AutoExecutor",
     "make_executor",
     "EvalTask",
     "EvaluationService",
     "ServiceStats",
+    "TaskSpec",
+    "register_task",
+    "run_spec",
+    "spec_task",
+    "task_spec",
 ]

@@ -301,6 +301,7 @@ class ResultCache:
         keep_version: str | None = None,
         orphans: bool = False,
         orphan_min_age_s: float = 60.0,
+        namespace: str | None = None,
     ) -> int:
         """Delete entries written under any version other than ``keep_version``.
 
@@ -311,15 +312,23 @@ class ResultCache:
         Files younger than ``orphan_min_age_s`` are never swept as orphans:
         a concurrent writer creates the entry file *before* its index line
         lands, and the age guard keeps that window from looking orphaned.
-        Returns the number of entry files removed and rewrites the index to
-        the surviving entries.
+        ``namespace`` limits the sweep to that namespace's entries (the
+        orphan sweep is skipped then: unindexed files carry no namespace to
+        match against).  Returns the number of entry files removed and
+        rewrites the index to the surviving entries.
         """
         keep = str(self.version if keep_version is None else keep_version)
         entries = self.index_entries()
         removed = 0
         survivors: dict[str, dict] = {}
-        for digest, record in entries.items():
+
+        def survives(record: dict) -> bool:
             if str(record.get("version")) == keep:
+                return True
+            return namespace is not None and record.get("namespace") != namespace
+
+        for digest, record in entries.items():
+            if survives(record):
                 survivors[digest] = record
                 continue
             for suffix in (".json", ".pkl"):
@@ -327,7 +336,7 @@ class ResultCache:
                 if path.exists():
                     path.unlink(missing_ok=True)
                     removed += 1
-        if orphans:
+        if orphans and namespace is None:
             cutoff = time.time() - orphan_min_age_s
             for pattern in ("*.json", "*.pkl"):
                 for path in self.directory.glob(pattern):
@@ -348,21 +357,47 @@ class ResultCache:
             survivors.update(
                 (digest, record)
                 for digest, record in latest.items()
-                if digest not in survivors and str(record.get("version")) == keep
+                if digest not in survivors and survives(record)
             )
             rendered = "".join(json.dumps(record) + "\n" for record in survivors.values())
             self._write_atomic(self._index_path, rendered.encode("utf-8"))
         return removed
 
-    def clear(self) -> int:
+    def clear(self, namespace: str | None = None) -> int:
         """Delete every entry; returns how many files were removed.
 
         Also sweeps ``*.tmp`` remnants of writes that were hard-killed
         between ``mkstemp`` and the atomic rename (safe here: a clear is an
         explicit request, not something raced by concurrent writers) and
         the index sidecar.
+
+        ``namespace`` restricts the wipe to that namespace's indexed entries
+        (e.g. drop the ``serving`` grid but keep ``static``/``inner``/
+        ``oracle`` warm); unindexed files and tmp remnants are left alone
+        then, and the index is rewritten to the surviving entries.
         """
         removed = 0
+        if namespace is not None:
+            entries = self.index_entries()
+            for digest, record in entries.items():
+                if record.get("namespace") != namespace:
+                    continue
+                for suffix in (".json", ".pkl"):
+                    path = self.directory / f"{digest}{suffix}"
+                    if path.exists():
+                        path.unlink(missing_ok=True)
+                        removed += 1
+            with self._lock:
+                survivors = {
+                    digest: record
+                    for digest, record in self.index_entries().items()
+                    if record.get("namespace") != namespace
+                }
+                rendered = "".join(
+                    json.dumps(record) + "\n" for record in survivors.values()
+                )
+                self._write_atomic(self._index_path, rendered.encode("utf-8"))
+            return removed
         for pattern in ("*.json", "*.pkl", "*.tmp"):
             for path in self.directory.glob(pattern):
                 path.unlink(missing_ok=True)

@@ -2,14 +2,18 @@
 
 Subcommands::
 
-    repro cache stats --cache-dir .cache/engine
-    repro cache clear --cache-dir .cache/engine
+    repro cache stats --cache-dir .cache/engine [--namespace serving]
+    repro cache clear --cache-dir .cache/engine [--namespace serving]
     repro cache prune --cache-dir .cache/engine [--keep-version 1] [--orphans]
+                      [--namespace inner]
 
 ``stats`` reports entry/byte totals with per-namespace and per-version
 breakdowns; ``prune`` removes entries written under superseded cache
 versions (unreachable since the version is folded into every digest);
-``clear`` wipes the directory.
+``clear`` wipes the directory.  ``--namespace`` scopes any action to one
+namespace (``static``, ``inner``, ``oracle``, ``serving``, ``fleet``, ...)
+so a single grid can be dropped or audited without touching warm entries of
+the others.
 """
 
 from __future__ import annotations
@@ -39,6 +43,12 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", required=True, help="persistent evaluation-result cache directory"
     )
     parser.add_argument(
+        "--namespace",
+        default=None,
+        help="restrict the action to one namespace (static, inner, oracle, "
+        "serving, fleet, ...)",
+    )
+    parser.add_argument(
         "--keep-version",
         default=None,
         help=f"prune: version to keep (default: current, {ENGINE_CACHE_VERSION!r})",
@@ -46,19 +56,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--orphans",
         action="store_true",
-        help="prune: also remove unindexed entries (pre-index cache files)",
+        help="prune: also remove unindexed entries (pre-index cache files; "
+        "ignored with --namespace, which cannot attribute them)",
     )
     args = parser.parse_args(argv)
 
     cache = ResultCache(args.cache_dir)
     if args.action == "stats":
         stats = cache.disk_stats()
+        namespaces = stats["namespaces"]
+        if args.namespace is not None:
+            row = namespaces.get(args.namespace, {"entries": 0, "bytes": 0})
+            print(f"cache {stats['directory']} (namespace {args.namespace})")
+            print(
+                f"  {row['entries']} entries, {_format_bytes(row['bytes'])} "
+                f"(of {stats['entries']} total)"
+            )
+            return 0
         print(f"cache {stats['directory']}")
         print(
             f"  {stats['entries']} entries, {_format_bytes(stats['bytes'])}"
             + (f" ({stats['unindexed']} unindexed)" if stats["unindexed"] else "")
         )
-        for namespace, row in sorted(stats["namespaces"].items()):
+        for namespace, row in sorted(namespaces.items()):
             print(
                 f"  namespace {namespace:>10s}: {row['entries']} entries, "
                 f"{_format_bytes(row['bytes'])}"
@@ -68,12 +88,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  version {version:>12s}: {count} entries{marker}")
         return 0
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} files from {cache.directory}")
+        removed = cache.clear(namespace=args.namespace)
+        scope = f" (namespace {args.namespace})" if args.namespace else ""
+        print(f"removed {removed} files from {cache.directory}{scope}")
         return 0
-    removed = cache.prune(keep_version=args.keep_version, orphans=args.orphans)
+    removed = cache.prune(
+        keep_version=args.keep_version,
+        orphans=args.orphans,
+        namespace=args.namespace,
+    )
     keep = args.keep_version if args.keep_version is not None else cache.version
+    scope = f", namespace {args.namespace}" if args.namespace else ""
     print(
-        f"pruned {removed} entry files (kept version {keep!r}) in {cache.directory}"
+        f"pruned {removed} entry files (kept version {keep!r}{scope}) in {cache.directory}"
     )
     return 0

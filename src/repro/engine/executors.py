@@ -1,17 +1,29 @@
 """Pluggable executors: where evaluation batches actually run.
 
-All three executors share one contract: ``run(calls)`` takes a sequence of
+All executors share one contract: ``run(calls)`` takes a sequence of
 ``(fn, args)`` pairs and returns their results *in submission order* — the
 property that makes parallel execution bit-identical to serial execution for
 pure tasks.  Pools are created lazily and torn down by ``close()`` (the
-:class:`~repro.engine.service.EvaluationService` context manager does this).
+:class:`~repro.engine.service.EvaluationService` context manager does this,
+cancelling queued work when unwinding on an error).
+
+``auto`` resolution rule: one worker means :class:`SerialExecutor`; above
+one worker the :class:`AutoExecutor` defers the thread-vs-process choice to
+*batch submission time* — a batch whose every call is codec-backed (built
+from :class:`~repro.engine.tasks.TaskSpec` payloads via
+:func:`~repro.engine.tasks.run_spec`) runs on the process pool, because spec
+payloads are slim by construction and the work is CPU-bound numpy that the
+GIL serialises under threads; any other batch runs on the thread pool, since
+closures may drag arbitrary object graphs (or unpicklable state) that
+process transport would copy per task.
 
 The process executor requires picklable ``fn``/``args``/results; tasks
 submitted by the search stack satisfy this (dataclasses + numpy arrays).
 Executors are never nested: a task running inside a pool must not submit to
 the same pool (thread pools would deadlock once saturated), which is why the
 search facade parallelises at exactly one level — across inner-engine runs
-and across population batches, never both.
+and across population batches, never both — and the sharded experiment
+runner forces per-platform workers to serial inside its process shards.
 """
 
 from __future__ import annotations
@@ -31,6 +43,15 @@ def _invoke(call: Call) -> Any:
     return fn(*args)
 
 
+def is_codec_call(call: Call) -> bool:
+    """True when the call evaluates a task-codec spec (see ``tasks.run_spec``).
+
+    Detected via a function attribute rather than an import so this module
+    never depends on the codec registry.
+    """
+    return bool(getattr(call[0], "is_task_codec", False))
+
+
 class SerialExecutor:
     """In-process, in-order execution (the zero-dependency default)."""
 
@@ -40,7 +61,7 @@ class SerialExecutor:
     def run(self, calls: Sequence[Call]) -> list[Any]:
         return [_invoke(call) for call in calls]
 
-    def close(self) -> None:
+    def close(self, cancel: bool = False) -> None:
         pass
 
 
@@ -64,9 +85,15 @@ class _PoolExecutor:
             self._pool = self._make_pool()
         return list(self._pool.map(_invoke, calls))
 
-    def close(self) -> None:
+    def close(self, cancel: bool = False) -> None:
+        """Shut the pool down; ``cancel`` drops queued-but-unstarted work.
+
+        ``cancel=True`` is the error-path teardown (KeyboardInterrupt in the
+        middle of a sharded sweep): running tasks finish, queued tasks are
+        cancelled, and no worker processes are leaked.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=cancel)
             self._pool = None
 
     # Live pools cannot cross pickle boundaries (e.g. a service captured in
@@ -96,10 +123,50 @@ class ProcessExecutor(_PoolExecutor):
         return ProcessPoolExecutor(max_workers=self.workers)
 
 
+class AutoExecutor:
+    """Per-batch thread-vs-process choice (the multi-worker ``auto`` mode).
+
+    Codec-backed batches (every call is a :class:`~repro.engine.tasks.
+    TaskSpec` evaluation) go to the process pool; everything else goes to
+    the thread pool.  Both pools are lazy — a run that never submits a
+    codec batch never forks a process.
+    """
+
+    kind = "auto"
+
+    def __init__(self, workers: int):
+        check_positive("workers", workers)
+        self.workers = workers
+        self._thread = ThreadExecutor(workers)
+        self._process = ProcessExecutor(workers)
+
+    def run(self, calls: Sequence[Call]) -> list[Any]:
+        if len(calls) <= 1:
+            return [_invoke(call) for call in calls]
+        if all(is_codec_call(call) for call in calls):
+            return self._process.run(calls)
+        return self._thread.run(calls)
+
+    def close(self, cancel: bool = False) -> None:
+        self._thread.close(cancel=cancel)
+        self._process.close(cancel=cancel)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_thread"] = ThreadExecutor(self.workers)
+        state["_process"] = ProcessExecutor(self.workers)
+        return state
+
+
 def make_executor(kind: str, workers: int = 1):
-    """Build an executor; ``"auto"`` picks serial for 1 worker, threads above."""
+    """Build an executor.
+
+    ``"auto"`` picks serial for one worker; above one worker it returns the
+    :class:`AutoExecutor`, which routes codec-backed (task-spec) batches to
+    the process pool and closure batches to the thread pool.
+    """
     if kind == "auto":
-        kind = "serial" if workers <= 1 else "thread"
+        return SerialExecutor() if workers <= 1 else AutoExecutor(workers)
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":

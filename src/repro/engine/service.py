@@ -83,16 +83,32 @@ class EvaluationService:
     def __enter__(self) -> "EvaluationService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Error-path teardown cancels queued work so an interrupted sweep
+        # (KeyboardInterrupt mid-batch) does not block on — or leak — workers.
+        self.close(cancel=exc_type is not None)
 
-    def close(self) -> None:
-        """Tear down executor pools (idempotent)."""
-        self.executor.close()
+    def close(self, cancel: bool = False) -> None:
+        """Tear down executor pools (idempotent); ``cancel`` drops queued work."""
+        self.executor.close(cancel=cancel)
 
     @property
     def workers(self) -> int:
         return self.executor.workers
+
+    @property
+    def prefers_specs(self) -> bool:
+        """True when submitters should lower tasks to codec specs.
+
+        Spec payloads only pay off where tasks cross a process boundary:
+        the process executor always, and the multi-worker ``auto`` executor
+        (which routes codec-backed batches to its process pool).  Serial and
+        thread executors share the submitter's memory, where closures over
+        live evaluators are both cheaper and warmer (shared in-memory
+        caches), so spec lowering is skipped.
+        """
+        kind = self.executor.kind
+        return kind == "process" or (kind == "auto" and self.workers > 1)
 
     # ------------------------------------------------------------ evaluation
     def evaluate(self, task: EvalTask) -> Any:

@@ -21,6 +21,15 @@ module                  paper artifact
 """
 
 from repro.experiments.config import Profile
-from repro.experiments.runner import PlatformExperiment, run_platform_experiment
+from repro.experiments.runner import (
+    PlatformExperiment,
+    run_platform_experiment,
+    run_platform_experiments,
+)
 
-__all__ = ["Profile", "PlatformExperiment", "run_platform_experiment"]
+__all__ = [
+    "Profile",
+    "PlatformExperiment",
+    "run_platform_experiment",
+    "run_platform_experiments",
+]

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.config import Profile
-from repro.experiments.runner import PlatformExperiment, run_platform_experiment
+from repro.experiments.runner import PlatformExperiment, run_platform_experiments
 from repro.hardware.platform import PAPER_PLATFORM_ORDER
 from repro.metrics.pareto import non_dominated_mask, pareto_front
 from repro.utils.ascii_plot import scatter
@@ -108,10 +108,15 @@ def run(
     profile: Profile | None = None,
     platforms: tuple[str, ...] = PAPER_PLATFORM_ORDER,
 ) -> Fig5Result:
-    """Regenerate both rows of Fig. 5."""
+    """Regenerate both rows of Fig. 5.
+
+    All platforms are submitted as one sharded batch: a multi-worker
+    profile runs them concurrently (one process shard each) with results
+    bit-identical to the serial loop.
+    """
+    experiments = run_platform_experiments(platforms, profile)
     panels = {
-        platform: Fig5Panel(platform, run_platform_experiment(platform, profile))
-        for platform in platforms
+        platform: Fig5Panel(platform, experiments[platform]) for platform in platforms
     }
     return Fig5Result(panels=panels)
 

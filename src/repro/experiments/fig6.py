@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import Profile
-from repro.experiments.runner import run_platform_experiment
+from repro.experiments.runner import run_platform_experiments
 from repro.hardware.platform import PAPER_PLATFORM_ORDER
 from repro.utils.ascii_plot import bars
 from repro.utils.tables import format_table
@@ -58,10 +58,15 @@ def run(
     profile: Profile | None = None,
     platforms: tuple[str, ...] = PAPER_PLATFORM_ORDER,
 ) -> Fig6Result:
-    """Compute HV and RoD per platform from the shared experiments."""
+    """Compute HV and RoD per platform from the shared experiments.
+
+    Platforms are submitted as one sharded batch (usually already memoised
+    by a preceding :func:`repro.experiments.fig5.run` at the same profile).
+    """
+    experiments = run_platform_experiments(platforms, profile)
     rows = []
     for platform in platforms:
-        experiment = run_platform_experiment(platform, profile)
+        experiment = experiments[platform]
         hv_ours, hv_theirs = experiment.hypervolumes()
         dom = experiment.dominance()
         rows.append(

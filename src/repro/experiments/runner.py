@@ -1,19 +1,24 @@
-"""Shared experiment machinery: one full platform run, memoised.
+"""Shared experiment machinery: one full platform run, memoised and sharded.
 
 Several artifacts (Figs. 1, 5, 6, Table III) consume the same underlying
 computation — a HADAS search on a platform plus the optimized baselines with
 a matched IOE budget.  :func:`run_platform_experiment` performs it once and
-memoises per (platform, profile, seed, gamma).
+memoises per (platform, profile, seed, gamma); :func:`run_platform_experiments`
+submits *all* requested platforms as one codec-backed batch through a shared
+:class:`~repro.engine.service.EvaluationService`, so a multi-worker profile
+runs the paper's four-platform sweep concurrently (one process shard per
+platform) instead of serially.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.baselines.attentivenas import ATTENTIVENAS_MODELS, attentivenas_models
-from repro.engine.service import EvalTask
+from repro.engine.service import EvaluationService
+from repro.engine.tasks import spec_task, task_spec
 from repro.eval.static import StaticEvaluation
 from repro.experiments.config import Profile
 from repro.metrics.dominance_ratio import DominanceReport, dominance_report
@@ -78,6 +83,59 @@ class PlatformExperiment:
 _MEMO: dict[tuple, PlatformExperiment] = {}
 
 
+def _memo_key(platform: str, profile: Profile, gamma: float, baselines: tuple) -> tuple:
+    # Engine knobs (workers/executor/cache_dir) never change results, so
+    # they are not part of the memo identity.
+    return (platform, profile.name, profile.seed, gamma, tuple(baselines))
+
+
+def compute_platform_experiment(
+    platform: str,
+    profile: Profile,
+    gamma: float = 1.0,
+    baselines: tuple[str, ...] = ATTENTIVENAS_MODELS,
+) -> PlatformExperiment:
+    """One platform's full study, uncached: the ``platform-experiment`` task.
+
+    Pure function of ``(platform, profile, gamma, baselines)`` — the body
+    both the memoising wrapper and the process shards execute.  Baseline IOE
+    runs are independent of each other: one batch through the search's
+    service runs them concurrently (and cached) like any other.
+    """
+    search = HadasSearch(profile.hadas_config(platform, gamma=gamma))
+    try:
+        hadas = search.run()
+
+        models = {name: attentivenas_models()[name] for name in baselines}
+        baseline_static = {
+            name: search.static_evaluator.evaluate(config)
+            for name, config in models.items()
+        }
+        baseline_inner = dict(
+            zip(
+                models.keys(),
+                search.service.evaluate_batch(
+                    [search.inner_task(config) for config in models.values()]
+                ),
+            )
+        )
+    except BaseException:
+        # Error/interrupt path: cancel queued work so no pool workers leak.
+        search.close(cancel=True)
+        raise
+    # Release executor pools now that all batches ran; the service lazily
+    # re-creates them if the memoised search is ever driven again.
+    search.close()
+    return PlatformExperiment(
+        platform=platform,
+        profile=profile,
+        hadas=hadas,
+        baseline_static=baseline_static,
+        baseline_inner=baseline_inner,
+        search=search,
+    )
+
+
 def run_platform_experiment(
     platform: str,
     profile: Profile | None = None,
@@ -91,46 +149,81 @@ def run_platform_experiment(
     ``workers``/``cache_dir`` override the profile's evaluation-engine knobs
     (parallel inner runs / persistent result cache); neither changes any
     result, so they are not part of the memo identity.  Baseline inner runs
-    route through :meth:`HadasSearch.run_inner`, sharing the persistent
+    route through :meth:`HadasSearch.inner_task`, sharing the persistent
     cache with the search itself.
     """
     profile = (profile or Profile.fast()).with_engine(
         workers=workers, cache_dir=cache_dir
     )
-    key = (platform, profile.name, profile.seed, gamma, baselines)
+    key = _memo_key(platform, profile, gamma, baselines)
     if key in _MEMO:
         return _MEMO[key]
-
-    search = HadasSearch(profile.hadas_config(platform, gamma=gamma))
-    hadas = search.run()
-
-    models = {name: attentivenas_models()[name] for name in baselines}
-    baseline_static = {
-        name: search.static_evaluator.evaluate(config) for name, config in models.items()
-    }
-    # Baseline IOE runs are independent of each other: one batch through the
-    # search's service runs them concurrently (and cached) like any other.
-    baseline_inner = dict(
-        zip(
-            models.keys(),
-            search.service.evaluate_batch(
-                [EvalTask(search.run_inner, (config,)) for config in models.values()]
-            ),
-        )
-    )
-    # Release executor pools now that all batches ran; the service lazily
-    # re-creates them if the memoised search is ever driven again.
-    search.close()
-    experiment = PlatformExperiment(
-        platform=platform,
-        profile=profile,
-        hadas=hadas,
-        baseline_static=baseline_static,
-        baseline_inner=baseline_inner,
-        search=search,
-    )
+    experiment = compute_platform_experiment(platform, profile, gamma, baselines)
     _MEMO[key] = experiment
     return experiment
+
+
+def run_platform_experiments(
+    platforms,
+    profile: Profile | None = None,
+    gamma: float = 1.0,
+    baselines: tuple[str, ...] = ATTENTIVENAS_MODELS,
+    workers: int | None = None,
+    executor: str | None = None,
+    cache_dir: str | None = None,
+) -> dict[str, PlatformExperiment]:
+    """Run a multi-platform sweep as one sharded batch (fig5/fig6/table3).
+
+    Memoised platforms are returned immediately; the misses are submitted
+    together as ``platform-experiment`` task specs through a single
+    context-managed :class:`EvaluationService`, so a multi-worker profile
+    overlaps whole platforms (the ``auto`` executor runs codec-backed
+    batches on its process pool).  Each shard forces its in-worker engine
+    to ``serial`` — pools are never nested — while sharing ``cache_dir``,
+    so shards warm each other's platform-independent entries (oracle
+    columns).  Results are bit-identical to the serial loop; the service is
+    torn down on every exit path, including ``KeyboardInterrupt``.
+    """
+    profile = (profile or Profile.fast()).with_engine(
+        workers=workers, executor=executor, cache_dir=cache_dir
+    )
+    ordered = list(dict.fromkeys(platforms))
+    missing = [
+        platform
+        for platform in ordered
+        if _memo_key(platform, profile, gamma, baselines) not in _MEMO
+    ]
+    if len(missing) > 1 and profile.workers > 1:
+        # One process shard per platform: the shard profile keeps the search
+        # budget and the shared persistent cache but runs serially inside
+        # its worker.
+        shard_profile = replace(profile, workers=1, executor="serial")
+        with EvaluationService(
+            executor=profile.executor, workers=profile.workers
+        ) as service:
+            results = service.evaluate_batch(
+                [
+                    spec_task(
+                        task_spec(
+                            "platform-experiment",
+                            platform=platform,
+                            profile=shard_profile,
+                            gamma=gamma,
+                            baselines=tuple(baselines),
+                        )
+                    )
+                    for platform in missing
+                ]
+            )
+        for platform, experiment in zip(missing, results):
+            _MEMO[_memo_key(platform, profile, gamma, baselines)] = experiment
+    else:
+        for platform in missing:
+            run_platform_experiment(platform, profile, gamma, baselines)
+    return {
+        platform: _MEMO[_memo_key(platform, profile, gamma, baselines)]
+        for platform in ordered
+    }
 
 
 def clear_memo() -> None:

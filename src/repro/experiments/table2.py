@@ -13,9 +13,10 @@ from dataclasses import dataclass, field
 
 from repro.arch.space import BackboneSpace
 from repro.baselines.attentivenas import attentivenas_model
+from repro.engine.service import EvaluationService
+from repro.engine.tasks import spec_task, task_spec
 from repro.exits.placement import MIN_EXIT_POSITION, ExitSpace
-from repro.hardware.dvfs import DvfsSpace
-from repro.hardware.platform import list_platforms
+from repro.hardware.platform import PAPER_PLATFORM_ORDER, get_platform
 from repro.utils.tables import format_table
 
 #: The paper's lower bound on the backbone-space size.
@@ -32,8 +33,37 @@ class Table2Result:
     backbone_cardinality: int = 0
 
 
-def run(space: BackboneSpace | None = None) -> Table2Result:
-    """Derive every Table II row from the space definitions."""
+def platform_dvfs_rows(platform_key: str) -> list[list]:
+    """One platform's Table II DVFS rows (the ``table2-dvfs`` task body)."""
+    platform = get_platform(platform_key)
+    core = platform.core_freqs_ghz
+    emc = platform.emc_freqs_ghz
+    unit = "GPU" if platform.kind == "gpu" else "CPU"
+    return [
+        [
+            f"{unit} frequency ({platform.name})",
+            f"[{core[0]:.1f}GHz, {core[-1]:.1f}GHz]",
+            len(core),
+        ],
+        [
+            f"EMC frequency ({platform.name})",
+            f"[{emc[0]:.1f}GHz, {emc[-1]:.1f}GHz]",
+            len(emc),
+        ],
+    ]
+
+
+def run(
+    space: BackboneSpace | None = None,
+    workers: int = 1,
+    executor: str = "auto",
+) -> Table2Result:
+    """Derive every Table II row from the space definitions.
+
+    The per-platform DVFS rows are derived as one codec-backed batch; with
+    ``workers > 1`` they shard across the service like every other
+    multi-platform sweep (identical rows either way).
+    """
     space = space or BackboneSpace()
     result = Table2Result(backbone_cardinality=space.cardinality())
 
@@ -67,25 +97,15 @@ def run(space: BackboneSpace | None = None) -> Table2Result:
         ],
     ]
 
-    for platform in list_platforms():
-        dvfs = DvfsSpace(platform)
-        core = platform.core_freqs_ghz
-        emc = platform.emc_freqs_ghz
-        unit = "GPU" if platform.kind == "gpu" else "CPU"
-        result.dvfs_rows.append(
+    with EvaluationService(executor=executor, workers=workers) as service:
+        per_platform = service.evaluate_batch(
             [
-                f"{unit} frequency ({platform.name})",
-                f"[{core[0]:.1f}GHz, {core[-1]:.1f}GHz]",
-                len(core),
+                spec_task(task_spec("table2-dvfs", platform=key))
+                for key in PAPER_PLATFORM_ORDER
             ]
         )
-        result.dvfs_rows.append(
-            [
-                f"EMC frequency ({platform.name})",
-                f"[{emc[0]:.1f}GHz, {emc[-1]:.1f}GHz]",
-                len(emc),
-            ]
-        )
+    for rows in per_platform:
+        result.dvfs_rows.extend(rows)
     return result
 
 

@@ -88,8 +88,10 @@ def main(argv: list[str] | None = None) -> int:
     start = time.perf_counter()
     try:
         result = search.run()
-    finally:
-        search.close()
+    except BaseException:
+        search.close(cancel=True)  # drop queued work; leak no pool workers
+        raise
+    search.close()
     elapsed = time.perf_counter() - start
 
     design = result.deployed_design()

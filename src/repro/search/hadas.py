@@ -20,7 +20,8 @@ from repro.arch.config import BackboneConfig
 from repro.arch.space import BackboneSpace
 from repro.engine.cache import ResultCache
 from repro.engine.executors import EXECUTOR_KINDS
-from repro.engine.service import EvaluationService
+from repro.engine.service import EvalTask, EvaluationService
+from repro.engine.tasks import spec_task, task_spec
 from repro.eval.static import StaticEvaluation, StaticEvaluator
 from repro.hardware.platform import get_platform
 from repro.search.individual import Individual
@@ -278,6 +279,28 @@ class HadasSearch:
             self.platform, self.surrogate, seed=config.seed, cache=self.cache
         )
         self.capability_model = capability_model or ExitCapabilityModel()
+        self._spec_context = self._make_spec_context(space)
+
+    def _make_spec_context(self, injected_space: BackboneSpace | None) -> dict | None:
+        """Codec context when this run's evaluators are data-reconstructible.
+
+        The facade always builds its own surrogate/static evaluator from
+        (platform, num_classes, seed), so the only obstacle to rebuilding
+        them inside a worker process is a custom backbone space.  Returns
+        the ``static-backbone``/``inner-run`` spec context, or ``None`` to
+        keep closure tasks (which pickle the live evaluator graph).
+        """
+        if injected_space is not None and (
+            self.space.fingerprint()
+            != BackboneSpace(num_classes=self.config.num_classes).fingerprint()
+        ):
+            return None
+        return {
+            "platform": self.config.platform,
+            "num_classes": self.config.num_classes,
+            "seed": self.config.seed,
+            "cache_dir": str(self.cache.directory) if self.cache is not None else None,
+        }
 
     def make_inner_engine(self, backbone: BackboneConfig) -> InnerEngine:
         """Inner engine for one backbone, sharing this run's budget/seeds.
@@ -298,6 +321,7 @@ class HadasSearch:
             capability_model=self.capability_model,
             oracle_samples=self.config.oracle_samples,
             seed=self.config.seed,
+            cache=self.cache,
         )
 
     def _inner_cache_key(self, backbone: BackboneConfig):
@@ -342,6 +366,34 @@ class HadasSearch:
     # Backwards-compatible alias (pre-EvaluationService name).
     _run_inner = run_inner
 
+    def inner_task(
+        self, backbone: BackboneConfig, static: StaticEvaluation | None = None
+    ) -> EvalTask:
+        """Lower one backbone's IOE to an :class:`EvalTask` for the service.
+
+        When the evaluator stack is data-reconstructible and the service's
+        executor crosses a process boundary, the task is a slim ``inner-run``
+        spec (backbone + platform/seed/gamma/budget) carrying the persistent
+        cache key, so the service resolves the cache before shipping anything
+        to a worker and workers rebuild evaluators from data.  Otherwise the
+        task closes over :meth:`run_inner`, which handles the cache itself.
+        """
+        if self._spec_context is not None and self.service.prefers_specs:
+            spec = task_spec(
+                "inner-run",
+                backbone=backbone,
+                gamma=self.config.gamma,
+                population=self.config.inner_population,
+                generations=self.config.inner_generations,
+                oracle_samples=self.config.oracle_samples,
+                literal_ratios=self.config.literal_ratios,
+                capability_model=self.capability_model,
+                **self._spec_context,
+            )
+            key = self._inner_cache_key(backbone) if self.cache is not None else None
+            return spec_task(spec, key=key)
+        return EvalTask(self.run_inner, (backbone, static))
+
     def run(self) -> HadasResult:
         """Execute the bi-level search."""
         outer = OuterEngine(
@@ -355,6 +407,8 @@ class HadasSearch:
             ioe_candidates=self.config.ioe_candidates,
             seed=self.config.seed,
             service=self.service,
+            inner_task=self.inner_task,
+            spec_context=self._spec_context,
         )
         result = outer.run()
         return HadasResult(
@@ -365,6 +419,10 @@ class HadasSearch:
             static_evaluator=self.static_evaluator,
         )
 
-    def close(self) -> None:
-        """Tear down the service's executor pools (idempotent)."""
-        self.service.close()
+    def close(self, cancel: bool = False) -> None:
+        """Tear down the service's executor pools (idempotent).
+
+        ``cancel`` drops queued-but-unstarted work — the error/interrupt
+        teardown used by the CLIs and the experiment runner.
+        """
+        self.service.close(cancel=cancel)

@@ -143,6 +143,10 @@ class InnerEngine:
         Optional evaluation service for batched (X, F) population
         evaluation.  Leave ``None`` when the *outer* loop already runs inner
         engines on a pooled service — executors must not be nested.
+    cache:
+        Optional persistent result cache handed to the exit oracle so its
+        correctness columns warm-start across runs (the columns are
+        platform-independent; see :mod:`repro.accuracy.exit_model`).
     """
 
     def __init__(
@@ -157,6 +161,7 @@ class InnerEngine:
         oracle_samples: int = 2048,
         seed: int = 0,
         service=None,
+        cache=None,
     ):
         self.config = config
         self.nsga_config = nsga or Nsga2Config(population=20, generations=8)
@@ -168,6 +173,7 @@ class InnerEngine:
             model=capability_model,
             n_samples=oracle_samples,
             seed=seed,
+            cache=cache,
         )
         self.evaluator = DynamicEvaluator(
             config=config,

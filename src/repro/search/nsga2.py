@@ -43,6 +43,17 @@ class Problem:
         """
         return [self.evaluate(genome) for genome in genomes]
 
+    def task_specs(self, genomes: list[np.ndarray]):
+        """Optional codec lowering: one ``TaskSpec`` per genome, or ``None``.
+
+        Problems whose evaluation is reconstructible from slim data (see
+        :mod:`repro.engine.tasks`) return specs here so a process-pool
+        service ships data instead of pickled evaluator graphs.  The default
+        ``None`` keeps the closure path.
+        """
+        del genomes
+        return None
+
     def crossover(
         self, a: np.ndarray, b: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
@@ -83,6 +94,14 @@ def evaluate_genomes(
     """
     custom_batch = type(problem).evaluate_batch is not Problem.evaluate_batch
     if service is not None and not custom_batch:
+        if getattr(service, "prefers_specs", False):
+            specs = problem.task_specs(genomes)
+            if specs is not None:
+                # Local import keeps the generic engine decoupled from the
+                # codec for problems that never lower to specs.
+                from repro.engine.tasks import spec_task
+
+                return service.evaluate_batch([spec_task(spec) for spec in specs])
         return service.map(problem.evaluate, [(genome,) for genome in genomes])
     return problem.evaluate_batch(genomes)
 

@@ -36,11 +36,24 @@ from repro.utils.validation import check_positive
 
 
 class _BackboneProblem(Problem):
-    """Backbone genome handling + static evaluation."""
+    """Backbone genome handling + static evaluation.
 
-    def __init__(self, space: BackboneSpace, evaluator: StaticEvaluator):
+    ``spec_context`` (platform / num_classes / seed / cache_dir) marks the
+    evaluator stack as reconstructible from data: when set and the service
+    prefers specs, population batches are lowered to ``static-backbone``
+    task specs so worker processes rebuild the evaluator instead of
+    receiving this problem's whole object graph.
+    """
+
+    def __init__(
+        self,
+        space: BackboneSpace,
+        evaluator: StaticEvaluator,
+        spec_context: dict | None = None,
+    ):
         self.space = space
         self.evaluator = evaluator
+        self.spec_context = spec_context
         self._bounds = space.gene_bounds()
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
@@ -50,6 +63,20 @@ class _BackboneProblem(Problem):
         config = self.space.decode(genome)
         static = self.evaluator.evaluate(config)
         return np.asarray(static.objectives()), {"config": config, "static": static}
+
+    def task_specs(self, genomes):
+        if self.spec_context is None:
+            return None
+        from repro.engine.tasks import task_spec
+
+        return [
+            task_spec(
+                "static-backbone",
+                genome=tuple(int(gene) for gene in genome),
+                **self.spec_context,
+            )
+            for genome in genomes
+        ]
 
     def crossover(self, a, b, rng):
         if rng.random() < 0.5:
@@ -132,6 +159,13 @@ class OuterEngine:
         submitted through it as batches; inner runs within a generation are
         embarrassingly parallel (each is seeded by its backbone key), so a
         multi-worker service overlaps them without changing any result.
+    inner_task:
+        Optional factory lowering one inner run to an :class:`EvalTask`
+        (the HADAS facade supplies codec-backed specs plus persistent cache
+        keys here); the default wraps ``run_inner`` as a closure task.
+    spec_context:
+        Optional static-evaluation codec context forwarded to the backbone
+        problem (see :class:`_BackboneProblem`).
     """
 
     def __init__(
@@ -143,16 +177,21 @@ class OuterEngine:
         ioe_candidates: int = 4,
         seed: int = 0,
         service: EvaluationService | None = None,
+        inner_task: Callable[[BackboneConfig, StaticEvaluation], EvalTask] | None = None,
+        spec_context: dict | None = None,
     ):
         check_positive("ioe_candidates", ioe_candidates)
         self.space = space
         self.evaluator = evaluator
         self.run_inner = run_inner
+        self.inner_task = inner_task or (
+            lambda config, static: EvalTask(self.run_inner, (config, static))
+        )
         self.nsga_config = nsga or Nsga2Config(population=16, generations=6)
         self.ioe_candidates = ioe_candidates
         self.seed = seed
         self.service = service or EvaluationService()
-        self.problem = _BackboneProblem(space, evaluator)
+        self.problem = _BackboneProblem(space, evaluator, spec_context=spec_context)
 
     # ------------------------------------------------------------ internals
     def _combined_objectives(self, individual: Individual, inner: InnerResult) -> np.ndarray:
@@ -236,10 +275,7 @@ class OuterEngine:
             if fresh:
                 inners = self.service.evaluate_batch(
                     [
-                        EvalTask(
-                            self.run_inner,
-                            (ind.payload["config"], ind.payload["static"]),
-                        )
+                        self.inner_task(ind.payload["config"], ind.payload["static"])
                         for ind in fresh.values()
                     ]
                 )

@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.cache import ResultCache
-from repro.engine.service import EvalTask, EvaluationService
+from repro.engine.service import EvaluationService
+from repro.engine.tasks import spec_task, task_spec
 from repro.hardware.energy import PathProfile
 from repro.hardware.platform import resolve_platform_keys
 from repro.serving.batcher import BatchPolicy
@@ -682,10 +683,11 @@ def fleet_sweep(
         cache = ResultCache(cache_dir) if cache_dir is not None else None
         service = EvaluationService(executor=executor, workers=workers, cache=cache)
     try:
+        # Codec-backed: a FleetSpec *is* the slim task payload, so the
+        # multi-worker ``auto`` executor runs the grid on its process pool.
         tasks = [
-            EvalTask(
-                run_fleet_cell,
-                (spec,),
+            spec_task(
+                task_spec("fleet-cell", spec=spec),
                 key=fleet_cache_key(service.cache, spec)
                 if service.cache is not None
                 else None,
@@ -694,6 +696,10 @@ def fleet_sweep(
             for spec in specs
         ]
         return service.evaluate_batch(tasks)
+    except BaseException:
+        if owned:
+            service.close(cancel=True)  # drop queued cells; leak no workers
+        raise
     finally:
         if owned:
             service.close()

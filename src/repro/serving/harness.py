@@ -21,7 +21,8 @@ from repro.accuracy.exit_model import BackboneExitOracle
 from repro.accuracy.surrogate import AccuracySurrogate
 from repro.baselines.attentivenas import ATTENTIVENAS_MODELS, attentivenas_model
 from repro.engine.cache import ResultCache
-from repro.engine.service import EvalTask, EvaluationService
+from repro.engine.service import EvaluationService
+from repro.engine.tasks import spec_task, task_spec
 from repro.eval.dynamic import DynamicEvaluator
 from repro.eval.static import StaticEvaluator
 from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
@@ -276,10 +277,11 @@ def sweep(
         cache = ResultCache(cache_dir) if cache_dir is not None else None
         service = EvaluationService(executor=executor, workers=workers, cache=cache)
     try:
+        # Codec-backed: a ServingSpec *is* the slim task payload, so the
+        # multi-worker ``auto`` executor runs the grid on its process pool.
         tasks = [
-            EvalTask(
-                run_serving_cell,
-                (spec,),
+            spec_task(
+                task_spec("serving-cell", spec=spec),
                 # `is not None`, not truthiness: an *empty* ResultCache has
                 # len() == 0 and would otherwise be skipped on first use.
                 key=cell_cache_key(service.cache, spec)
@@ -290,6 +292,10 @@ def sweep(
             for spec in specs
         ]
         return service.evaluate_batch(tasks)
+    except BaseException:
+        if owned:
+            service.close(cancel=True)  # drop queued cells; leak no workers
+        raise
     finally:
         if owned:
             service.close()

@@ -147,10 +147,31 @@ class TestExecutors:
             executor.close()
 
     def test_make_executor_auto(self):
+        # One worker: serial.  Above one worker: the AutoExecutor, which
+        # picks its pool per batch — process for codec-backed (task-spec)
+        # batches, threads for closure batches.
         assert make_executor("auto", 1).kind == "serial"
         auto = make_executor("auto", 4)
-        assert auto.kind == "thread"
-        auto.close()
+        assert auto.kind == "auto"
+        try:
+            assert auto.run([(_square, (i,)) for i in range(4)]) == [0, 1, 4, 9]
+            assert auto._thread._pool is not None  # closures went to threads
+            assert auto._process._pool is None
+        finally:
+            auto.close()
+
+    def test_auto_executor_routes_codec_batches_to_process(self):
+        from repro.engine.tasks import run_spec, task_spec
+
+        auto = make_executor("auto", 2)
+        specs = [task_spec("table2-dvfs", platform=p) for p in ("tx2-gpu", "agx-gpu")]
+        try:
+            results = auto.run([(run_spec, (spec,)) for spec in specs])
+            assert auto._process._pool is not None  # specs went to processes
+            assert auto._thread._pool is None
+        finally:
+            auto.close()
+        assert [run_spec(spec) for spec in specs] == results
 
     def test_make_executor_rejects_unknown(self):
         with pytest.raises(ValueError):
@@ -192,6 +213,15 @@ class TestEvaluationService:
         assert first == second == 9
         assert calls == [3]
         assert service.stats.cache_hits == 1
+
+    def test_context_manager_tears_down_pools_on_error(self):
+        service = EvaluationService(executor="thread", workers=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            with service:
+                service.map(_square, [(i,) for i in range(4)])
+                assert service.executor._pool is not None
+                raise RuntimeError("boom")
+        assert service.executor._pool is None  # cancelled + shut down
 
     def test_within_batch_deduplication(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -267,7 +297,15 @@ class TestSearchDeterminism:
 
     def test_process_executor_bit_identical_pareto(self):
         serial = HadasSearch(_tiny_config()).run()
-        search = HadasSearch(_tiny_config(workers=2, executor="process"))
+        search = HadasSearch(_tiny_config(workers=4, executor="process"))
+        parallel = search.run()
+        search.close()
+        assert _pareto_bytes(serial) == _pareto_bytes(parallel)
+
+    def test_auto_executor_bit_identical_pareto(self):
+        # auto above one worker runs the codec-backed batches on processes.
+        serial = HadasSearch(_tiny_config()).run()
+        search = HadasSearch(_tiny_config(workers=2, executor="auto"))
         parallel = search.run()
         search.close()
         assert _pareto_bytes(serial) == _pareto_bytes(parallel)
@@ -363,6 +401,126 @@ class TestPersistentCacheInSearch:
         other = HadasSearch(_tiny_config(num_classes=10, cache_dir=str(tmp_path)))
         other.run()
         assert other.static_evaluator.num_measurements > 0
+
+
+class TestOracleColumnCache:
+    """Oracle correctness columns persist per column, platform-independent."""
+
+    def _run_inner(self, platform, config, surrogate, cache, seed=0):
+        from repro.eval.static import StaticEvaluator
+        from repro.search.ioe import InnerEngine
+        from repro.search.nsga2 import Nsga2Config
+
+        evaluator = StaticEvaluator(platform, surrogate, seed=seed, cache=cache)
+        return InnerEngine(
+            config=config,
+            static_evaluator=evaluator,
+            backbone_accuracy_fraction=surrogate.accuracy_fraction(config),
+            nsga=Nsga2Config(population=6, generations=2),
+            oracle_samples=256,
+            seed=seed,
+            cache=cache,
+        ).run()
+
+    def test_dvfs_grid_only_change_warm_starts_columns(
+        self, space, surrogate, tx2_gpu, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        config = space.sample(np.random.default_rng(2))
+        cold = self._run_inner(tx2_gpu, config, surrogate, cache)
+        cold_puts, cold_hits = cache.stats("oracle").puts, cache.stats("oracle").hits
+        assert cold_puts > 0
+        assert cold_hits == 0
+
+        # Hardware-side-only change: trim the DVFS grid (different name so
+        # the hardware-keyed namespaces do not collide).  Oracle columns are
+        # keyed purely on the accuracy side, so they must warm-start.
+        trimmed = tx2_gpu.with_overrides(
+            name="tx2-gpu-trimmed", core_freqs_ghz=tx2_gpu.core_freqs_ghz[::2]
+        )
+        warm = self._run_inner(trimmed, config, surrogate, cache)
+        warm_stats = cache.stats("oracle")
+        assert warm_stats.hits > cold_hits
+        assert warm_stats.hit_rate > 0.0
+        # The change is real: the trimmed grid explores a different (X, F)
+        # landscape, while the shared columns keep accuracy semantics fixed.
+        assert cold.backbone_key == warm.backbone_key
+
+    def test_column_roundtrip_is_bit_identical(self, tmp_path):
+        from repro.accuracy.exit_model import BackboneExitOracle
+
+        plain = BackboneExitOracle("bb", 12, 0.7, n_samples=128, seed=3)
+        cache = ResultCache(tmp_path)
+        writer = BackboneExitOracle("bb", 12, 0.7, n_samples=128, seed=3, cache=cache)
+        reader = BackboneExitOracle("bb", 12, 0.7, n_samples=128, seed=3, cache=cache)
+        for position in (5, 9, 12):
+            np.testing.assert_array_equal(
+                plain.exit_column(position), writer.exit_column(position)
+            )
+            np.testing.assert_array_equal(
+                writer.exit_column(position), reader.exit_column(position)
+            )
+        assert cache.stats("oracle").hits >= 3  # reader hit the packed entries
+        np.testing.assert_array_equal(plain.final_column(), reader.final_column())
+
+
+class TestCacheNamespaceFiltering:
+    """`repro cache --namespace`: scoped stats/clear/prune."""
+
+    def _seeded(self, tmp_path) -> ResultCache:
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key("static", b=1), {"x": 1})
+        cache.put(cache.key("static", b=2), {"x": 2})
+        cache.put(cache.key("serving", cell=1), {"y": 1})
+        return cache
+
+    def test_clear_namespace_leaves_others(self, tmp_path):
+        cache = self._seeded(tmp_path)
+        assert cache.clear(namespace="serving") == 1
+        stats = cache.disk_stats()
+        assert "serving" not in stats["namespaces"]
+        assert stats["namespaces"]["static"]["entries"] == 2
+        assert cache.get(cache.key("static", b=1)) == {"x": 1}
+        # Index rewritten to survivors only.
+        assert len(cache.index_entries()) == 2
+
+    def test_clear_unknown_namespace_is_a_noop(self, tmp_path):
+        cache = self._seeded(tmp_path)
+        assert cache.clear(namespace="fleet") == 0
+        assert cache.disk_stats()["entries"] == 3
+
+    def test_prune_scoped_to_namespace(self, tmp_path):
+        old = ResultCache(tmp_path, version="0")
+        old.put(old.key("static", b=1), {"x": "old"})
+        old.put(old.key("serving", cell=1), {"y": "old"})
+        cache = self._seeded(tmp_path)
+        # Only the stale *serving* entry goes; the stale static one stays.
+        assert cache.prune(namespace="serving") == 1
+        entries = cache.index_entries()
+        versions = {
+            (record["namespace"], record["version"]) for record in entries.values()
+        }
+        assert ("static", "0") in versions
+        assert ("serving", "0") not in versions
+        assert ("serving", str(cache.version)) in versions
+
+    def test_prune_namespace_skips_orphan_sweep(self, tmp_path):
+        cache = self._seeded(tmp_path)
+        orphan = tmp_path / "deadbeef.json"
+        orphan.write_text("{}")
+        assert cache.prune(namespace="static", orphans=True, orphan_min_age_s=0.0) == 0
+        assert orphan.exists()  # unindexed files carry no namespace to match
+
+    def test_cli_namespace_stats_and_clear(self, tmp_path, capsys):
+        from repro.engine.cli import main as cache_main
+
+        self._seeded(tmp_path)
+        assert cache_main(["stats", "--cache-dir", str(tmp_path), "--namespace", "static"]) == 0
+        out = capsys.readouterr().out
+        assert "namespace static" in out and "2 entries" in out
+        assert cache_main(["clear", "--cache-dir", str(tmp_path), "--namespace", "static"]) == 0
+        assert "removed 2 files" in capsys.readouterr().out
+        assert set(ResultCache(tmp_path).disk_stats()["namespaces"]) == {"serving"}
 
 
 class TestConfigValidation:

@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.experiments import fig1, fig5, fig6, fig7, table1, table2, table3
 from repro.experiments.config import Profile
-from repro.experiments.runner import clear_memo, run_platform_experiment
+from repro.experiments.runner import (
+    clear_memo,
+    run_platform_experiment,
+    run_platform_experiments,
+)
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +59,92 @@ class TestRunner:
         experiment = run_platform_experiment("tx2-gpu", micro_profile)
         hv_ours, hv_theirs = experiment.hypervolumes()
         assert hv_ours > 0 and hv_theirs > 0
+
+
+class TestShardedSweeps:
+    """Multi-platform sweeps: one codec-backed batch, bit-identical shards."""
+
+    PLATFORMS = ("tx2-gpu", "agx-gpu")
+
+    @pytest.fixture(scope="class")
+    def nano_profile(self):
+        return Profile(
+            name="nano",
+            outer_population=6,
+            outer_generations=2,
+            inner_population=6,
+            inner_generations=2,
+            ioe_candidates=2,
+            oracle_samples=256,
+            seed=5,
+        )
+
+    def test_fig5_two_platform_process_sweep_bit_identical(self, nano_profile):
+        clear_memo()
+        serial = fig5.run(nano_profile, platforms=self.PLATFORMS)
+        serial_text = fig5.render(serial)
+        clear_memo()
+        sharded_profile = dataclasses.replace(
+            nano_profile, workers=2, executor="process"
+        )
+        sharded = fig5.run(sharded_profile, platforms=self.PLATFORMS)
+        assert fig5.render(sharded) == serial_text  # whole report, bytes equal
+        for platform in self.PLATFORMS:
+            ours, theirs = serial.panels[platform], sharded.panels[platform]
+            for name, series in ours.static_series().items():
+                np.testing.assert_array_equal(series, theirs.static_series()[name])
+            for name, series in ours.dynamic_series().items():
+                np.testing.assert_array_equal(series, theirs.dynamic_series()[name])
+            archive_a = ours.experiment.hadas.dynn_pareto()
+            archive_b = theirs.experiment.hadas.dynn_pareto()
+            assert len(archive_a) == len(archive_b)
+            for a, b in zip(archive_a, archive_b):
+                np.testing.assert_array_equal(a.genome, b.genome)
+                np.testing.assert_array_equal(a.objectives, b.objectives)
+
+        # fig6 at the same profile reuses the memoised shards (no new runs)
+        # and matches the serial computation exactly.
+        serial_fig6 = fig6.run(nano_profile, platforms=self.PLATFORMS)
+        sharded_fig6 = fig6.run(sharded_profile, platforms=self.PLATFORMS)
+        assert fig6.render(sharded_fig6) == fig6.render(serial_fig6)
+        clear_memo()
+
+    def test_sharded_runner_memoises_per_platform(self, nano_profile):
+        clear_memo()
+        first = run_platform_experiments(self.PLATFORMS, nano_profile)
+        again = run_platform_experiments(self.PLATFORMS, nano_profile)
+        for platform in self.PLATFORMS:
+            assert first[platform] is again[platform]
+            assert run_platform_experiment(platform, nano_profile) is first[platform]
+        clear_memo()
+
+    def test_runner_error_path_tears_down_pools(self, nano_profile, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        created = []
+
+        class Boom(RuntimeError):
+            pass
+
+        class ExplodingSearch(runner_mod.HadasSearch):
+            def run(self):
+                created.append(self)
+                # Force the lazy pool into existence, then die mid-sweep.
+                self.service.executor.run([(int, ("1",)), (int, ("2",))])
+                assert self.service.executor._pool is not None
+                raise Boom("mid-search interrupt")
+
+        monkeypatch.setattr(runner_mod, "HadasSearch", ExplodingSearch)
+        profile = dataclasses.replace(nano_profile, workers=2, executor="thread")
+        with pytest.raises(Boom):
+            runner_mod.compute_platform_experiment("tx2-gpu", profile)
+        assert created and created[0].service.executor._pool is None
+
+    def test_table2_sharded_rows_identical(self):
+        serial = table2.run()
+        sharded = table2.run(workers=2, executor="process")
+        assert sharded.dvfs_rows == serial.dvfs_rows
+        assert sharded.backbone_rows == serial.backbone_rows
 
 
 class TestTable1:
