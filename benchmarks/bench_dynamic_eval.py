@@ -1,0 +1,303 @@
+"""Dynamic-evaluation kernel bench: cost tables vs the reference loop.
+
+Replays the exact (placement, setting) stream a fast-budget IOE produces
+through two :class:`DynamicEvaluator` instances — the vectorized cost-table
+kernel and the pre-refactor reference loop (``use_tables=False``) — and
+reports evaluations/sec before vs after.  Also records:
+
+* a worst-case stream of all-distinct random (placement, setting) pairs
+  (no table reuse at all);
+* a warm-bank phase — new placements at already-seen DVFS settings — with
+  call-count instrumentation proving the hot path performs **zero**
+  per-layer timing-kernel invocations (neither ``layer_timing`` nor
+  ``batch_timing`` runs once the tables exist);
+* tiny- and fast-budget IOE wall-clock rows (full inner NSGA-II runs with
+  the kernel on vs off).
+
+Asserts the PR's acceptance contract: ≥ 5x single-worker speedup on the
+fast-budget IOE evaluation loop, bit-identical results, and a table-driven
+(O(exits)) hot path.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_eval.py --smoke --json dyneval-report.json
+    PYTHONPATH=src python benchmarks/bench_dynamic_eval.py --platform carmel-cpu
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.accuracy.exit_model import BackboneExitOracle
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.arch.cost import estimate_cost
+from repro.arch.space import BackboneSpace
+from repro.baselines.attentivenas import attentivenas_model
+from repro.eval.dynamic import DynamicEvaluator
+from repro.eval.static import StaticEvaluator
+from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
+from repro.hardware.dvfs import DvfsSpace
+from repro.hardware.energy import EnergyModel
+from repro.hardware.platform import get_platform
+from repro.search.ioe import InnerEngine
+from repro.search.nsga2 import Nsga2Config
+from repro.utils.serialization import save_json
+
+#: The acceptance floor for the fast-budget IOE evaluation-loop speedup.
+SPEEDUP_FLOOR = 5.0
+
+BUDGETS = {"tiny": (10, 4), "fast": (16, 6)}
+
+
+class _Workbench:
+    """Shared heavy objects for one (platform, backbone, seed)."""
+
+    def __init__(self, platform_key: str, model_name: str, seed: int):
+        self.platform_key = platform_key
+        self.seed = seed
+        self.platform = get_platform(platform_key)
+        self.space = BackboneSpace()
+        self.surrogate = AccuracySurrogate(self.space, seed=seed)
+        self.static = StaticEvaluator(self.platform, self.surrogate, seed=seed)
+        self.config = attentivenas_model(model_name)
+        self.cost = estimate_cost(self.config)
+        self.dvfs = DvfsSpace(self.platform)
+        self.energy_model = EnergyModel(self.platform)
+        base = self.energy_model.network_report(self.cost, self.dvfs.default_setting())
+        self.baseline_energy_j = base.energy_j
+        self.baseline_latency_s = base.latency_s
+        self.accuracy = self.surrogate.accuracy_fraction(self.config)
+
+    def evaluator(self, use_tables: bool) -> DynamicEvaluator:
+        """A fresh evaluator (own oracle, own caches, own table bank)."""
+        oracle = BackboneExitOracle(
+            self.config.key,
+            self.config.total_mbconv_layers,
+            self.accuracy,
+            seed=self.seed,
+        )
+        return DynamicEvaluator(
+            config=self.config,
+            cost=self.cost,
+            oracle=oracle,
+            energy_model=self.energy_model,
+            baseline_energy_j=self.baseline_energy_j,
+            baseline_latency_s=self.baseline_latency_s,
+            use_tables=use_tables,
+        )
+
+    def inner_engine(self, budget: str, use_tables: bool) -> InnerEngine:
+        population, generations = BUDGETS[budget]
+        return InnerEngine(
+            self.config,
+            self.static,
+            self.accuracy,
+            nsga=Nsga2Config(population=population, generations=generations),
+            seed=self.seed,
+            use_tables=use_tables,
+        )
+
+    def record_ioe_stream(self, budget: str) -> list[tuple[ExitPlacement, object]]:
+        """The exact evaluation stream one IOE run at ``budget`` performs."""
+        engine = self.inner_engine(budget, use_tables=True)
+        stream: list[tuple[ExitPlacement, object]] = []
+        original = engine.evaluator.evaluate
+
+        def recording(placement, setting):
+            stream.append((placement, setting))
+            return original(placement, setting)
+
+        engine.evaluator.evaluate = recording
+        engine.run()
+        return stream
+
+    def random_placement(self, rng: np.random.Generator) -> ExitPlacement:
+        """One random placement (1-6 exits over the legal position range)."""
+        total = self.config.total_mbconv_layers
+        width = int(rng.integers(1, 7))
+        positions = tuple(
+            sorted(
+                rng.choice(
+                    np.arange(MIN_EXIT_POSITION, total), size=width, replace=False
+                ).tolist()
+            )
+        )
+        return ExitPlacement(total, positions)
+
+    def random_pairs(self, count: int) -> list[tuple[ExitPlacement, object]]:
+        """All-distinct random (placement, setting) pairs (worst case)."""
+        rng = np.random.default_rng(self.seed)
+        return [
+            (self.random_placement(rng), self.dvfs.sample(rng)) for _ in range(count)
+        ]
+
+
+def _replay_rate(bench: _Workbench, pairs, use_tables: bool, reps: int) -> float:
+    """Best-of-``reps`` evaluations/sec over ``pairs`` on fresh evaluators."""
+    best = float("inf")
+    for _ in range(reps):
+        evaluator = bench.evaluator(use_tables)
+        start = time.perf_counter()
+        for placement, setting in pairs:
+            evaluator.evaluate(placement, setting)
+        best = min(best, time.perf_counter() - start)
+    return len(pairs) / best
+
+
+def _assert_bit_identity(bench: _Workbench, pairs) -> None:
+    vectorized, reference = bench.evaluator(True), bench.evaluator(False)
+    for placement, setting in pairs:
+        fast = vectorized.evaluate(placement, setting)
+        slow = reference.evaluate(placement, setting)
+        assert np.array_equal(fast.exit_energy_j, slow.exit_energy_j)
+        assert np.array_equal(fast.exit_latency_s, slow.exit_latency_s)
+        assert fast.dynamic_energy_j == slow.dynamic_energy_j
+        assert np.array_equal(fast.scores, slow.scores)
+        assert fast.d_score == slow.d_score
+
+
+def _warm_phase(bench: _Workbench, pairs) -> dict:
+    """New placements at seen settings: zero timing-kernel invocations."""
+    evaluator = bench.evaluator(True)
+    for placement, setting in pairs:
+        evaluator.evaluate(placement, setting)
+    rng = np.random.default_rng(bench.seed + 1)
+    fresh = [(bench.random_placement(rng), setting) for _, setting in pairs]
+    latency = evaluator.energy_model.latency
+    before = (latency.layer_timing_calls, latency.batch_timing_calls)
+    start = time.perf_counter()
+    for placement, setting in fresh:
+        evaluator.evaluate(placement, setting)
+    elapsed = time.perf_counter() - start
+    after = (latency.layer_timing_calls, latency.batch_timing_calls)
+    return {
+        "evals": len(fresh),
+        "evals_per_s": len(fresh) / elapsed,
+        "layer_timing_calls": after[0] - before[0],
+        "batch_timing_calls": after[1] - before[1],
+    }
+
+
+def _ioe_wall_row(bench: _Workbench, budget: str) -> dict:
+    walls = {}
+    for use_tables in (False, True):
+        engine = bench.inner_engine(budget, use_tables)
+        start = time.perf_counter()
+        result = engine.run()
+        walls[use_tables] = time.perf_counter() - start
+    return {
+        "budget": budget,
+        "population": BUDGETS[budget][0],
+        "generations": BUDGETS[budget][1],
+        "evaluations": result.num_evaluations,
+        "reference_wall_s": walls[False],
+        "vectorized_wall_s": walls[True],
+        "speedup": walls[False] / walls[True],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fewer reps (CI)")
+    parser.add_argument("--platform", default="tx2-gpu")
+    parser.add_argument("--model", default="a3")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--pairs", type=int, default=None,
+                        help="worst-case distinct-pair stream length")
+    parser.add_argument("--json", default="dyneval-report.json")
+    args = parser.parse_args(argv)
+
+    reps = 3 if args.smoke else 5
+    pair_count = args.pairs or (400 if args.smoke else 800)
+    bench = _Workbench(args.platform, args.model, args.seed)
+
+    ioe_stream = bench.record_ioe_stream("fast")
+    _assert_bit_identity(bench, ioe_stream[:40])
+
+    reference_rate = _replay_rate(bench, ioe_stream, use_tables=False, reps=reps)
+    vectorized_rate = _replay_rate(bench, ioe_stream, use_tables=True, reps=reps)
+    speedup = vectorized_rate / reference_rate
+
+    unique_pairs = bench.random_pairs(pair_count)
+    unique_reference = _replay_rate(bench, unique_pairs, use_tables=False, reps=1)
+    unique_vectorized = _replay_rate(bench, unique_pairs, use_tables=True, reps=1)
+
+    warm = _warm_phase(bench, ioe_stream)
+    ioe_rows = [_ioe_wall_row(bench, budget) for budget in ("tiny", "fast")]
+
+    print(f"platform {args.platform}, backbone {args.model}, seed {args.seed}")
+    print(f"{'stream':>28} {'evals':>6} {'ref/s':>8} {'vec/s':>8} {'speedup':>8}")
+    print("-" * 64)
+    print(
+        f"{'fast-budget IOE replay':>28} {len(ioe_stream):>6} "
+        f"{reference_rate:>8.0f} {vectorized_rate:>8.0f} {speedup:>7.1f}x"
+    )
+    print(
+        f"{'distinct random pairs':>28} {len(unique_pairs):>6} "
+        f"{unique_reference:>8.0f} {unique_vectorized:>8.0f} "
+        f"{unique_vectorized / unique_reference:>7.1f}x"
+    )
+    print(
+        f"{'warm bank (seen settings)':>28} {warm['evals']:>6} {'':>8} "
+        f"{warm['evals_per_s']:>8.0f} {'':>8}"
+    )
+    print(
+        f"\nwarm hot path: {warm['layer_timing_calls']} layer_timing / "
+        f"{warm['batch_timing_calls']} batch_timing calls (must be 0/0)"
+    )
+    for row in ioe_rows:
+        print(
+            f"IOE {row['budget']:>4} budget ({row['population']}x{row['generations']}): "
+            f"reference {row['reference_wall_s']:.3f}s, vectorized "
+            f"{row['vectorized_wall_s']:.3f}s ({row['speedup']:.1f}x)"
+        )
+
+    report = {
+        "platform": args.platform,
+        "model": args.model,
+        "seed": args.seed,
+        "ioe_replay": {
+            "evals": len(ioe_stream),
+            "reference_evals_per_s": reference_rate,
+            "vectorized_evals_per_s": vectorized_rate,
+            "speedup": speedup,
+        },
+        "distinct_pairs": {
+            "evals": len(unique_pairs),
+            "reference_evals_per_s": unique_reference,
+            "vectorized_evals_per_s": unique_vectorized,
+            "speedup": unique_vectorized / unique_reference,
+        },
+        "warm_bank": warm,
+        "ioe_rows": ioe_rows,
+        "summary": {
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_ok": bool(speedup >= SPEEDUP_FLOOR),
+            "hot_path_table_driven": warm["layer_timing_calls"] == 0
+            and warm["batch_timing_calls"] == 0,
+        },
+    }
+    save_json(report, args.json)
+    print(f"\nreport written to {args.json}")
+
+    assert warm["layer_timing_calls"] == 0 and warm["batch_timing_calls"] == 0, (
+        "warm-bank evaluations re-entered the timing kernel: "
+        f"{warm['layer_timing_calls']} layer / {warm['batch_timing_calls']} batch calls"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fast-budget IOE evaluation loop speedup {speedup:.1f}x below the "
+        f"{SPEEDUP_FLOOR:.0f}x acceptance floor"
+    )
+    for row in ioe_rows:
+        assert row["speedup"] >= 1.0, (
+            f"vectorized IOE slower than reference at {row['budget']} budget"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

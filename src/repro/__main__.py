@@ -56,7 +56,11 @@ def _run_artifact(name: str, profile: Profile, platform: str, platforms: tuple[s
         return table1.render(table1.run())
     if name == "table2":
         return table2.render(
-            table2.run(workers=profile.workers, executor=profile.executor)
+            table2.run(
+                workers=profile.workers,
+                executor=profile.executor,
+                cache_dir=profile.cache_dir,
+            )
         )
     if name == "fig1":
         return fig1.render(fig1.run(profile, platform))

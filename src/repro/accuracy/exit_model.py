@@ -38,12 +38,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.difficulty import DifficultyDistribution
-from repro.exits.evaluation import ExitEvaluation, ideal_mapping_stats
+from repro.exits.evaluation import ExitEvaluation
 from repro.exits.placement import ExitPlacement
 from repro.utils.rng import child_rng
 from repro.utils.validation import check_positive, check_probability
@@ -53,6 +54,18 @@ if TYPE_CHECKING:  # imported lazily at runtime; keeps accuracy/ engine-free
 
 #: Bump when column semantics change; orphans persisted oracle columns.
 ORACLE_COLUMN_VERSION = "1"
+
+#: Bits set per byte value — the popcount table the packed ideal-mapping
+#: statistics use.  Counting set bits is exact integer work, so the packed
+#: path reproduces the boolean-matrix statistics bit for bit.
+_POPCOUNT = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+    axis=1, dtype=np.intp
+)
+
+
+def _popcount(packed: np.ndarray) -> int:
+    """Number of set bits in a packbits array."""
+    return int(_POPCOUNT[packed].sum())
 
 
 @dataclass(frozen=True)
@@ -98,11 +111,37 @@ class ExitCapabilityModel:
         check_probability("backbone_accuracy", backbone_accuracy)
         return backbone_accuracy * self.head_quality * self.maturity(u)
 
+    @cached_property
+    def _centers(self) -> np.ndarray:
+        """RBF centers, computed once — ``basis`` runs thousands of times per
+        oracle, and re-allocating the linspace dominated its cost.  (A
+        ``cached_property`` writes straight into ``__dict__``, which the
+        frozen dataclass permits; cache keys serialise dataclass *fields*
+        only, so the cached array never leaks into content addresses.)"""
+        return np.linspace(0.0, 1.0, self.num_basis)
+
     def basis(self, u: float) -> np.ndarray:
         """Unit-norm RBF feature vector of depth ``u`` (GP weights)."""
-        centers = np.linspace(0.0, 1.0, self.num_basis)
-        phi = np.exp(-((u - centers) ** 2) / (2.0 * self.correlation_length**2))
+        phi = np.exp(-((u - self._centers) ** 2) / (2.0 * self.correlation_length**2))
         return phi / np.linalg.norm(phi)
+
+    def basis_matrix(self, us: np.ndarray) -> np.ndarray:
+        """Stacked basis vectors; row ``i`` equals ``basis(us[i])`` bit for bit.
+
+        The Gaussian features are one broadcast op; the norms stay per-row
+        :func:`np.linalg.norm` calls because a matrix-axis norm reduces in a
+        different summation order (ULP drift) — and the rows are few while
+        the samples are thousands, so nothing is lost.
+        """
+        us = np.asarray(us, dtype=float)
+        phi = np.exp(
+            -((us[:, None] - self._centers[None, :]) ** 2)
+            / (2.0 * self.correlation_length**2)
+        )
+        norms = np.fromiter(
+            (np.linalg.norm(row) for row in phi), dtype=np.float64, count=len(phi)
+        )
+        return phi / norms[:, None]
 
     def head_correlation(self, u1: float, u2: float) -> float:
         """Error-perturbation correlation between heads at two depths."""
@@ -157,11 +196,37 @@ class BackboneExitOracle:
         gp_rng = child_rng(seed, "exit-gp", backbone_key)
         self._latent = gp_rng.normal(0.0, 1.0, size=(n_samples, self.model.num_basis))
         self._columns: dict[int | str, np.ndarray] = {}
+        self._counts: dict[int | str, int] = {}
+        self._packed: dict[int | str, np.ndarray] = {}
+        self._pert_matrix: np.ndarray | None = None
+        self._stats: dict[tuple[int, ...], ExitEvaluation] = {}
 
-    def _perturbation(self, u: float) -> np.ndarray:
-        """Per-sample GP perturbation at relative depth ``u``."""
-        weights = self.model.basis(u)
-        return (self._latent @ weights) * self.model.idiosyncratic_sigma
+    def _perturbations(self) -> np.ndarray:
+        """``(n_samples, total_layers)`` GP perturbations — one matrix op.
+
+        Column ``p - 1`` is the perturbation at relative depth
+        ``p / total_layers`` (the final classifier shares the last column,
+        u = 1.0).  Built lazily on first use and spanning *every* position,
+        so a placement's columns are lookups into one precomputed matrix —
+        and each column is a pure function of the oracle (the set of
+        positions a placement happens to request cannot change what gets
+        computed), so columns are deterministic regardless of access order.
+
+        Each column is the pre-batching formula ``(latent @ basis(u)) *
+        sigma`` evaluated with the same per-column gemv (``column_stack``
+        of gemvs, not one gemm, whose BLAS accumulation order would drift
+        by ULPs) — bit-identical to the pre-batching oracle, so columns
+        persisted to disk by older code and freshly computed ones always
+        agree.  The stack is built once per oracle; the gemv-vs-gemm cost
+        difference is unmeasurable at that frequency.
+        """
+        if self._pert_matrix is None:
+            us = np.arange(1, self.total_layers + 1, dtype=float) / self.total_layers
+            weights = self.model.basis_matrix(us)
+            self._pert_matrix = np.column_stack(
+                [self._latent @ row for row in weights]
+            ) * self.model.idiosyncratic_sigma
+        return self._pert_matrix
 
     def _column_key(self, key: int | str):
         """Content address of one column: accuracy-side fields only.
@@ -182,7 +247,7 @@ class BackboneExitOracle:
             column=str(key),
         )
 
-    def _column(self, key: int | str, capability: float, u: float) -> np.ndarray:
+    def _column(self, key: int | str, capability: float, position: int) -> np.ndarray:
         if key in self._columns:
             return self._columns[key]
         cache_key = self._column_key(key) if self.cache is not None else None
@@ -197,7 +262,7 @@ class BackboneExitOracle:
         # The head ranks samples by perceived difficulty and classifies
         # exactly its capability fraction: marginals are exact while the GP
         # keeps correctness strongly correlated between nearby depths.
-        score = self._difficulties - self._perturbation(u)
+        score = self._difficulties - self._perturbations()[:, position - 1]
         n_correct = int(round(np.clip(capability, 0.0, 1.0) * self.n_samples))
         column = np.zeros(self.n_samples, dtype=bool)
         if n_correct > 0:
@@ -212,27 +277,99 @@ class BackboneExitOracle:
 
     def exit_column(self, position: int) -> np.ndarray:
         """Boolean correctness column of an exit at MBConv ``position``."""
+        column = self._columns.get(position)
+        if column is not None:  # hot path: skip recomputing the capability
+            return column
         if not 1 <= position <= self.total_layers:
             raise ValueError(f"position {position} outside [1, {self.total_layers}]")
         u = position / self.total_layers
         cap = float(self.model.capability(self.backbone_accuracy, u))
-        return self._column(position, cap, u)
+        return self._column(position, cap, position)
 
     def final_column(self) -> np.ndarray:
         """Boolean correctness column of the backbone's final classifier."""
-        return self._column("final", self.backbone_accuracy, 1.0)
+        return self._column("final", self.backbone_accuracy, self.total_layers)
+
+    def _column_count(self, key: int | str) -> int:
+        """Number of correct samples in a materialised column (memoised)."""
+        count = self._counts.get(key)
+        if count is None:
+            count = int(np.count_nonzero(self._columns[key]))
+            self._counts[key] = count
+        return count
+
+    def _packed_column(self, key: int | str) -> np.ndarray:
+        """Bit-packed view of a materialised column (memoised).
+
+        The packed form (``n/8`` bytes, zero-padded tail) drives the
+        ideal-mapping statistics: bitwise masking plus a popcount replaces
+        boolean-matrix reductions at an eighth of the memory traffic.
+        """
+        packed = self._packed.get(key)
+        if packed is None:
+            packed = np.packbits(self._columns[key])
+            self._packed[key] = packed
+        return packed
 
     def n_i(self, position: int) -> float:
         """Marginal correct fraction of an exit (the paper's N_i)."""
         return float(self.exit_column(position).mean())
 
     def evaluate_placement(self, placement: ExitPlacement) -> ExitEvaluation:
-        """Ideal-mapping statistics for a full placement."""
+        """Ideal-mapping statistics for a full placement (memoised).
+
+        The statistics are DVFS-independent, so the inner engine's many
+        (placement, setting) evaluations of one placement share a single
+        :class:`ExitEvaluation` — and with it the cached dissimilarity
+        vector.  The frozen instances are safe to share.
+        """
         if placement.total_layers != self.total_layers:
             raise ValueError(
                 f"placement assumes {placement.total_layers} layers, oracle has "
                 f"{self.total_layers}"
             )
-        columns = [self.exit_column(p) for p in placement.positions]
-        columns.append(self.final_column())
-        return ideal_mapping_stats(np.stack(columns, axis=1))
+        stats = self._stats.get(placement.positions)
+        if stats is None:
+            stats = self._assemble_stats(placement.positions)
+            self._stats[placement.positions] = stats
+        return stats
+
+    def _assemble_stats(self, positions: tuple[int, ...]) -> ExitEvaluation:
+        """Build :class:`ExitEvaluation` from cached columns and counts.
+
+        Equivalent to ``ideal_mapping_stats(np.stack(columns, axis=1))`` bit
+        for bit (asserted in the test suite): the masked first-correct-exit
+        sweep is the original algorithm run on *bit-packed* columns (bitwise
+        AND + popcount instead of boolean-matrix reductions), and marginals
+        come from per-column counts cached at column creation.  Every
+        fraction is the same integer count divided by the same ``n``.
+        """
+        num_exits = len(positions)
+        n = self.n_samples
+        for position in positions:  # materialise columns before packing
+            self.exit_column(position)
+        self.final_column()
+        usage = np.zeros(num_exits + 1)
+        remaining = None  # samples no earlier exit has taken (packed)
+        union = None  # samples some exit classifies (packed)
+        for i, position in enumerate(positions):
+            packed = self._packed_column(position)
+            if remaining is None:
+                takes = packed
+                remaining = ~packed
+                union = packed
+            else:
+                takes = remaining & packed
+                remaining &= ~packed
+                union = union | packed
+            usage[i] = _popcount(takes) / n
+        usage[-1] = (n - _popcount(~remaining)) / n
+        n_i = (
+            np.asarray([self._column_count(p) for p in positions], dtype=np.int64) / n
+        )
+        return ExitEvaluation(
+            n_i=n_i,
+            final_accuracy=self._column_count("final") / n,
+            dynamic_accuracy=_popcount(union | self._packed_column("final")) / n,
+            usage=usage,
+        )

@@ -47,10 +47,18 @@ class LayerCost:
 
 @dataclass
 class NetworkCost:
-    """Ordered layer costs for one backbone, with prefix aggregation."""
+    """Ordered layer costs for one backbone, with prefix aggregation.
+
+    ``layers`` is append-only during construction (:func:`estimate_cost`);
+    the first :meth:`prefix`/:meth:`prefix_end` call freezes a position →
+    layer-index map, so prefixes are O(1) slices instead of re-scans.
+    """
 
     config_key: str
     layers: list[LayerCost] = field(default_factory=list)
+    _position_index: dict[int, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def total_macs(self) -> float:
@@ -67,22 +75,35 @@ class NetworkCost:
     def mbconv_layers(self) -> list[LayerCost]:
         return [layer for layer in self.layers if layer.kind == "mbconv"]
 
+    def _position_map(self) -> dict[int, int]:
+        """MBConv position → index into ``layers`` (body layers only)."""
+        if self._position_index is None:
+            mapping: dict[int, int] = {}
+            for index, layer in enumerate(self.layers):
+                if layer.kind in ("head", "classifier"):
+                    break
+                if layer.kind == "mbconv":
+                    mapping[layer.index] = index
+            self._position_index = mapping
+        return self._position_index
+
+    def prefix_end(self, position: int) -> int:
+        """Index into ``layers`` of MBConv layer ``position`` (its prefix is
+        ``layers[: prefix_end(position) + 1]``)."""
+        mapping = self._position_map()
+        if position not in mapping:
+            raise ValueError(f"no MBConv layer at position {position}")
+        return mapping[position]
+
     def prefix(self, position: int) -> list[LayerCost]:
         """Layers executed up to and including MBConv layer ``position``.
 
         Includes the stem.  ``position`` is 1-based over MBConv layers, as in
-        the paper's exit indexing.
+        the paper's exit indexing; ``position == 0`` means "stem only".
         """
-        result = []
-        for layer in self.layers:
-            if layer.kind in ("head", "classifier"):
-                break
-            result.append(layer)
-            if layer.kind == "mbconv" and layer.index == position:
-                return result
         if position == 0:
             return [layer for layer in self.layers if layer.kind == "stem"]
-        raise ValueError(f"no MBConv layer at position {position}")
+        return self.layers[: self.prefix_end(position) + 1]
 
     def prefix_macs(self, position: int) -> float:
         return sum(layer.macs for layer in self.prefix(position))

@@ -124,10 +124,21 @@ def run_spec(spec: TaskSpec) -> Any:
 run_spec.is_task_codec = True  # executor-side batch detection, import-free
 
 
-def spec_task(spec: TaskSpec, key=None, cls: type | None = None):
-    """Lower a spec to an :class:`~repro.engine.service.EvalTask`."""
+def spec_task(spec: TaskSpec, key=None, cls: type | None = None, cache=None):
+    """Lower a spec to an :class:`~repro.engine.service.EvalTask`.
+
+    ``key`` is the caller's richer domain cache address when one exists
+    (e.g. the inner-run key).  For task kinds without one, passing a
+    ``cache`` makes the spec's content :meth:`~TaskSpec.fingerprint` the
+    automatic address (namespace ``spec``): two structurally equal specs
+    always share a single cache entry, so whole-spec results (platform
+    experiments, table2 rows) persist and de-duplicate with zero per-kind
+    key plumbing.  An explicit ``key`` always wins over the fingerprint.
+    """
     from repro.engine.service import EvalTask
 
+    if key is None and cache is not None:
+        key = cache.key("spec", kind=spec.kind, fingerprint=spec.fingerprint())
     return EvalTask(fn=run_spec, args=(spec,), key=key, cls=cls)
 
 

@@ -30,7 +30,8 @@ from repro.accuracy.exit_model import BackboneExitOracle
 from repro.arch.config import BackboneConfig
 from repro.arch.cost import LayerCost, NetworkCost, exit_branch_cost
 from repro.exits.evaluation import ExitEvaluation
-from repro.exits.placement import ExitPlacement
+from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
+from repro.hardware.cost_table import CostTableBank
 from repro.hardware.dvfs import DvfsSetting
 from repro.hardware.energy import EnergyModel
 from repro.utils.validation import check_nonneg
@@ -84,6 +85,12 @@ class DynamicEvaluator:
         the paper's Fig. 7 ablation).
     literal_ratios:
         Use eq. 6's ratios verbatim instead of savings (see module note).
+    use_tables:
+        Evaluate through the precomputed
+        :class:`~repro.hardware.cost_table.CostTableBank` (the default).
+        ``False`` selects the pre-cost-table reference loop — kept for the
+        dynamic-eval bench's "before" baseline and the bit-identity property
+        tests; both paths produce identical bits.
     """
 
     config: BackboneConfig
@@ -94,6 +101,7 @@ class DynamicEvaluator:
     baseline_latency_s: float
     gamma: float = 1.0
     literal_ratios: bool = False
+    use_tables: bool = True
     _branch_cache: dict[int, LayerCost] = field(default_factory=dict, repr=False)
     _eval_cache: dict[tuple, DynamicEvaluation] = field(default_factory=dict, repr=False)
 
@@ -104,6 +112,21 @@ class DynamicEvaluator:
             for spec in self.config.layers()
             if spec.kind == "mbconv"
         }
+        # One bank per evaluator = one bank per inner run: every placement
+        # evaluated at a seen DVFS setting reuses the same cost table.  The
+        # branch provider hands each new table every legal exit branch, so a
+        # fresh setting costs exactly one batched kernel pass.
+        self.bank = CostTableBank(
+            self.energy_model, self.cost, branch_provider=self._branch_items
+        )
+
+    def _branch_items(self) -> list[tuple[int, LayerCost]]:
+        """(position, branch cost) for every legal exit position."""
+        return [
+            (p, self.branch_cost(p))
+            for p in sorted(self._channels)
+            if p >= MIN_EXIT_POSITION
+        ]
 
     def branch_cost(self, position: int) -> LayerCost:
         """Cost profile of the exit branch attached at ``position``."""
@@ -115,16 +138,36 @@ class DynamicEvaluator:
         return self._branch_cache[position]
 
     def _exit_path_report(self, positions: tuple[int, ...], upto: int, setting: DvfsSetting):
-        """Energy report of executing to exit index ``upto`` (inclusive)."""
+        """Reference energy report of executing to exit index ``upto``.
+
+        Pre-cost-table implementation (per-layer Python loop), retained as
+        the bit-identity oracle for the vectorized kernel and as the
+        dynamic-eval bench's "before" baseline.
+        """
         layers = list(self.cost.prefix(positions[upto]))
         layers.extend(self.branch_cost(p) for p in positions[: upto + 1])
-        return self.energy_model.composite_report(layers, setting)
+        return self.energy_model.composite_report_reference(layers, setting)
 
     def _full_path_report(self, positions: tuple[int, ...], setting: DvfsSetting):
-        """Energy report of the full network plus all exit branches."""
+        """Reference energy report of the full network plus all branches."""
         layers = list(self.cost.layers)
         layers.extend(self.branch_cost(p) for p in positions)
-        return self.energy_model.composite_report(layers, setting)
+        return self.energy_model.composite_report_reference(layers, setting)
+
+    def _path_costs(self, positions: tuple[int, ...], setting: DvfsSetting):
+        """Vectorized per-exit and full-path costs from the table bank.
+
+        O(exits) array work: cumulative-sum gathers at the prefix indices
+        plus one cached scalar bundle per traversed branch — no per-layer
+        iteration at all once the setting's table exists.  A table is built
+        with every legal exit branch's scalars in its single batched pass,
+        so later placements at the setting never re-enter the timing kernel.
+        """
+        table = self.bank.table(setting)
+        branches = [self.branch_cost(p) for p in positions]
+        exit_energy, exit_latency = table.exit_path_costs(positions, branches)
+        full_energy, full_latency = table.full_path_cost(positions, branches)
+        return exit_energy, exit_latency, full_energy, full_latency
 
     def evaluate(self, placement: ExitPlacement, setting: DvfsSetting) -> DynamicEvaluation:
         """Full dynamic evaluation of (x, f | b) (cached)."""
@@ -134,16 +177,24 @@ class DynamicEvaluator:
 
         stats = self.oracle.evaluate_placement(placement)
         positions = placement.positions
-        exit_reports = [
-            self._exit_path_report(positions, i, setting) for i in range(len(positions))
-        ]
-        full_report = self._full_path_report(positions, setting)
+        if self.use_tables:
+            exit_energy, exit_latency, full_energy, full_latency = self._path_costs(
+                positions, setting
+            )
+        else:
+            exit_reports = [
+                self._exit_path_report(positions, i, setting)
+                for i in range(len(positions))
+            ]
+            full_report = self._full_path_report(positions, setting)
+            exit_energy = np.asarray([r.energy_j for r in exit_reports])
+            exit_latency = np.asarray([r.latency_s for r in exit_reports])
+            full_energy = full_report.energy_j
+            full_latency = full_report.latency_s
 
-        exit_energy = np.asarray([r.energy_j for r in exit_reports])
-        exit_latency = np.asarray([r.latency_s for r in exit_reports])
         usage = stats.usage
-        dynamic_energy = float(usage[:-1] @ exit_energy + usage[-1] * full_report.energy_j)
-        dynamic_latency = float(usage[:-1] @ exit_latency + usage[-1] * full_report.latency_s)
+        dynamic_energy = float(usage[:-1] @ exit_energy + usage[-1] * full_energy)
+        dynamic_latency = float(usage[:-1] @ exit_latency + usage[-1] * full_latency)
 
         energy_ratio = exit_energy / self.baseline_energy_j
         latency_ratio = exit_latency / self.baseline_latency_s

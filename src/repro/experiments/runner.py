@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.baselines.attentivenas import ATTENTIVENAS_MODELS, attentivenas_models
+from repro.engine.cache import ResultCache
 from repro.engine.service import EvaluationService
 from repro.engine.tasks import spec_task, task_spec
 from repro.eval.static import StaticEvaluation
@@ -196,10 +197,13 @@ def run_platform_experiments(
     if len(missing) > 1 and profile.workers > 1:
         # One process shard per platform: the shard profile keeps the search
         # budget and the shared persistent cache but runs serially inside
-        # its worker.
+        # its worker.  With a cache_dir, each shard's whole result is also
+        # persisted under its spec fingerprint (``platform-experiment`` has
+        # no richer domain key), so a repeated sweep skips entire shards.
         shard_profile = replace(profile, workers=1, executor="serial")
+        cache = ResultCache(profile.cache_dir) if profile.cache_dir else None
         with EvaluationService(
-            executor=profile.executor, workers=profile.workers
+            executor=profile.executor, workers=profile.workers, cache=cache
         ) as service:
             results = service.evaluate_batch(
                 [
@@ -210,7 +214,8 @@ def run_platform_experiments(
                             profile=shard_profile,
                             gamma=gamma,
                             baselines=tuple(baselines),
-                        )
+                        ),
+                        cache=cache,
                     )
                     for platform in missing
                 ]

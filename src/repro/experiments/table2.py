@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.space import BackboneSpace
 from repro.baselines.attentivenas import attentivenas_model
+from repro.engine.cache import ResultCache
 from repro.engine.service import EvaluationService
 from repro.engine.tasks import spec_task, task_spec
 from repro.exits.placement import MIN_EXIT_POSITION, ExitSpace
@@ -57,12 +58,16 @@ def run(
     space: BackboneSpace | None = None,
     workers: int = 1,
     executor: str = "auto",
+    cache_dir: str | None = None,
 ) -> Table2Result:
     """Derive every Table II row from the space definitions.
 
     The per-platform DVFS rows are derived as one codec-backed batch; with
     ``workers > 1`` they shard across the service like every other
-    multi-platform sweep (identical rows either way).
+    multi-platform sweep (identical rows either way).  ``cache_dir``
+    persists each platform's rows under its spec fingerprint (the
+    ``table2-dvfs`` kind has no richer domain key), so repeat derivations —
+    including full-DVFS-grid sweeps — are cache reads.
     """
     space = space or BackboneSpace()
     result = Table2Result(backbone_cardinality=space.cardinality())
@@ -97,10 +102,11 @@ def run(
         ],
     ]
 
-    with EvaluationService(executor=executor, workers=workers) as service:
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    with EvaluationService(executor=executor, workers=workers, cache=cache) as service:
         per_platform = service.evaluate_batch(
             [
-                spec_task(task_spec("table2-dvfs", platform=key))
+                spec_task(task_spec("table2-dvfs", platform=key), cache=cache)
                 for key in PAPER_PLATFORM_ORDER
             ]
         )

@@ -21,9 +21,10 @@ with first-principles analytical models:
 DVFS frequency grids follow paper Table II exactly (count and range).
 """
 
+from repro.hardware.cost_table import CostTableBank, SettingCostTable
 from repro.hardware.dvfs import DvfsSetting, DvfsSpace
 from repro.hardware.energy import EnergyModel, EnergyReport
-from repro.hardware.latency import LatencyModel, LayerTiming
+from repro.hardware.latency import BatchTiming, LatencyModel, LayerTiming
 from repro.hardware.measurement import HardwareInTheLoop, Measurement
 from repro.hardware.platform import (
     PLATFORM_BUILDERS,
@@ -51,8 +52,11 @@ __all__ = [
     "PowerModel",
     "LatencyModel",
     "LayerTiming",
+    "BatchTiming",
     "EnergyModel",
     "EnergyReport",
+    "CostTableBank",
+    "SettingCostTable",
     "HardwareInTheLoop",
     "Measurement",
 ]

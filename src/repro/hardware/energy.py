@@ -12,11 +12,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.arch.cost import LayerCost, NetworkCost
 from repro.hardware.dvfs import DvfsSetting
-from repro.hardware.latency import LatencyModel
+from repro.hardware.latency import BatchTiming, LatencyModel
 from repro.hardware.platform import HardwarePlatform
 from repro.hardware.power import PowerModel
+
+
+def interleaved_cumsum(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Running totals of the alternating sequence ``first_0, second_0,
+    first_1, second_1, ...``, reported after each pair.
+
+    Element ``i`` is the float64 result of adding ``first_0, second_0, ..,
+    first_i, second_i`` strictly left to right — exactly what a Python loop
+    doing ``acc += first[i]; acc += second[i]`` produces.  The memory-rail
+    accumulator adds two terms per layer in that order, and float addition
+    is not associative, so a plain cumsum of ``first + second`` would drift
+    by ULPs; the interleave preserves the reference association.
+    """
+    interleaved = np.empty(2 * len(first))
+    interleaved[0::2] = first
+    interleaved[1::2] = second
+    return np.cumsum(interleaved)[1::2]
 
 
 @dataclass(frozen=True)
@@ -97,7 +116,57 @@ class EnergyModel:
         """Energy of a single layer (J)."""
         return self._accumulate([layer], setting).energy_j
 
+    def layer_energy_terms(
+        self, timing: BatchTiming, setting: DvfsSetting
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-layer ``(core, mem_dynamic, mem_background, static)`` energy
+        vectors for one batch timing — the operands both the vectorized
+        accumulators and the cost tables sum.
+
+        Each element is the exact term the reference loop adds for that
+        layer (``(P · busy) · activity`` and ``P · total`` in the same
+        association), so any left-to-right cumulative sum of these vectors
+        is bit-identical to the loop's running accumulators.
+        """
+        busy = timing.busy_s
+        core = self.power.core_dynamic_power(setting, 1.0) * busy * timing.core_activity
+        mem_dyn = self.power.mem_dynamic_power(setting, 1.0) * busy * timing.mem_activity
+        mem_bg = self.power.mem_background_power(setting) * timing.total_s
+        static = self.power.static_power(setting) * timing.total_s
+        return core, mem_dyn, mem_bg, static
+
     def _accumulate(self, layers: list[LayerCost], setting: DvfsSetting) -> EnergyReport:
+        """Vectorized accumulation — one :meth:`LatencyModel.batch_timing`
+        pass instead of a per-layer Python loop; bit-identical to
+        :meth:`_accumulate_reference` (cumsum preserves the loop's
+        left-to-right addition order, the memory rail's two per-layer terms
+        are interleaved before summing)."""
+        if not layers:
+            return EnergyReport(0.0, 0.0, 0.0, 0.0, 0.0)
+        timing = self.latency.batch_timing(layers, setting)
+        core, mem_dyn, mem_bg, static = self.layer_energy_terms(timing, setting)
+        core_j = float(np.cumsum(core)[-1])
+        mem_j = float(interleaved_cumsum(mem_dyn, mem_bg)[-1])
+        static_j = float(np.cumsum(static)[-1])
+        latency_s = float(np.cumsum(timing.total_s)[-1])
+        return EnergyReport(
+            latency_s=latency_s,
+            energy_j=core_j + mem_j + static_j,
+            core_energy_j=core_j,
+            mem_energy_j=mem_j,
+            static_energy_j=static_j,
+        )
+
+    def _accumulate_reference(
+        self, layers: list[LayerCost], setting: DvfsSetting
+    ) -> EnergyReport:
+        """The pre-cost-table per-layer Python loop, kept verbatim.
+
+        This is the bit-identity oracle: the vectorized kernel
+        (:meth:`_accumulate`, the cost tables) must reproduce it exactly.
+        The dynamic-eval bench times it as the "before" baseline, and the
+        hypothesis property tests diff the two paths bit for bit.
+        """
         p_static = self.power.static_power(setting)
         p_mem_bg = self.power.mem_background_power(setting)
         core_j = mem_j = static_j = 0.0
@@ -122,21 +191,20 @@ class EnergyModel:
         """Batch-decomposable profile of a layer sequence at one setting.
 
         Consistent with :meth:`composite_report`: the profile's stand-alone
-        ``latency_s``/``energy_j`` equal the report's.
+        ``latency_s``/``energy_j`` equal the report's.  Routed through the
+        same vectorized batch-timing kernel (bit-identical to the original
+        per-layer loop; the dynamic-rail accumulator's two per-layer terms
+        are interleaved to preserve its addition order).
         """
         p_passive = self.power.static_power(setting) + self.power.mem_background_power(setting)
-        busy_s = overhead_s = dynamic_j = 0.0
-        for layer in layers:
-            timing = self.latency.layer_timing(layer, setting)
-            busy = timing.total_s - timing.overhead_s
-            dynamic_j += self.power.core_dynamic_power(setting, 1.0) * busy * timing.core_activity
-            dynamic_j += self.power.mem_dynamic_power(setting, 1.0) * busy * timing.mem_activity
-            busy_s += busy
-            overhead_s += timing.overhead_s
+        if not layers:
+            return PathProfile(0.0, 0.0, 0.0, p_passive)
+        timing = self.latency.batch_timing(layers, setting)
+        core, mem_dyn, _, _ = self.layer_energy_terms(timing, setting)
         return PathProfile(
-            busy_s=busy_s,
-            overhead_s=overhead_s,
-            dynamic_energy_j=dynamic_j,
+            busy_s=float(np.cumsum(timing.busy_s)[-1]),
+            overhead_s=float(np.cumsum(timing.overhead_s)[-1]),
+            dynamic_energy_j=float(interleaved_cumsum(core, mem_dyn)[-1]),
             passive_power_w=p_passive,
         )
 
@@ -144,6 +212,13 @@ class EnergyModel:
         """Latency/energy of an arbitrary layer sequence (e.g. prefix +
         several exit branches — the early-exit execution paths)."""
         return self._accumulate(layers, setting)
+
+    def composite_report_reference(
+        self, layers: list[LayerCost], setting: DvfsSetting
+    ) -> EnergyReport:
+        """:meth:`composite_report` via the reference per-layer loop (bench
+        baseline and bit-identity oracle; not for production paths)."""
+        return self._accumulate_reference(layers, setting)
 
     def network_report(self, cost: NetworkCost, setting: DvfsSetting) -> EnergyReport:
         """Latency/energy of the full network."""

@@ -20,6 +20,9 @@ Table III rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.arch.cost import LayerCost, NetworkCost
 from repro.hardware.dvfs import DvfsSetting
@@ -65,11 +68,38 @@ class LayerTiming:
         return "compute" if self.compute_s >= self.memory_s else "memory"
 
 
+@dataclass(frozen=True)
+class BatchTiming:
+    """Per-layer timing vectors of a layer sequence at one DVFS setting.
+
+    Arrays are indexed like the input layer list.  Every element is
+    bit-identical to the matching :class:`LayerTiming` field/property — the
+    same float64 expressions evaluated elementwise — which is what lets the
+    cost-table kernel replace the per-layer Python loop without changing a
+    single result bit.
+    """
+
+    total_s: np.ndarray
+    compute_s: np.ndarray
+    memory_s: np.ndarray
+    overhead_s: np.ndarray
+    busy_s: np.ndarray
+    core_activity: np.ndarray
+    mem_activity: np.ndarray
+
+
 class LatencyModel:
-    """Evaluates network latency for one platform."""
+    """Evaluates network latency for one platform.
+
+    ``layer_timing_calls``/``batch_timing_calls`` count kernel invocations;
+    the dynamic-eval bench uses them to prove the hot path does no per-layer
+    Python iteration once the cost tables are warm.
+    """
 
     def __init__(self, platform: HardwarePlatform):
         self.platform = platform
+        self.layer_timing_calls = 0
+        self.batch_timing_calls = 0
 
     def dispatch_overhead_s(self, setting: DvfsSetting) -> float:
         """Per-layer dispatch overhead at a DVFS setting (see module note)."""
@@ -82,6 +112,7 @@ class LatencyModel:
 
     def layer_timing(self, layer: LayerCost, setting: DvfsSetting) -> LayerTiming:
         """Roofline timing of a single layer."""
+        self.layer_timing_calls += 1
         rate = self.platform.compute_rate_macs_per_s(setting.core_ghz, layer.macs)
         compute_s = layer.macs / rate if layer.macs > 0 else 0.0
         bandwidth = self.platform.memory_bandwidth_bytes_per_s(setting.emc_ghz)
@@ -94,6 +125,59 @@ class LatencyModel:
             compute_s=compute_s,
             memory_s=memory_s,
             overhead_s=overhead_s,
+        )
+
+    def batch_timing(self, layers: Sequence[LayerCost], setting: DvfsSetting) -> BatchTiming:
+        """All layer timings of a sequence in one numpy pass.
+
+        Bit-identical to calling :meth:`layer_timing` per layer: each array
+        element is computed by the same float64 expression, just broadcast —
+        ``util = (base · macs) / (macs + sat)``, ``rate = ((mpc · f) · 1e9) ·
+        util``, ``total = max(compute, memory) + overhead`` — so downstream
+        accumulations see the exact same operands.
+        """
+        n = len(layers)
+        macs = np.fromiter((layer.macs for layer in layers), dtype=np.float64, count=n)
+        traffic = np.fromiter(
+            (layer.traffic_bytes for layer in layers), dtype=np.float64, count=n
+        )
+        return self.batch_timing_arrays(macs, traffic, setting)
+
+    def batch_timing_arrays(
+        self, macs: np.ndarray, traffic: np.ndarray, setting: DvfsSetting
+    ) -> BatchTiming:
+        """:meth:`batch_timing` from pre-extracted MAC/traffic vectors.
+
+        The cost-table bank extracts its layer vectors once and reuses them
+        for every DVFS setting, skipping the per-table attribute walk.
+        """
+        self.batch_timing_calls += 1
+        n = len(macs)
+        platform = self.platform
+        util = platform.util_base * macs / (macs + platform.util_saturation_macs)
+        rate = platform.macs_per_cycle * setting.core_ghz * 1e9 * util
+        compute_s = np.zeros(n)
+        np.divide(macs, rate, out=compute_s, where=macs > 0)
+        memory_s = traffic / platform.memory_bandwidth_bytes_per_s(setting.emc_ghz)
+        overhead = self.dispatch_overhead_s(setting)
+        overhead_s = np.full(n, overhead)
+        total_s = np.maximum(compute_s, memory_s) + overhead
+        busy_s = total_s - overhead_s
+        positive = busy_s > 0
+        core_activity = np.zeros(n)
+        np.divide(compute_s, busy_s, out=core_activity, where=positive)
+        np.minimum(core_activity, 1.0, out=core_activity)
+        mem_activity = np.zeros(n)
+        np.divide(memory_s, busy_s, out=mem_activity, where=positive)
+        np.minimum(mem_activity, 1.0, out=mem_activity)
+        return BatchTiming(
+            total_s=total_s,
+            compute_s=compute_s,
+            memory_s=memory_s,
+            overhead_s=overhead_s,
+            busy_s=busy_s,
+            core_activity=core_activity,
+            mem_activity=mem_activity,
         )
 
     def timings(self, cost: NetworkCost, setting: DvfsSetting) -> list[LayerTiming]:

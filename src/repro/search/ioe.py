@@ -147,6 +147,11 @@ class InnerEngine:
         Optional persistent result cache handed to the exit oracle so its
         correctness columns warm-start across runs (the columns are
         platform-independent; see :mod:`repro.accuracy.exit_model`).
+    use_tables:
+        Route dynamic evaluations through the precomputed cost-table kernel
+        (default).  ``False`` selects the reference per-layer loop — the
+        dynamic-eval bench's "before" baseline; results are bit-identical
+        either way.
     """
 
     def __init__(
@@ -162,6 +167,7 @@ class InnerEngine:
         seed: int = 0,
         service=None,
         cache=None,
+        use_tables: bool = True,
     ):
         self.config = config
         self.nsga_config = nsga or Nsga2Config(population=20, generations=8)
@@ -184,6 +190,7 @@ class InnerEngine:
             baseline_latency_s=static.latency_s,
             gamma=gamma,
             literal_ratios=literal_ratios,
+            use_tables=use_tables,
         )
         self.problem = _InnerProblem(
             exit_space=ExitSpace(config.total_mbconv_layers),

@@ -226,3 +226,40 @@ class TestProcessTransport:
         finally:
             executor.close()
         assert pooled == inline
+
+
+class TestSpecKeyedCacheAddresses:
+    """`spec_task(..., cache=...)`: the fingerprint as the default address."""
+
+    def test_two_equal_specs_hit_the_same_entry(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.service import EvaluationService
+
+        cache = ResultCache(tmp_path / "engine-cache")
+        first_task = spec_task(task_spec("table2-dvfs", platform="tx2-gpu"), cache=cache)
+        second_task = spec_task(task_spec("table2-dvfs", platform="tx2-gpu"), cache=cache)
+        assert first_task.key == second_task.key
+        assert first_task.key.namespace == "spec"
+        with EvaluationService(cache=cache) as service:
+            first = service.evaluate_batch([first_task])[0]
+            second = service.evaluate_batch([second_task])[0]
+        assert service.stats.executed == 1  # second batch was a pure cache read
+        assert service.stats.cache_hits == 1
+        assert first == second
+
+    def test_distinct_specs_get_distinct_addresses(self, tmp_path):
+        from repro.engine.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "engine-cache")
+        tx2 = spec_task(task_spec("table2-dvfs", platform="tx2-gpu"), cache=cache)
+        agx = spec_task(task_spec("table2-dvfs", platform="agx-gpu"), cache=cache)
+        assert tx2.key != agx.key
+
+    def test_explicit_domain_key_wins_over_fingerprint(self, tmp_path):
+        from repro.engine.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "engine-cache")
+        spec = task_spec("table2-dvfs", platform="tx2-gpu")
+        domain_key = cache.key("custom", platform="tx2-gpu")
+        assert spec_task(spec, key=domain_key, cache=cache).key is domain_key
+        assert spec_task(spec).key is None  # no cache, no implicit key
