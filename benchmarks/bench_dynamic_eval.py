@@ -11,12 +11,19 @@ reports evaluations/sec before vs after.  Also records:
   call-count instrumentation proving the hot path performs **zero**
   per-layer timing-kernel invocations (neither ``layer_timing`` nor
   ``batch_timing`` runs once the tables exist);
-* tiny- and fast-budget IOE wall-clock rows (full inner NSGA-II runs with
-  the kernel on vs off).
+* a population-scale phase — N distinct placements swept over a batch of
+  settings through ``evaluate_population`` (one stacked gather per
+  (population, setting)) vs the per-call cost-table kernel, with the exit
+  oracle pre-warmed on both sides so the comparison isolates the cost
+  kernels, plus the oracle's column cache hit/miss counters;
+* tiny- and fast-budget IOE wall-clock rows (full inner NSGA-II runs in
+  all three modes: reference loop, per-call tables, population kernel).
 
-Asserts the PR's acceptance contract: ≥ 5x single-worker speedup on the
-fast-budget IOE evaluation loop, bit-identical results, and a table-driven
-(O(exits)) hot path.
+Asserts the acceptance contracts: ≥ 5x single-worker speedup on the
+fast-budget IOE evaluation loop (tables vs reference), ≥ 5x
+evaluations/sec at population scale (population kernel vs per-call
+tables), bit-identical results everywhere, and a table-driven (O(exits))
+hot path.
 
 Run directly::
 
@@ -90,7 +97,9 @@ class _Workbench:
             use_tables=use_tables,
         )
 
-    def inner_engine(self, budget: str, use_tables: bool) -> InnerEngine:
+    def inner_engine(
+        self, budget: str, use_tables: bool, use_population_kernel: bool = True
+    ) -> InnerEngine:
         population, generations = BUDGETS[budget]
         return InnerEngine(
             self.config,
@@ -99,11 +108,17 @@ class _Workbench:
             nsga=Nsga2Config(population=population, generations=generations),
             seed=self.seed,
             use_tables=use_tables,
+            use_population_kernel=use_population_kernel,
         )
 
     def record_ioe_stream(self, budget: str) -> list[tuple[ExitPlacement, object]]:
-        """The exact evaluation stream one IOE run at ``budget`` performs."""
-        engine = self.inner_engine(budget, use_tables=True)
+        """The exact evaluation stream one IOE run at ``budget`` performs.
+
+        Recorded with the population kernel *off* so every evaluation goes
+        through ``evaluate`` — the stream (and the run itself) is
+        bit-identical either way; this only chooses the hookable path.
+        """
+        engine = self.inner_engine(budget, use_tables=True, use_population_kernel=False)
         stream: list[tuple[ExitPlacement, object]] = []
         original = engine.evaluator.evaluate
 
@@ -182,21 +197,130 @@ def _warm_phase(bench: _Workbench, pairs) -> dict:
     }
 
 
+def _distinct_placements(bench: _Workbench, count: int, seed: int) -> list[ExitPlacement]:
+    rng = np.random.default_rng(seed)
+    placements: list[ExitPlacement] = []
+    seen: set[tuple[int, ...]] = set()
+    while len(placements) < count:
+        placement = bench.random_placement(rng)
+        if placement.positions not in seen:
+            seen.add(placement.positions)
+            placements.append(placement)
+    return placements
+
+
+def _distinct_settings(bench: _Workbench, count: int, seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    settings: list = []
+    seen: set[tuple[float, float]] = set()
+    count = min(count, bench.dvfs.cardinality)
+    while len(settings) < count:
+        setting = bench.dvfs.sample(rng)
+        if (setting.core_ghz, setting.emc_ghz) not in seen:
+            seen.add((setting.core_ghz, setting.emc_ghz))
+            settings.append(setting)
+    return settings
+
+
+def _population_phase(
+    bench: _Workbench, population: int, num_settings: int, reps: int
+) -> dict:
+    """Population-scale sweep: stacked kernel vs the per-call table kernel.
+
+    Both sides run on fresh evaluators with the exit oracle pre-warmed for
+    the whole population (the oracle is the accuracy side, identical work
+    either way), so the timed region isolates the cost kernels: per-call
+    pays N Python calls per setting, the population path one stacked
+    gather.  Bit-identity of every field is asserted against the per-call
+    kernel for all (placement, setting) pairs and against the pre-table
+    reference loop for a subset.
+    """
+    placements = _distinct_placements(bench, population, bench.seed + 17)
+    settings = _distinct_settings(bench, num_settings, bench.seed + 29)
+    evals = len(placements) * len(settings)
+
+    def per_call_pass() -> float:
+        evaluator = bench.evaluator(True)
+        evaluator.oracle.evaluate_placements(placements)
+        start = time.perf_counter()
+        for setting in settings:
+            for placement in placements:
+                evaluator.evaluate(placement, setting)
+        return time.perf_counter() - start
+
+    def population_pass() -> tuple[float, DynamicEvaluator]:
+        evaluator = bench.evaluator(True)
+        evaluator.oracle.evaluate_placements(placements)
+        start = time.perf_counter()
+        for setting in settings:
+            evaluator.evaluate_population(placements, setting)
+        return time.perf_counter() - start, evaluator
+
+    per_call_wall = min(per_call_pass() for _ in range(reps))
+    timings = [population_pass() for _ in range(reps)]
+    population_wall = min(wall for wall, _ in timings)
+    oracle_stats = dict(timings[-1][1].oracle.column_stats)
+
+    # Bit-identity: population vs per-call on everything, both vs the
+    # reference per-layer loop on a subset.
+    per_call = bench.evaluator(True)
+    stacked = bench.evaluator(True)
+    reference = bench.evaluator(False)
+    for si, setting in enumerate(settings):
+        batch = stacked.evaluate_population(placements, setting)
+        for pi, (placement, fast) in enumerate(zip(placements, batch)):
+            slow = per_call.evaluate(placement, setting)
+            assert np.array_equal(fast.exit_energy_j, slow.exit_energy_j)
+            assert np.array_equal(fast.exit_latency_s, slow.exit_latency_s)
+            assert fast.dynamic_energy_j == slow.dynamic_energy_j
+            assert fast.dynamic_latency_s == slow.dynamic_latency_s
+            assert fast.energy_gain == slow.energy_gain
+            assert fast.latency_gain == slow.latency_gain
+            assert np.array_equal(fast.scores, slow.scores)
+            assert fast.d_score == slow.d_score
+            if si < 2 and pi < 24:
+                loop = reference.evaluate(placement, setting)
+                assert np.array_equal(fast.exit_energy_j, loop.exit_energy_j)
+                assert fast.dynamic_energy_j == loop.dynamic_energy_j
+                assert fast.d_score == loop.d_score
+
+    return {
+        "population": len(placements),
+        "settings": len(settings),
+        "evals": evals,
+        "per_call_evals_per_s": evals / per_call_wall,
+        "population_evals_per_s": evals / population_wall,
+        "speedup": per_call_wall / population_wall,
+        "oracle_columns": oracle_stats,
+    }
+
+
 def _ioe_wall_row(bench: _Workbench, budget: str) -> dict:
-    walls = {}
-    for use_tables in (False, True):
-        engine = bench.inner_engine(budget, use_tables)
+    modes = {
+        "reference": (False, False),
+        "per_call": (True, False),
+        "population": (True, True),
+    }
+    walls, best_scores = {}, {}
+    for mode, (use_tables, use_population_kernel) in modes.items():
+        engine = bench.inner_engine(budget, use_tables, use_population_kernel)
         start = time.perf_counter()
         result = engine.run()
-        walls[use_tables] = time.perf_counter() - start
+        walls[mode] = time.perf_counter() - start
+        best_scores[mode] = result.best.payload["evaluation"].d_score
+    assert len(set(best_scores.values())) == 1, (
+        f"IOE modes diverged at {budget} budget: {best_scores}"
+    )
     return {
         "budget": budget,
         "population": BUDGETS[budget][0],
         "generations": BUDGETS[budget][1],
         "evaluations": result.num_evaluations,
-        "reference_wall_s": walls[False],
-        "vectorized_wall_s": walls[True],
-        "speedup": walls[False] / walls[True],
+        "reference_wall_s": walls["reference"],
+        "vectorized_wall_s": walls["per_call"],
+        "population_wall_s": walls["population"],
+        "speedup": walls["reference"] / walls["per_call"],
+        "population_speedup": walls["reference"] / walls["population"],
     }
 
 
@@ -227,6 +351,12 @@ def main(argv: list[str] | None = None) -> int:
     unique_vectorized = _replay_rate(bench, unique_pairs, use_tables=True, reps=1)
 
     warm = _warm_phase(bench, ioe_stream)
+    population = _population_phase(
+        bench,
+        population=256 if args.smoke else 384,
+        num_settings=10 if args.smoke else 12,
+        reps=reps,
+    )
     ioe_rows = [_ioe_wall_row(bench, budget) for budget in ("tiny", "fast")]
 
     print(f"platform {args.platform}, backbone {args.model}, seed {args.seed}")
@@ -246,14 +376,26 @@ def main(argv: list[str] | None = None) -> int:
         f"{warm['evals_per_s']:>8.0f} {'':>8}"
     )
     print(
+        f"{'population kernel':>28} {population['evals']:>6} "
+        f"{population['per_call_evals_per_s']:>8.0f} "
+        f"{population['population_evals_per_s']:>8.0f} "
+        f"{population['speedup']:>7.1f}x"
+    )
+    print(
         f"\nwarm hot path: {warm['layer_timing_calls']} layer_timing / "
         f"{warm['batch_timing_calls']} batch_timing calls (must be 0/0)"
+    )
+    print(
+        f"population phase: {population['population']} placements x "
+        f"{population['settings']} settings; oracle columns "
+        f"{population['oracle_columns']}"
     )
     for row in ioe_rows:
         print(
             f"IOE {row['budget']:>4} budget ({row['population']}x{row['generations']}): "
-            f"reference {row['reference_wall_s']:.3f}s, vectorized "
-            f"{row['vectorized_wall_s']:.3f}s ({row['speedup']:.1f}x)"
+            f"reference {row['reference_wall_s']:.3f}s, per-call "
+            f"{row['vectorized_wall_s']:.3f}s ({row['speedup']:.1f}x), population "
+            f"{row['population_wall_s']:.3f}s ({row['population_speedup']:.1f}x)"
         )
 
     report = {
@@ -273,10 +415,13 @@ def main(argv: list[str] | None = None) -> int:
             "speedup": unique_vectorized / unique_reference,
         },
         "warm_bank": warm,
+        "population_kernel": population,
         "ioe_rows": ioe_rows,
         "summary": {
             "speedup_floor": SPEEDUP_FLOOR,
             "speedup_ok": bool(speedup >= SPEEDUP_FLOOR),
+            "population_speedup_floor": SPEEDUP_FLOOR,
+            "population_speedup_ok": bool(population["speedup"] >= SPEEDUP_FLOOR),
             "hot_path_table_driven": warm["layer_timing_calls"] == 0
             and warm["batch_timing_calls"] == 0,
         },
@@ -291,6 +436,10 @@ def main(argv: list[str] | None = None) -> int:
     assert speedup >= SPEEDUP_FLOOR, (
         f"fast-budget IOE evaluation loop speedup {speedup:.1f}x below the "
         f"{SPEEDUP_FLOOR:.0f}x acceptance floor"
+    )
+    assert population["speedup"] >= SPEEDUP_FLOOR, (
+        f"population-kernel speedup {population['speedup']:.1f}x below the "
+        f"{SPEEDUP_FLOOR:.0f}x acceptance floor at population scale"
     )
     for row in ioe_rows:
         assert row["speedup"] >= 1.0, (

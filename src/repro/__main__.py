@@ -51,7 +51,13 @@ def _engine_profile(args: "argparse.Namespace") -> Profile:
     )
 
 
-def _run_artifact(name: str, profile: Profile, platform: str, platforms: tuple[str, ...]) -> str:
+def _run_artifact(
+    name: str,
+    profile: Profile,
+    platform: str,
+    platforms: tuple[str, ...],
+    dvfs_grid: bool = False,
+) -> str:
     if name == "table1":
         return table1.render(table1.run())
     if name == "table2":
@@ -60,6 +66,7 @@ def _run_artifact(name: str, profile: Profile, platform: str, platforms: tuple[s
                 workers=profile.workers,
                 executor=profile.executor,
                 cache_dir=profile.cache_dir,
+                dvfs_grid=dvfs_grid,
             )
         )
     if name == "fig1":
@@ -112,6 +119,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="evaluation executor (default: auto)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent evaluation-result cache directory")
+    parser.add_argument("--dvfs-grid", action="store_true",
+                        help="table2: sweep the exhaustive core x EMC grid per "
+                             "platform (one population-eval batch per setting)")
     args = parser.parse_args(argv)
 
     if args.artifact == "list":
@@ -128,7 +138,10 @@ def main(argv: list[str] | None = None) -> int:
     names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in names:
         start = time.time()
-        output = _run_artifact(name, profile, args.platform, tuple(args.platforms))
+        output = _run_artifact(
+            name, profile, args.platform, tuple(args.platforms),
+            dvfs_grid=args.dvfs_grid,
+        )
         print(f"\n===== {name} ({time.time() - start:.1f}s) =====")
         print(output)
     return 0

@@ -200,6 +200,11 @@ class BackboneExitOracle:
         self._packed: dict[int | str, np.ndarray] = {}
         self._pert_matrix: np.ndarray | None = None
         self._stats: dict[tuple[int, ...], ExitEvaluation] = {}
+        #: Column-resolution counters (column requests by outcome): how many
+        #: landed in memory, warm-started from the persistent cache, or were
+        #: built from the Monte-Carlo population.  The dynamic-eval bench
+        #: surfaces these so warm-start efficacy is visible in its report.
+        self.column_stats: dict[str, int] = {"memory": 0, "disk": 0, "built": 0}
 
     def _perturbations(self) -> np.ndarray:
         """``(n_samples, total_layers)`` GP perturbations — one matrix op.
@@ -249,16 +254,19 @@ class BackboneExitOracle:
 
     def _column(self, key: int | str, capability: float, position: int) -> np.ndarray:
         if key in self._columns:
+            self.column_stats["memory"] += 1
             return self._columns[key]
         cache_key = self._column_key(key) if self.cache is not None else None
         if cache_key is not None:
             stored = self.cache.get(cache_key)
             if stored is not None:
+                self.column_stats["disk"] += 1
                 column = np.unpackbits(
                     np.asarray(stored["bits"], dtype=np.uint8), count=self.n_samples
                 ).astype(bool)
                 self._columns[key] = column
                 return column
+        self.column_stats["built"] += 1
         # The head ranks samples by perceived difficulty and classifies
         # exactly its capability fraction: marginals are exact while the GP
         # keeps correctness strongly correlated between nearby depths.
@@ -279,6 +287,7 @@ class BackboneExitOracle:
         """Boolean correctness column of an exit at MBConv ``position``."""
         column = self._columns.get(position)
         if column is not None:  # hot path: skip recomputing the capability
+            self.column_stats["memory"] += 1
             return column
         if not 1 <= position <= self.total_layers:
             raise ValueError(f"position {position} outside [1, {self.total_layers}]")
@@ -333,6 +342,31 @@ class BackboneExitOracle:
             stats = self._assemble_stats(placement.positions)
             self._stats[placement.positions] = stats
         return stats
+
+    def evaluate_placements(
+        self, placements: list[ExitPlacement]
+    ) -> list[ExitEvaluation]:
+        """Statistics for a whole population (order-preserving).
+
+        The population kernel's accuracy side: every distinct requested
+        column is materialised first — each a gather against the one
+        precomputed perturbation matrix — before the per-placement
+        (memoised) packed-popcount assemblies run.  Bit-identical to calling
+        :meth:`evaluate_placement` in a loop; the batch surface exists so
+        callers pay the column fills up front instead of interleaved with
+        stats assembly.
+        """
+        for placement in placements:
+            if placement.total_layers != self.total_layers:
+                raise ValueError(
+                    f"placement assumes {placement.total_layers} layers, oracle "
+                    f"has {self.total_layers}"
+                )
+        distinct = sorted({p for placement in placements for p in placement.positions})
+        for position in distinct:
+            self.exit_column(position)
+        self.final_column()
+        return [self.evaluate_placement(placement) for placement in placements]
 
     def _assemble_stats(self, positions: tuple[int, ...]) -> ExitEvaluation:
         """Build :class:`ExitEvaluation` from cached columns and counts.

@@ -34,6 +34,7 @@ from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
 from repro.hardware.cost_table import CostTableBank
 from repro.hardware.dvfs import DvfsSetting
 from repro.hardware.energy import EnergyModel
+from repro.hardware.population_kernel import PopulationKernel, PopulationPathCosts
 from repro.utils.validation import check_nonneg
 
 
@@ -91,6 +92,12 @@ class DynamicEvaluator:
         ``False`` selects the pre-cost-table reference loop — kept for the
         dynamic-eval bench's "before" baseline and the bit-identity property
         tests; both paths produce identical bits.
+    use_population_kernel:
+        Route :meth:`evaluate_population` through the stacked
+        :class:`~repro.hardware.population_kernel.PopulationKernel` (the
+        default; requires ``use_tables``).  ``False`` keeps the per-placement
+        :meth:`evaluate` loop — the population bench's "before" comparator
+        and the bit-identity reference; both paths produce identical bits.
     """
 
     config: BackboneConfig
@@ -102,6 +109,7 @@ class DynamicEvaluator:
     gamma: float = 1.0
     literal_ratios: bool = False
     use_tables: bool = True
+    use_population_kernel: bool = True
     _branch_cache: dict[int, LayerCost] = field(default_factory=dict, repr=False)
     _eval_cache: dict[tuple, DynamicEvaluation] = field(default_factory=dict, repr=False)
 
@@ -118,6 +126,9 @@ class DynamicEvaluator:
         # fresh setting costs exactly one batched kernel pass.
         self.bank = CostTableBank(
             self.energy_model, self.cost, branch_provider=self._branch_items
+        )
+        self.population = PopulationKernel(
+            self.bank, self.branch_cost, self.config.total_mbconv_layers
         )
 
     def _branch_items(self) -> list[tuple[int, LayerCost]]:
@@ -222,6 +233,166 @@ class DynamicEvaluator:
         )
         self._eval_cache[key] = evaluation
         return evaluation
+
+    def evaluate_population(
+        self, placements: list[ExitPlacement], setting: DvfsSetting
+    ) -> list[DynamicEvaluation]:
+        """Evaluate N placements at one setting as one stacked kernel call.
+
+        Bit-identical to ``[self.evaluate(p, setting) for p in placements]``
+        (asserted by the population property tests and the bench): the
+        stacked kernel performs exactly the per-placement elementwise work,
+        and every reduction (usage-weighted dots, score means) runs per row
+        on operand slices identical to the per-call arrays.  Shares
+        :meth:`evaluate`'s cache — duplicates and previously seen
+        (placement, setting) pairs cost a dict read, mixed call patterns
+        stay coherent — and falls back to the per-placement loop when either
+        kernel flag is off.
+        """
+        placements = list(placements)
+        if not (self.use_tables and self.use_population_kernel):
+            return [self.evaluate(p, setting) for p in placements]
+        cache = self._eval_cache
+        core, emc = setting.core_ghz, setting.emc_ghz
+        keys = [(p.key, core, emc) for p in placements]
+        pending: dict[tuple, ExitPlacement] = {}
+        for key, placement in zip(keys, placements):
+            if key not in cache and key not in pending:
+                pending[key] = placement
+        if pending:
+            batch = list(pending.values())
+            stats_list = self.oracle.evaluate_placements(batch)
+            costs = self.population.path_costs(
+                [p.positions for p in batch], setting
+            )
+            for key, evaluation in zip(
+                pending, self._finalize_population(batch, stats_list, costs, setting)
+            ):
+                cache[key] = evaluation
+        return [cache[key] for key in keys]
+
+    def _finalize_population(
+        self,
+        placements: list[ExitPlacement],
+        stats_list: list,
+        costs: PopulationPathCosts,
+        setting: DvfsSetting,
+    ) -> list[DynamicEvaluation]:
+        """Stacked eq. 5–7 tail: ratios, clamps and scores as fixed-shape
+        matrix ops; reductions per row (see :meth:`evaluate_population`)."""
+        exit_energy = costs.exit_energy_j
+        exit_latency = costs.exit_latency_s
+        energy_ratio = exit_energy / self.baseline_energy_j
+        latency_ratio = exit_latency / self.baseline_latency_s
+        if self.literal_ratios:
+            energy_term = energy_ratio
+            latency_term = latency_ratio
+        else:
+            energy_term = np.clip(1.0 - energy_ratio, 0.0, None)
+            latency_term = np.clip(1.0 - latency_ratio, 0.0, None)
+        n_i = np.zeros_like(exit_energy)
+        dissim = np.zeros_like(exit_energy)
+        for row, stats in enumerate(stats_list):
+            width = int(costs.widths[row])
+            n_i[row, :width] = stats.n_i
+            dissim[row, :width] = stats.dissimilarity
+        scores = n_i * energy_term * latency_term * dissim**self.gamma
+
+        widths = costs.widths.tolist()
+        full_energies = costs.full_energy_j.tolist()
+        full_latencies = costs.full_latency_s.tolist()
+        baseline_energy = self.baseline_energy_j
+        baseline_latency = self.baseline_latency_s
+        # d_score = scores[:width].mean() per row.  Below numpy's pairwise
+        # 8-element unroll every row reduction is the strict left-to-right
+        # sum ``mean`` performs, pad columns are exactly ±0.0 (n_i pads are
+        # zero), and trailing ±0.0 adds are bitwise no-ops on the
+        # non-negative scores — so one stacked reduction divided by the true
+        # widths gives ``mean``'s bits for the whole batch.  At eight or
+        # more columns the padded and unpadded accumulation orders can
+        # differ, so fall back to per-row sums of the exact slices.
+        if scores.shape[1] < 8:
+            d_scores = (np.add.reduce(scores, axis=1) / costs.widths).tolist()
+        else:
+            d_scores = [
+                float(np.add.reduce(scores[row, :widths[row]]) / widths[row])
+                for row in range(len(widths))
+            ]
+        # One gather turns the padded matrices into flat concatenations of
+        # the valid row prefixes; each evaluation's arrays are contiguous
+        # slices of those buffers (read-only by convention, like
+        # ``ExitEvaluation.dissimilarity``) — same values as per-row copies
+        # without N allocations.  The frozen record is built via __new__ +
+        # __dict__ (frozen dataclasses pay one guarded ``object.__setattr__``
+        # per field in ``__init__``; this builds the identical object).
+        valid = np.arange(scores.shape[1]) < costs.widths[:, None]
+        flat_energy = exit_energy[valid]
+        flat_latency = exit_latency[valid]
+        flat_scores = scores[valid]
+        bounds = np.concatenate(([0], np.cumsum(costs.widths))).tolist()
+        new = DynamicEvaluation.__new__
+        cls = DynamicEvaluation
+        evaluations = []
+        for row, (placement, stats) in enumerate(zip(placements, stats_list)):
+            start = bounds[row]
+            end = bounds[row + 1]
+            row_energy = flat_energy[start:end]
+            row_latency = flat_latency[start:end]
+            full_energy = full_energies[row]
+            full_latency = full_latencies[row]
+            head, tail = stats.usage_split
+            dynamic_energy = float(head @ row_energy + tail * full_energy)
+            dynamic_latency = float(head @ row_latency + tail * full_latency)
+            evaluation = new(cls)
+            evaluation.__dict__.update({
+                "placement": placement,
+                "setting": setting,
+                "exit_stats": stats,
+                "exit_energy_j": row_energy,
+                "exit_latency_s": row_latency,
+                "dynamic_energy_j": dynamic_energy,
+                "dynamic_latency_s": dynamic_latency,
+                "energy_gain": 1.0 - dynamic_energy / baseline_energy,
+                "latency_gain": 1.0 - dynamic_latency / baseline_latency,
+                "scores": flat_scores[start:end],
+                "d_score": d_scores[row],
+            })
+            evaluations.append(evaluation)
+        return evaluations
+
+    def path_costs(self, positions: tuple[int, ...], setting: DvfsSetting):
+        """Public ``(exit_energy, exit_latency, full_energy, full_latency)``.
+
+        Routed through the active kernel: the cost-table gathers when
+        ``use_tables`` (the runtime planners' fast path) or the reference
+        per-layer loop otherwise — identical bits either way.
+        """
+        positions = tuple(positions)
+        if self.use_tables:
+            return self._path_costs(positions, setting)
+        exit_reports = [
+            self._exit_path_report(positions, i, setting)
+            for i in range(len(positions))
+        ]
+        full_report = self._full_path_report(positions, setting)
+        return (
+            np.asarray([r.energy_j for r in exit_reports]),
+            np.asarray([r.latency_s for r in exit_reports]),
+            full_report.energy_j,
+            full_report.latency_s,
+        )
+
+    def full_path_cost(
+        self, positions: tuple[int, ...], setting: DvfsSetting
+    ) -> tuple[float, float]:
+        """``(energy_j, latency_s)`` of the full network plus all branches."""
+        positions = tuple(positions)
+        if self.use_tables:
+            table = self.bank.table(setting)
+            branches = [self.branch_cost(p) for p in positions]
+            return table.full_path_cost(positions, branches)
+        report = self._full_path_report(positions, setting)
+        return report.energy_j, report.latency_s
 
     def objectives(self, evaluation: DynamicEvaluation) -> tuple[float, float, float]:
         """IOE maximisation vector for one evaluation (paper eqs. 5-6).

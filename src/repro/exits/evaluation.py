@@ -67,6 +67,15 @@ class ExitEvaluation:
             dissim[1:] = 1.0 - np.maximum.accumulate(self.n_i[:-1])
         return dissim
 
+    @cached_property
+    def usage_split(self) -> tuple[np.ndarray, float]:
+        """``(usage[:-1], float(usage[-1]))`` — the ideal-mapping
+        expectation weights split once for the dynamic-evaluation hot
+        loops (an evaluation is reused across every DVFS setting swept).
+        Treat the returned array as read-only.
+        """
+        return self.usage[:-1], float(self.usage[-1])
+
     @property
     def early_exit_fraction(self) -> float:
         """Fraction of inputs that leave before the final classifier."""

@@ -9,6 +9,7 @@ positions 5 .. L−1 (position L is the backbone's own final classifier), so
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from math import comb
 
 import numpy as np
@@ -69,8 +70,11 @@ class ExitPlacement:
         """Exit positions as fractions of the full depth (u_i in (0, 1))."""
         return np.asarray(self.positions, dtype=float) / self.total_layers
 
-    @property
+    @cached_property
     def key(self) -> str:
+        # cached_property writes straight into __dict__, which frozen
+        # dataclasses permit — placements are immutable, keys are hot
+        # (evaluation caches, oracle memos), so build the string once.
         return "x" + "-".join(str(p) for p in self.positions)
 
 

@@ -26,12 +26,16 @@ PAPER_BACKBONE_CARDINALITY = 2.94e11
 
 @dataclass
 class Table2Result:
-    """Derived search-space rows."""
+    """Derived search-space rows (plus optional exhaustive-grid artifacts)."""
 
     backbone_rows: list[list] = field(default_factory=list)
     exit_rows: list[list] = field(default_factory=list)
     dvfs_rows: list[list] = field(default_factory=list)
     backbone_cardinality: int = 0
+    #: Per-platform exhaustive core × EMC sweep summaries (``dvfs_grid=True``).
+    grid_rows: list[list] = field(default_factory=list)
+    #: The underlying artifacts, keyed by platform (``dvfs_grid=True``).
+    grids: dict = field(default_factory=dict)
 
 
 def platform_dvfs_rows(platform_key: str) -> list[list]:
@@ -54,11 +58,27 @@ def platform_dvfs_rows(platform_key: str) -> list[list]:
     ]
 
 
+def reference_placement(total_layers: int) -> "ExitPlacement":
+    """Canonical probe placement: four exits at layer-range quartiles.
+
+    Deterministic and backbone-conditioned — the DyNN every platform's
+    exhaustive grid evaluates, so grid summaries are comparable across
+    platforms.
+    """
+    from repro.exits.placement import ExitPlacement
+
+    lo, hi = MIN_EXIT_POSITION, total_layers - 1
+    positions = sorted({lo + round(q * (hi - lo) / 4) for q in range(1, 4)} | {lo})
+    return ExitPlacement(total_layers, tuple(positions))
+
+
 def run(
     space: BackboneSpace | None = None,
     workers: int = 1,
     executor: str = "auto",
     cache_dir: str | None = None,
+    dvfs_grid: bool = False,
+    grid_oracle_samples: int = 2048,
 ) -> Table2Result:
     """Derive every Table II row from the space definitions.
 
@@ -68,6 +88,13 @@ def run(
     persists each platform's rows under its spec fingerprint (the
     ``table2-dvfs`` kind has no richer domain key), so repeat derivations —
     including full-DVFS-grid sweeps — are cache reads.
+
+    ``dvfs_grid=True`` additionally sweeps every platform's *entire*
+    core × EMC grid for the canonical reference DyNN (a6 +
+    :func:`reference_placement`) as ``population-eval`` specs — one stacked
+    kernel call per setting — and records per-platform summaries in
+    ``grid_rows`` plus the full :class:`~repro.experiments.dvfs_grid.
+    DvfsGridArtifact` objects in ``grids``.
     """
     space = space or BackboneSpace()
     result = Table2Result(backbone_cardinality=space.cardinality())
@@ -110,8 +137,34 @@ def run(
                 for key in PAPER_PLATFORM_ORDER
             ]
         )
-    for rows in per_platform:
-        result.dvfs_rows.extend(rows)
+        for rows in per_platform:
+            result.dvfs_rows.extend(rows)
+        if dvfs_grid:
+            from repro.experiments.dvfs_grid import sharded_grid
+
+            backbone = reference
+            placement = reference_placement(backbone.total_mbconv_layers)
+            for key in PAPER_PLATFORM_ORDER:
+                grid = sharded_grid(
+                    key,
+                    backbone,
+                    [placement],
+                    cache_dir=cache_dir,
+                    service=service,
+                    oracle_samples=grid_oracle_samples,
+                )
+                result.grids[key] = grid
+                best = grid.best_energy_setting()
+                default_mj = grid.dynamic_energy_j[0, -1, -1] * 1e3
+                result.grid_rows.append(
+                    [
+                        get_platform(key).name,
+                        grid.num_settings,
+                        f"{grid.min_energy_j() * 1e3:.2f}",
+                        f"{default_mj:.2f}",
+                        str(best),
+                    ]
+                )
     return result
 
 
@@ -123,6 +176,16 @@ def render(result: Table2Result) -> str:
         format_table(headers, result.exit_rows,
                      title="Exits Search Space (X), conditioned on a6"),
         format_table(headers, result.dvfs_rows, title="DVFS Search Space (F)"),
+    ]
+    if result.grid_rows:
+        blocks.append(
+            format_table(
+                ["Platform", "|grid|", "min Ergy(mJ)", "default Ergy(mJ)", "best setting"],
+                result.grid_rows,
+                title="Exhaustive DVFS grids (reference DyNN on a6)",
+            )
+        )
+    blocks += [
         (
             f"backbone cardinality = {result.backbone_cardinality:.3e} "
             f"(paper: > {PAPER_BACKBONE_CARDINALITY:.2e})"

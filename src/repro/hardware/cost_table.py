@@ -26,6 +26,7 @@ cached branch scalars.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -33,7 +34,12 @@ import numpy as np
 
 from repro.arch.cost import LayerCost, NetworkCost
 from repro.hardware.dvfs import DvfsSetting
-from repro.hardware.energy import EnergyModel, EnergyReport, interleaved_cumsum
+from repro.hardware.energy import (
+    EnergyModel,
+    EnergyReport,
+    PathProfile,
+    interleaved_cumsum,
+)
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,17 @@ class SettingCostTable:
         self.cum_core = np.cumsum(core[:n])
         self.cum_mem = interleaved_cumsum(mem_dyn[:n], mem_bg[:n])
         self.cum_static = np.cumsum(static[:n])
+        # Path-profile accumulators (see :class:`~repro.hardware.energy.
+        # PathProfile`): busy/overhead split and the dynamic-rail energy
+        # (core and mem_dyn interleaved, matching the reference profile's
+        # per-layer addition order).  Serving-ladder construction reads
+        # these instead of re-walking layers through the timing kernel.
+        self.cum_busy = np.cumsum(timing.busy_s[:n])
+        self.cum_overhead = np.cumsum(timing.overhead_s[:n])
+        self.cum_dynamic = interleaved_cumsum(core[:n], mem_dyn[:n])
+        self.passive_power_w = model.power.static_power(
+            setting
+        ) + model.power.mem_background_power(setting)
         self._branch: dict[int, BranchTerms] = {}
         if branch_items:
             columns = zip(
@@ -126,11 +143,15 @@ class SettingCostTable:
         )
 
     def branch_terms(self, position: int, layer: LayerCost) -> BranchTerms:
-        """Cached scalar costs of the exit branch attached at ``position``."""
+        """Cached scalar costs of the exit branch attached at ``position``.
+
+        ``setdefault`` keeps the write idempotent under concurrent callers
+        (thread-executor runs sharing a bank): racing threads compute the
+        same deterministic terms and exactly one value is kept.
+        """
         terms = self._branch.get(position)
         if terms is None:
-            terms = self._terms(layer)
-            self._branch[position] = terms
+            terms = self._branch.setdefault(position, self._terms(layer))
         return terms
 
     # ------------------------------------------------------------ path costs
@@ -178,6 +199,58 @@ class SettingCostTable:
             mem += terms.mem_bg_j
             static += terms.static_j
         return (core + mem + static), latency
+
+    # ---------------------------------------------------------- path profiles
+    def exit_path_profile(
+        self,
+        positions: Sequence[int],
+        branch_layers: Sequence[LayerCost],
+        index: int,
+    ) -> PathProfile:
+        """Batch-decomposable profile of the path leaving at exit ``index``.
+
+        Bit-identical to :meth:`EnergyModel.path_profile` over the prefix up
+        to ``positions[index]`` plus the branches at ``positions[: index+1]``:
+        the gathered cumulative values continue the reference cumsums, and
+        branch scalars are added in the loop's append order (core before
+        mem_dyn per branch, preserving the dynamic rail's interleave).
+        """
+        end = self.prefix_end(positions[index])
+        busy = float(self.cum_busy[end])
+        overhead = float(self.cum_overhead[end])
+        dynamic = float(self.cum_dynamic[end])
+        for position, layer in zip(positions[: index + 1], branch_layers[: index + 1]):
+            terms = self.branch_terms(position, layer)
+            busy += terms.busy_s
+            overhead += terms.overhead_s
+            dynamic += terms.core_j
+            dynamic += terms.mem_dyn_j
+        return PathProfile(
+            busy_s=busy,
+            overhead_s=overhead,
+            dynamic_energy_j=dynamic,
+            passive_power_w=self.passive_power_w,
+        )
+
+    def full_path_profile(
+        self, positions: Sequence[int], branch_layers: Sequence[LayerCost]
+    ) -> PathProfile:
+        """Profile of the full network plus every branch (the final path)."""
+        busy = float(self.cum_busy[-1])
+        overhead = float(self.cum_overhead[-1])
+        dynamic = float(self.cum_dynamic[-1])
+        for position, layer in zip(positions, branch_layers):
+            terms = self.branch_terms(position, layer)
+            busy += terms.busy_s
+            overhead += terms.overhead_s
+            dynamic += terms.core_j
+            dynamic += terms.mem_dyn_j
+        return PathProfile(
+            busy_s=busy,
+            overhead_s=overhead,
+            dynamic_energy_j=dynamic,
+            passive_power_w=self.passive_power_w,
+        )
 
     # --------------------------------------------------------------- reports
     def _report_at(self, index: int) -> tuple[float, float, float, float]:
@@ -253,40 +326,52 @@ class CostTableBank:
         self._branch_provider = branch_provider
         self._layer_arrays: tuple[np.ndarray, np.ndarray] | None = None
         self._tables: dict[tuple[float, float], SettingCostTable] = {}
+        self._lock = threading.Lock()
 
     def table(self, setting: DvfsSetting) -> SettingCostTable:
-        """The (lazily built) table for ``setting``."""
+        """The (lazily built) table for ``setting``.
+
+        Thread-safe: the hot path is a lock-free dict read (a seen setting
+        costs one lookup); misses take a lock with a double-checked read, so
+        thread-executor inner runs sharing a bank neither race on the
+        branch-provider resolution nor build duplicate tables.
+        """
         key = (setting.core_ghz, setting.emc_ghz)
         table = self._tables.get(key)
         if table is None:
-            if self._branch_provider is not None:
-                self._branch_items = list(self._branch_provider())
-                self._branch_provider = None
-            if self._layer_arrays is None:
-                layers = self.cost.layers + [
-                    layer for _, layer in self._branch_items
-                ]
-                self._layer_arrays = (
-                    np.fromiter(
-                        (layer.macs for layer in layers),
-                        dtype=np.float64,
-                        count=len(layers),
-                    ),
-                    np.fromiter(
-                        (layer.traffic_bytes for layer in layers),
-                        dtype=np.float64,
-                        count=len(layers),
-                    ),
-                )
-            table = SettingCostTable(
-                self.model,
-                self.cost,
-                setting,
-                branch_items=self._branch_items,
-                layer_arrays=self._layer_arrays,
-            )
-            self._tables[key] = table
+            with self._lock:
+                table = self._tables.get(key)
+                if table is None:
+                    table = self._build_table(setting)
+                    self._tables[key] = table
         return table
+
+    def _build_table(self, setting: DvfsSetting) -> SettingCostTable:
+        """Materialise one table (caller holds the lock)."""
+        if self._branch_provider is not None:
+            self._branch_items = list(self._branch_provider())
+            self._branch_provider = None
+        if self._layer_arrays is None:
+            layers = self.cost.layers + [layer for _, layer in self._branch_items]
+            self._layer_arrays = (
+                np.fromiter(
+                    (layer.macs for layer in layers),
+                    dtype=np.float64,
+                    count=len(layers),
+                ),
+                np.fromiter(
+                    (layer.traffic_bytes for layer in layers),
+                    dtype=np.float64,
+                    count=len(layers),
+                ),
+            )
+        return SettingCostTable(
+            self.model,
+            self.cost,
+            setting,
+            branch_items=self._branch_items,
+            layer_arrays=self._layer_arrays,
+        )
 
     def __len__(self) -> int:
         """Number of settings materialised so far."""

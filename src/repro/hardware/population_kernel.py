@@ -1,0 +1,215 @@
+"""Population-batched path costs: one stacked gather per (population, setting).
+
+The PR-5 cost tables made a *single* dynamic evaluation an O(exits) cumsum
+gather, but an NSGA-II generation (or an exhaustive DVFS sweep) still pays
+full Python per-call overhead per individual: index arrays, branch-scalar
+loops and small-array arithmetic are re-dispatched N times per setting.
+:class:`PopulationKernel` amortises that across a whole population — N exit
+placements evaluated at one :class:`~repro.hardware.dvfs.DvfsSetting` become
+one padded ``(N, E_max)`` gather over the setting's
+:class:`~repro.hardware.cost_table.SettingCostTable` plus ``E_max`` broadcast
+column additions, independent of N.
+
+Bit-identity contract (same as every kernel in this repo): the stacked path
+costs equal :meth:`SettingCostTable.exit_path_costs` /
+:meth:`~SettingCostTable.full_path_cost` — and therefore the reference
+per-layer loop — bit for bit, for every row:
+
+* Row ``n``'s gathered prefix values are the same cumulative-array elements
+  the per-placement kernel reads.
+* Branch scalars are added as broadcast *column* operations in ascending
+  exit order (``M[:, j:] += B[:, j:j+1]``): each matrix element receives
+  exactly the per-placement sequence of scalar float64 additions, in the
+  same left-to-right association — elementwise ops carry no cross-element
+  reduction, so stacking cannot reorder anything.
+* Rows are padded to ``E_max`` with a sentinel position whose branch terms
+  are ``0.0``; for the full-path accumulators the pad contributes trailing
+  ``x + 0.0`` no-ops (bitwise identity for the strictly positive costs
+  involved), and padded exit columns are never read.
+
+Reductions (usage-weighted dots, score means) deliberately stay *per-row* in
+the evaluator: a matrix reduction would change BLAS/pairwise summation order
+and drift by ULPs.  What gets stacked is exactly the elementwise work.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.arch.cost import LayerCost
+from repro.hardware.cost_table import CostTableBank, SettingCostTable
+from repro.hardware.dvfs import DvfsSetting
+
+
+@dataclass(frozen=True)
+class PopulationPathCosts:
+    """Stacked path costs of N placements at one DVFS setting.
+
+    ``exit_energy_j`` / ``exit_latency_s`` are ``(N, E_max)`` matrices; row
+    ``n`` is valid through ``widths[n]`` columns (the rest is padding and
+    must not be read).  ``full_energy_j`` / ``full_latency_s`` are ``(N,)``
+    full-path (every-branch) costs.
+    """
+
+    widths: np.ndarray
+    exit_energy_j: np.ndarray
+    exit_latency_s: np.ndarray
+    full_energy_j: np.ndarray
+    full_latency_s: np.ndarray
+
+    def row(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """(energy, latency) views of row ``n``'s valid exit-path costs."""
+        w = int(self.widths[n])
+        return self.exit_energy_j[n, :w], self.exit_latency_s[n, :w]
+
+
+class _SettingArrays:
+    """Per-position gather operands of one setting's cost table.
+
+    Arrays are indexed by MBConv position (``0`` is the padding sentinel:
+    prefix index 0 with all-zero branch terms).  Branch terms are filled
+    lazily per requested position from the table's cached scalars, so the
+    kernel handles any placement without knowing the legal exit range.
+    """
+
+    __slots__ = (
+        "prefix_index",
+        "total_s",
+        "core_j",
+        "mem_dyn_j",
+        "mem_bg_j",
+        "static_j",
+        "_filled",
+    )
+
+    def __init__(self, table: SettingCostTable, max_position: int):
+        size = max_position + 1
+        self.prefix_index = np.zeros(size, dtype=np.intp)
+        for position in range(1, size):
+            self.prefix_index[position] = table.prefix_end(position)
+        self.total_s = np.zeros(size)
+        self.core_j = np.zeros(size)
+        self.mem_dyn_j = np.zeros(size)
+        self.mem_bg_j = np.zeros(size)
+        self.static_j = np.zeros(size)
+        self._filled = np.zeros(size, dtype=bool)
+        self._filled[0] = True  # the padding sentinel stays all-zero
+
+    def ensure(
+        self,
+        table: SettingCostTable,
+        branch_cost: Callable[[int], LayerCost],
+        positions: np.ndarray,
+    ) -> None:
+        """Fill branch-term slots for every position present in ``positions``."""
+        for position in np.unique(positions).tolist():
+            if self._filled[position]:
+                continue
+            terms = table.branch_terms(position, branch_cost(position))
+            self.total_s[position] = terms.total_s
+            self.core_j[position] = terms.core_j
+            self.mem_dyn_j[position] = terms.mem_dyn_j
+            self.mem_bg_j[position] = terms.mem_bg_j
+            self.static_j[position] = terms.static_j
+            self._filled[position] = True
+
+
+class PopulationKernel:
+    """Batched analysis surface over a :class:`CostTableBank`.
+
+    One kernel hangs off a :class:`~repro.eval.dynamic.DynamicEvaluator`
+    (same lifetime as its bank); :meth:`path_costs` is the stable entry
+    point the evaluator, the IOE batch hook and the exhaustive-grid sweeps
+    all call.
+    """
+
+    def __init__(
+        self,
+        bank: CostTableBank,
+        branch_cost: Callable[[int], LayerCost],
+        max_position: int,
+    ):
+        self._bank = bank
+        self._branch_cost = branch_cost
+        self._max_position = max_position
+        self._arrays: dict[tuple[float, float], _SettingArrays] = {}
+        self._lock = threading.Lock()
+
+    def _setting_arrays(self, table: SettingCostTable) -> _SettingArrays:
+        key = (table.setting.core_ghz, table.setting.emc_ghz)
+        arrays = self._arrays.get(key)
+        if arrays is None:
+            with self._lock:
+                arrays = self._arrays.get(key)
+                if arrays is None:
+                    arrays = _SettingArrays(table, self._max_position)
+                    self._arrays[key] = arrays
+        return arrays
+
+    def path_costs(
+        self, position_lists: Sequence[Sequence[int]], setting: DvfsSetting
+    ) -> PopulationPathCosts:
+        """Exit-path and full-path costs of N placements at ``setting``.
+
+        One ``(N, E_max)`` fancy gather over the setting's cumulative
+        arrays, then one broadcast column addition per exit slot — total
+        work O(N · E_max) array elements with no per-placement Python loop
+        over branches.
+        """
+        count = len(position_lists)
+        widths = np.fromiter(
+            (len(positions) for positions in position_lists),
+            dtype=np.intp,
+            count=count,
+        )
+        table = self._bank.table(setting)
+        arrays = self._setting_arrays(table)
+        e_max = int(widths.max()) if count else 0
+        positions = np.zeros((count, e_max), dtype=np.intp)
+        for row, row_positions in enumerate(position_lists):
+            positions[row, : len(row_positions)] = row_positions
+        with self._lock:
+            arrays.ensure(table, self._branch_cost, positions)
+
+        index = arrays.prefix_index[positions]
+        latency = table.cum_total[index]
+        core = table.cum_core[index]
+        mem = table.cum_mem[index]
+        static = table.cum_static[index]
+        branch_total = arrays.total_s[positions]
+        branch_core = arrays.core_j[positions]
+        branch_mem_dyn = arrays.mem_dyn_j[positions]
+        branch_mem_bg = arrays.mem_bg_j[positions]
+        branch_static = arrays.static_j[positions]
+
+        full_latency = np.full(count, table.cum_total[-1])
+        full_core = np.full(count, table.cum_core[-1])
+        full_mem = np.full(count, table.cum_mem[-1])
+        full_static = np.full(count, table.cum_static[-1])
+
+        # Ascending exit order mirrors the per-placement kernel: branch j
+        # lands on every exit i >= j before branch j+1 does, and the memory
+        # rail adds its two terms per branch in the reference order.
+        for j in range(e_max):
+            latency[:, j:] += branch_total[:, j : j + 1]
+            core[:, j:] += branch_core[:, j : j + 1]
+            mem[:, j:] += branch_mem_dyn[:, j : j + 1]
+            mem[:, j:] += branch_mem_bg[:, j : j + 1]
+            static[:, j:] += branch_static[:, j : j + 1]
+            full_latency += branch_total[:, j]
+            full_core += branch_core[:, j]
+            full_mem += branch_mem_dyn[:, j]
+            full_mem += branch_mem_bg[:, j]
+            full_static += branch_static[:, j]
+
+        return PopulationPathCosts(
+            widths=widths,
+            exit_energy_j=core + mem + static,
+            exit_latency_s=latency,
+            full_energy_j=(full_core + full_mem) + full_static,
+            full_latency_s=full_latency,
+        )

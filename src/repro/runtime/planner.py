@@ -61,6 +61,11 @@ def plan_per_exit_dvfs(
     The expected energies are usage-weighted with the same ideal-mapping
     fractions the design-time objective uses, so ``extra_gain`` is directly
     comparable with the searched single-setting result.
+
+    Costs come from :meth:`DynamicEvaluator.path_costs` — the cost-table
+    bank when the evaluator runs on tables (one O(exits) gather per setting
+    instead of an O(layers × exits) walk per (path, setting) pair), the
+    reference loop otherwise; plans are identical either way.
     """
     if latency_slack < 1.0:
         raise ValueError(f"latency_slack must be >= 1, got {latency_slack}")
@@ -69,36 +74,50 @@ def plan_per_exit_dvfs(
     usage = evaluator.oracle.evaluate_placement(placement).usage
     candidates = dvfs_space.all_settings()
 
-    def path_report(index: int, setting: DvfsSetting):
-        if index < len(positions):
-            return evaluator._exit_path_report(positions, index, setting)
-        return evaluator._full_path_report(positions, setting)
+    def all_path_costs(setting: DvfsSetting) -> tuple[np.ndarray, np.ndarray]:
+        """(energy, latency) arrays over every path (exits then full)."""
+        exit_energy, exit_latency, full_energy, full_latency = evaluator.path_costs(
+            positions, setting
+        )
+        return (
+            np.append(exit_energy, full_energy),
+            np.append(exit_latency, full_latency),
+        )
+
+    default_energy, default_latency = all_path_costs(default)
+    candidate_costs = [(setting, *all_path_costs(setting)) for setting in candidates]
 
     settings: dict[int, DvfsSetting] = {}
     per_exit_energy = np.zeros(len(positions) + 1)
     for index in range(len(positions) + 1):
-        bound = path_report(index, default).latency_s * latency_slack
-        best_setting, best_energy = default, path_report(index, default).energy_j
-        for setting in candidates:
-            report = path_report(index, setting)
-            if report.latency_s <= bound and report.energy_j < best_energy:
-                best_setting, best_energy = setting, report.energy_j
+        bound = default_latency[index] * latency_slack
+        best_setting, best_energy = default, default_energy[index]
+        for setting, energies, latencies in candidate_costs:
+            if latencies[index] <= bound and energies[index] < best_energy:
+                best_setting, best_energy = setting, energies[index]
         settings[index] = best_setting
         per_exit_energy[index] = best_energy
 
     # Best single setting under the same slack rule, for a fair comparison.
-    def expected_energy(setting: DvfsSetting) -> float:
+    def expected_energy(energies: np.ndarray) -> float:
         return float(
-            sum(usage[i] * path_report(i, setting).energy_j for i in range(len(usage)))
+            sum(usage[i] * energies[i] for i in range(len(usage)))
         )
 
-    full_bound = path_report(len(positions), default).latency_s * latency_slack
-    feasible = [s for s in candidates if path_report(len(positions), s).latency_s <= full_bound]
-    single_best = min(feasible or [default], key=expected_energy)
+    full_bound = default_latency[len(positions)] * latency_slack
+    feasible = [
+        (setting, energies)
+        for setting, energies, latencies in candidate_costs
+        if latencies[len(positions)] <= full_bound
+    ]
+    single_best = min(
+        feasible or [(default, default_energy)],
+        key=lambda item: expected_energy(item[1]),
+    )
 
     return PerExitPlan(
         placement=placement,
         settings=settings,
-        single_setting_energy_j=expected_energy(single_best),
+        single_setting_energy_j=expected_energy(single_best[1]),
         per_exit_energy_j=float(usage @ per_exit_energy),
     )

@@ -111,6 +111,34 @@ class _InnerProblem(Problem):
         evaluation = self.evaluator.evaluate(placement, setting)
         return np.asarray(self.evaluator.objectives(evaluation)), {"evaluation": evaluation}
 
+    def evaluate_batch(self, genomes: list[np.ndarray]):
+        """Population-grouped evaluation: one stacked kernel call per setting.
+
+        A generation's genomes are grouped by their decoded DVFS setting
+        (order-preserving) and each group goes through
+        :meth:`DynamicEvaluator.evaluate_population` — one padded gather
+        over the setting's cost table instead of per-individual Python
+        calls.  Bit-identical to the serial :meth:`evaluate` loop; when the
+        evaluator's population kernel is off this degenerates to exactly
+        that loop.
+        """
+        decoded = [self.decode(genome) for genome in genomes]
+        groups: dict[tuple[float, float], list[int]] = {}
+        for i, (_, setting) in enumerate(decoded):
+            groups.setdefault((setting.core_ghz, setting.emc_ghz), []).append(i)
+        results: list = [None] * len(genomes)
+        for indices in groups.values():
+            setting = decoded[indices[0]][1]
+            evaluations = self.evaluator.evaluate_population(
+                [decoded[i][0] for i in indices], setting
+            )
+            for i, evaluation in zip(indices, evaluations):
+                results[i] = (
+                    np.asarray(self.evaluator.objectives(evaluation)),
+                    {"evaluation": evaluation},
+                )
+        return results
+
     def crossover(self, a, b, rng):
         return operators.uniform_crossover(a, b, rng)
 
@@ -152,6 +180,11 @@ class InnerEngine:
         (default).  ``False`` selects the reference per-layer loop — the
         dynamic-eval bench's "before" baseline; results are bit-identical
         either way.
+    use_population_kernel:
+        Evaluate each generation's genome batch through the stacked
+        population kernel, grouped by DVFS setting (default).  ``False``
+        keeps per-individual evaluation — the population bench's "before"
+        comparator; results are bit-identical either way.
     """
 
     def __init__(
@@ -168,6 +201,7 @@ class InnerEngine:
         service=None,
         cache=None,
         use_tables: bool = True,
+        use_population_kernel: bool = True,
     ):
         self.config = config
         self.nsga_config = nsga or Nsga2Config(population=20, generations=8)
@@ -191,6 +225,7 @@ class InnerEngine:
             gamma=gamma,
             literal_ratios=literal_ratios,
             use_tables=use_tables,
+            use_population_kernel=use_population_kernel,
         )
         self.problem = _InnerProblem(
             exit_space=ExitSpace(config.total_mbconv_layers),

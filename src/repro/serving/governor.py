@@ -136,9 +136,26 @@ def _profiles_for(
     placement: ExitPlacement,
     governor: DvfsGovernor,
 ) -> list[PathProfile]:
-    """Per-path execution profiles under a (possibly per-exit) DVFS map."""
+    """Per-path execution profiles under a (possibly per-exit) DVFS map.
+
+    With a table-backed evaluator the profiles come straight from the
+    :class:`~repro.hardware.cost_table.CostTableBank` — ladder construction
+    stops re-walking layers through the timing kernel (a per-exit map reuses
+    one table per distinct setting).  Bit-identical to the
+    :meth:`EnergyModel.path_profile` walk, which remains the reference path
+    for ``use_tables=False`` evaluators.
+    """
     positions = placement.positions
     profiles = []
+    if evaluator.use_tables:
+        branches = [evaluator.branch_cost(p) for p in positions]
+        for index in range(len(positions) + 1):
+            table = evaluator.bank.table(governor.setting_for(index))
+            if index < len(positions):
+                profiles.append(table.exit_path_profile(positions, branches, index))
+            else:
+                profiles.append(table.full_path_profile(positions, branches))
+        return profiles
     for index in range(len(positions) + 1):
         setting = governor.setting_for(index)
         if index < len(positions):
@@ -223,7 +240,7 @@ def plan_config_ladder(
     perf = dvfs_space.default_setting()
     balanced = min(
         plan.settings.values(),
-        key=lambda s: evaluator._full_path_report(placement.positions, s).energy_j,
+        key=lambda s: evaluator.full_path_cost(placement.positions, s)[0],
     )
     tiers: list[tuple[str, DvfsSetting, dict[int, DvfsSetting] | None]] = [
         ("perf", perf, None),
