@@ -50,6 +50,9 @@ from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
 from repro.hardware.dvfs import DvfsSpace
 from repro.hardware.energy import EnergyModel
 from repro.hardware.platform import get_platform
+from repro.obs import trace
+from repro.obs.export import counter_rollup
+from repro.obs.trace import Recorder
 from repro.search.ioe import InnerEngine
 from repro.search.nsga2 import Nsga2Config
 from repro.utils.serialization import save_json
@@ -295,6 +298,34 @@ def _population_phase(
     }
 
 
+def _observability_pass(bench: _Workbench, pairs, placements_hint: int) -> dict:
+    """Counter rollup from a short instrumented replay (untimed, so the
+    recorder's lock never touches the benchmark's timed loops).
+
+    Replays the IOE stream through both kernels and one population sweep
+    under a live recorder; the rollup lands in the JSON report so a CI
+    artifact shows memo-hit rates, table-vs-reference path counts and
+    population-kernel call counts next to the throughput numbers.
+    """
+    recorder = Recorder()
+    trace.install(recorder)
+    try:
+        evaluator = bench.evaluator(True)
+        for placement, setting in pairs:
+            evaluator.evaluate(placement, setting)
+        for placement, setting in pairs:  # second pass: all memo hits
+            evaluator.evaluate(placement, setting)
+        reference = bench.evaluator(False)
+        for placement, setting in pairs[:40]:
+            reference.evaluate(placement, setting)
+        population = bench.evaluator(True)
+        placements = _distinct_placements(bench, placements_hint, bench.seed + 17)
+        population.evaluate_population(placements, bench.dvfs.default_setting())
+    finally:
+        trace.uninstall()
+    return counter_rollup(recorder)
+
+
 def _ioe_wall_row(bench: _Workbench, budget: str) -> dict:
     modes = {
         "reference": (False, False),
@@ -358,6 +389,9 @@ def main(argv: list[str] | None = None) -> int:
         reps=reps,
     )
     ioe_rows = [_ioe_wall_row(bench, budget) for budget in ("tiny", "fast")]
+    observability = _observability_pass(
+        bench, ioe_stream, placements_hint=64 if args.smoke else 128
+    )
 
     print(f"platform {args.platform}, backbone {args.model}, seed {args.seed}")
     print(f"{'stream':>28} {'evals':>6} {'ref/s':>8} {'vec/s':>8} {'speedup':>8}")
@@ -397,6 +431,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['vectorized_wall_s']:.3f}s ({row['speedup']:.1f}x), population "
             f"{row['population_wall_s']:.3f}s ({row['population_speedup']:.1f}x)"
         )
+    obs_counters = observability["counters"]
+    print(
+        "observability rollup: "
+        f"{obs_counters.get('dyneval.evaluations', 0):.0f} evaluations / "
+        f"{obs_counters.get('dyneval.memo_hits', 0):.0f} memo hits, "
+        f"{obs_counters.get('dyneval.population_rows', 0):.0f} population rows, "
+        f"{obs_counters.get('cost_table.builds', 0):.0f} table builds"
+    )
 
     report = {
         "platform": args.platform,
@@ -417,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
         "warm_bank": warm,
         "population_kernel": population,
         "ioe_rows": ioe_rows,
+        "observability": observability,
         "summary": {
             "speedup_floor": SPEEDUP_FLOOR,
             "speedup_ok": bool(speedup >= SPEEDUP_FLOOR),

@@ -22,6 +22,9 @@ import dataclasses
 import sys
 import time
 
+from repro.obs import trace
+from repro.obs.export import counter_rollup
+from repro.obs.trace import Recorder
 from repro.serving.harness import ServingSpec, sweep
 from repro.serving.scenarios import SCENARIO_NAMES
 from repro.serving.telemetry import ServingReport
@@ -97,12 +100,22 @@ def main(argv: list[str] | None = None) -> int:
 
     duration = args.duration_s or (12.0 if args.smoke else 16.0)
     specs = build_grid(duration, args.seed, args.model, args.platform)
+    # Record the whole sweep: worker-side spans/counters (and per-worker
+    # cache hit/miss deltas) ride home through the result envelopes, so the
+    # rollup covers process-pool cells too.  Tracing changes no result bits.
+    recorder = Recorder()
+    trace.install(recorder)
     start = time.perf_counter()
-    reports = sweep(
-        specs, workers=args.workers, executor=args.executor, cache_dir=args.cache_dir
-    )
+    try:
+        reports = sweep(
+            specs, workers=args.workers, executor=args.executor,
+            cache_dir=args.cache_dir,
+        )
+    finally:
+        trace.uninstall()
     elapsed = time.perf_counter() - start
     summary = summarize(specs, reports)
+    observability = counter_rollup(recorder)
 
     header = (
         f"{'pattern':>8s} {'scenario':>15s} {'miss% s/a':>12s} "
@@ -123,6 +136,15 @@ def main(argv: list[str] | None = None) -> int:
         f"({args.workers} workers, {args.executor} executor); "
         f"adaptive wins both axes in {summary['wins_both']}/{len(summary['cells'])} cells"
     )
+    obs_counters = observability["counters"]
+    queue_wait = observability["histograms"].get("engine.queue_wait_s", {})
+    print(
+        "observability rollup: "
+        f"{obs_counters.get('serving.batches', 0):.0f} batches, "
+        f"{obs_counters.get('serving.governor_decisions', 0):.0f} governor "
+        f"decisions, queue-wait p95 {queue_wait.get('p95', 0.0) * 1e3:.1f} ms, "
+        f"cache hit rates {observability['cache_hit_rates'] or '(no cache)'}"
+    )
 
     # Contract: every cell served traffic and produced a meaningful report.
     for report in reports:
@@ -141,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
             "grid": [dataclasses.asdict(spec) for spec in specs],
             "reports": reports,
             "summary": summary,
+            "observability": observability,
             "elapsed_s": elapsed,
         }
         path = save_json(payload, args.json)

@@ -12,6 +12,8 @@ Usage::
     python -m repro serve --trace diurnal --slo-ms 20
     python -m repro serve --from-result design.json --fleet tx2,xavier
     python -m repro cache stats --cache-dir .cache/engine
+    python -m repro fig5 --trace fig5.jsonl
+    python -m repro trace summary fig5.jsonl
 
 Artifacts print the paper-style rows/series (the same renderers the
 benchmark suite uses); ``search`` runs the bi-level HADAS search and
@@ -97,6 +99,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.cli import main as cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -122,12 +128,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dvfs-grid", action="store_true",
                         help="table2: sweep the exhaustive core x EMC grid per "
                              "platform (one population-eval batch per setting)")
+    parser.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                        help="record a trace of the run (spans/counters from "
+                             "all workers) plus a run manifest; inspect with "
+                             "`python -m repro trace summary OUT.jsonl`")
     args = parser.parse_args(argv)
 
     if args.artifact == "list":
         print("available artifacts:", ", ".join(_ARTIFACTS), "or 'all'")
         print("other subcommands: search (bi-level search), serve (online serving), "
-              "cache (cache admin)")
+              "cache (cache admin), trace (trace inspection)")
         return 0
 
     try:
@@ -136,14 +146,23 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(str(error)) from None
     profile = _engine_profile(args)
     names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    for name in names:
-        start = time.time()
-        output = _run_artifact(
-            name, profile, args.platform, tuple(args.platforms),
-            dvfs_grid=args.dvfs_grid,
-        )
-        print(f"\n===== {name} ({time.time() - start:.1f}s) =====")
-        print(output)
+    from repro.obs.cli import traced_run
+
+    with traced_run(
+        args.trace,
+        command="repro " + " ".join(argv),
+        config=profile,
+        seed=args.seed,
+        platforms=args.platforms,
+    ):
+        for name in names:
+            start = time.time()
+            output = _run_artifact(
+                name, profile, args.platform, tuple(args.platforms),
+                dvfs_grid=args.dvfs_grid,
+            )
+            print(f"\n===== {name} ({time.time() - start:.1f}s) =====")
+            print(output)
     return 0
 
 

@@ -24,10 +24,13 @@ import pickle
 import tempfile
 import threading
 import time
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
+from repro.obs import trace
 from repro.utils.serialization import canonical_json, from_jsonable, to_jsonable
 
 #: Bump to invalidate every entry written by older engine code.
@@ -61,6 +64,103 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+# --------------------------------------------------------------------------
+# Process-wide cache-stats registry.  Worker processes build their *own*
+# ResultCache instances (the lru_cache'd contexts in engine/tasks.py), so a
+# parent asking its cache for stats after an ``--executor process`` run used
+# to see only its own traffic.  Every live cache registers here; a worker
+# snapshots the registry before a task, diffs it after, and ships the delta
+# home through the executor result channel (see obs/collect.py), where it
+# merges into the parent cache via :meth:`ResultCache.merge_stats`.
+# --------------------------------------------------------------------------
+_REGISTRY_LOCK = threading.Lock()
+# Keyed by id() because ResultCache (an eq-dataclass) is unhashable; dead
+# entries evict themselves, and a recycled id simply replaces its entry.
+_LIVE_CACHES: "weakref.WeakValueDictionary[int, ResultCache]" = (
+    weakref.WeakValueDictionary()
+)
+# Traffic of caches that have been garbage-collected: a task-local cache
+# usually dies when the task function returns — *before* the worker wrapper
+# diffs the registry — so a finalizer folds its accounting in here and the
+# snapshot stays monotonic over the process lifetime.
+_RETIRED_STATS: dict[str, tuple[int, int, int]] = {}
+
+
+def _retire_stats(stats: dict[str, CacheStats]) -> None:
+    with _REGISTRY_LOCK:
+        for namespace, s in stats.items():
+            hits, misses, puts = _RETIRED_STATS.get(namespace, (0, 0, 0))
+            _RETIRED_STATS[namespace] = (hits + s.hits, misses + s.misses, puts + s.puts)
+
+
+def _register_cache(cache: "ResultCache") -> None:
+    with _REGISTRY_LOCK:
+        _LIVE_CACHES[id(cache)] = cache
+    # The callback holds the stats dict (not the cache), so it cannot keep
+    # the cache itself alive.
+    weakref.finalize(cache, _retire_stats, cache._stats)
+
+
+# While a worker-side call's stats deltas are being captured for the result
+# envelope (obs/collect.py), the envelope owns every hit/miss/put this
+# thread generates: the parent merges the delta into its cache and flushes
+# it to the session sidecar exactly once.  Worker-side services closing
+# *inside* the capture window (a shard's in-worker HadasSearch teardown)
+# must therefore not also write the sidecar, or each event lands twice.
+_CAPTURE_TLS = threading.local()
+
+
+@contextmanager
+def stats_capture() -> Iterator[None]:
+    """Mark this thread's cache traffic as envelope-owned (flushes muted)."""
+    depth = getattr(_CAPTURE_TLS, "depth", 0)
+    _CAPTURE_TLS.depth = depth + 1
+    try:
+        yield
+    finally:
+        _CAPTURE_TLS.depth = depth
+
+
+def _capturing() -> bool:
+    return getattr(_CAPTURE_TLS, "depth", 0) > 0
+
+
+def runtime_stats_snapshot() -> dict[str, tuple[int, int, int]]:
+    """Per-namespace ``(hits, misses, puts)``: every live cache + retired ones."""
+    with _REGISTRY_LOCK:
+        caches = list(_LIVE_CACHES.values())
+        totals = dict(_RETIRED_STATS)
+    for cache in caches:
+        for namespace, stats in list(cache._stats.items()):
+            hits, misses, puts = totals.get(namespace, (0, 0, 0))
+            totals[namespace] = (
+                hits + stats.hits, misses + stats.misses, puts + stats.puts
+            )
+    return totals
+
+
+def runtime_stats_delta(
+    baseline: dict[str, tuple[int, int, int]],
+) -> dict[str, dict[str, int]]:
+    """What changed since ``baseline``; all-zero namespaces are dropped.
+
+    Clamped at zero per field as a backstop: retirement keeps the snapshot
+    monotonic, but a baseline taken in a parent process and diffed after a
+    fork boundary must never produce negative freight.
+    """
+    deltas: dict[str, dict[str, int]] = {}
+    for namespace, (hits, misses, puts) in runtime_stats_snapshot().items():
+        base = baseline.get(namespace, (0, 0, 0))
+        delta = (
+            max(hits - base[0], 0), max(misses - base[1], 0), max(puts - base[2], 0)
+        )
+        if any(delta):
+            deltas[namespace] = {
+                "hits": delta[0], "misses": delta[1], "puts": delta[2]
+            }
+    return deltas
+
+
 @dataclass
 class ResultCache:
     """Persistent evaluation-result store shared by every engine layer.
@@ -79,11 +179,13 @@ class ResultCache:
     directory: str | Path
     version: str = ENGINE_CACHE_VERSION
     _stats: dict[str, CacheStats] = field(default_factory=dict, repr=False)
+    _flushed: dict[str, tuple[int, int, int]] = field(default_factory=dict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __post_init__(self):
         self.directory = Path(self.directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        _register_cache(self)
 
     # ------------------------------------------------------------- pickling
     def __getstate__(self):
@@ -93,7 +195,9 @@ class ResultCache:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        self.__dict__.setdefault("_flushed", {})
         self._lock = threading.Lock()
+        _register_cache(self)
 
     # ----------------------------------------------------------------- keys
     def key(self, namespace: str, **fields: Any) -> CacheKey:
@@ -125,6 +229,23 @@ class ResultCache:
                 stats.hits += 1
             else:
                 stats.misses += 1
+        if trace.active() is not None:
+            kind = "puts" if put else ("hits" if hit else "misses")
+            trace.count(f"cache.{namespace}.{kind}")
+
+    def merge_stats(self, deltas: dict[str, dict[str, int]]) -> None:
+        """Fold another process's per-namespace hit/miss/put deltas in.
+
+        Called by the collector when a worker-process envelope lands, so the
+        parent's :meth:`stats` reflect traffic that happened in worker-built
+        cache instances (see ``runtime_stats_snapshot``).
+        """
+        with self._lock:
+            for namespace, delta in deltas.items():
+                stats = self._stats.setdefault(namespace, CacheStats())
+                stats.hits += int(delta.get("hits", 0))
+                stats.misses += int(delta.get("misses", 0))
+                stats.puts += int(delta.get("puts", 0))
 
     def _paths(self, key: CacheKey) -> tuple[Path, Path]:
         return (
@@ -189,6 +310,15 @@ class ResultCache:
         ``cls`` rebuilds JSON-stored dataclasses (ignored for pickles, which
         carry their own types).
         """
+        recorder = trace.active()
+        if recorder is None:
+            return self._get(key, cls, default)
+        start = time.perf_counter()
+        value = self._get(key, cls, default)
+        recorder.observe(f"cache.{key.namespace}.get_s", time.perf_counter() - start)
+        return value
+
+    def _get(self, key: CacheKey, cls: type | None, default: Any) -> Any:
         json_path, pkl_path = self._paths(key)
         try:
             if json_path.exists():
@@ -221,6 +351,15 @@ class ResultCache:
 
     def put(self, key: CacheKey, value: Any) -> Path:
         """Store ``value`` at ``key`` (JSON when possible, pickle otherwise)."""
+        recorder = trace.active()
+        if recorder is None:
+            return self._put(key, value)
+        start = time.perf_counter()
+        path = self._put(key, value)
+        recorder.observe(f"cache.{key.namespace}.put_s", time.perf_counter() - start)
+        return path
+
+    def _put(self, key: CacheKey, value: Any) -> Path:
         json_path, pkl_path = self._paths(key)
         try:
             rendered = json.dumps(to_jsonable(value), sort_keys=True)
@@ -233,6 +372,67 @@ class ResultCache:
         self._record(key.namespace, put=True)
         self._index_append(key)
         return json_path
+
+    # ------------------------------------------------------- session stats
+    # Runtime hit/miss accounting is in-memory and per-process; the sidecar
+    # below persists it so `repro cache stats` can report what actually
+    # happened across past runs (including process-executor runs, whose
+    # worker deltas merge into the parent cache before it flushes).
+    @property
+    def _session_stats_path(self) -> Path:
+        return self.directory / "stats.jsonl"
+
+    def flush_session_stats(self) -> dict[str, dict[str, int]]:
+        """Append this cache's unflushed hit/miss/put deltas to the sidecar.
+
+        Idempotent: each call writes only what accumulated since the last
+        one, so repeated service teardowns append nothing new.  Returns the
+        deltas written (empty dict when there was nothing to flush).  A
+        no-op inside a :func:`stats_capture` window — that traffic ships
+        home in the result envelope and the *parent* cache flushes it.
+        """
+        if _capturing():
+            return {}
+        with self._lock:
+            deltas: dict[str, dict[str, int]] = {}
+            for namespace, stats in self._stats.items():
+                base = self._flushed.get(namespace, (0, 0, 0))
+                delta = (
+                    stats.hits - base[0], stats.misses - base[1], stats.puts - base[2]
+                )
+                if any(delta):
+                    deltas[namespace] = {
+                        "hits": delta[0], "misses": delta[1], "puts": delta[2]
+                    }
+                    self._flushed[namespace] = (stats.hits, stats.misses, stats.puts)
+            if not deltas:
+                return {}
+            line = json.dumps(
+                {"pid": os.getpid(), "ts": time.time(), "namespaces": deltas}
+            )
+            with self._session_stats_path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+            return deltas
+
+    def session_stats(self) -> dict[str, CacheStats]:
+        """Aggregate the sidecar: per-namespace totals over all recorded runs."""
+        totals: dict[str, CacheStats] = {}
+        try:
+            lines = self._session_stats_path.read_text().splitlines()
+        except OSError:
+            return totals
+        for line in lines:
+            try:
+                record = json.loads(line)
+                namespaces = record["namespaces"]
+            except (ValueError, TypeError, KeyError):
+                continue  # torn concurrent append
+            for namespace, delta in namespaces.items():
+                stats = totals.setdefault(namespace, CacheStats())
+                stats.hits += int(delta.get("hits", 0))
+                stats.misses += int(delta.get("misses", 0))
+                stats.puts += int(delta.get("puts", 0))
+        return totals
 
     def memoize(self, key: CacheKey, fn, cls: type | None = None) -> Any:
         """Return the cached value at ``key``, computing and storing on miss."""
@@ -403,4 +603,5 @@ class ResultCache:
                 path.unlink(missing_ok=True)
                 removed += 1
         self._index_path.unlink(missing_ok=True)
+        self._session_stats_path.unlink(missing_ok=True)
         return removed

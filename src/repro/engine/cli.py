@@ -86,6 +86,16 @@ def main(argv: list[str] | None = None) -> int:
         for version, count in sorted(stats["versions"].items()):
             marker = " (current)" if version == str(cache.version) else ""
             print(f"  version {version:>12s}: {count} entries{marker}")
+        session = cache.session_stats()
+        if session:
+            print("recorded sessions (hit/miss/put over all runs, all processes):")
+            for namespace, row in sorted(session.items()):
+                total = row.hits + row.misses
+                rate = f"{row.hits / total:.1%}" if total else "n/a"
+                print(
+                    f"  namespace {namespace:>10s}: {row.hits} hits / "
+                    f"{row.misses} misses ({rate}), {row.puts} puts"
+                )
         return 0
     if args.action == "clear":
         removed = cache.clear(namespace=args.namespace)

@@ -14,11 +14,13 @@ so this holds by construction and parallel schedules cannot change results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Sequence
 
 from repro.engine.cache import CacheKey, ResultCache
 from repro.engine.executors import make_executor
+from repro.obs import trace
+from repro.obs.collect import TracedCall, absorb
 
 _MISS = object()
 
@@ -46,13 +48,28 @@ class EvalTask:
 
 @dataclass
 class ServiceStats:
-    """What the service did on behalf of the search."""
+    """What the service did on behalf of the search.
+
+    ``executed`` counts tasks handed to the executor (the historical field);
+    the submitted/completed/failed/cancelled quartet gives the full task
+    ledger: ``submitted == completed + failed + cancelled`` once a batch
+    settles.  Failures are counted per-batch — executors raise on the first
+    failing task, so the whole dispatched batch is charged to ``failed`` (or
+    ``cancelled`` for interrupt/exit teardowns) and the error propagates.
+    """
 
     batches: int = 0
     tasks: int = 0
     executed: int = 0
     cache_hits: int = 0
     deduplicated: int = 0
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
 
 
 class EvaluationService:
@@ -89,8 +106,18 @@ class EvaluationService:
         self.close(cancel=exc_type is not None)
 
     def close(self, cancel: bool = False) -> None:
-        """Tear down executor pools (idempotent); ``cancel`` drops queued work."""
+        """Tear down executor pools (idempotent); ``cancel`` drops queued work.
+
+        Also flushes the cache's session-stats sidecar so ``repro cache
+        stats`` reports this run's hit/miss traffic (including merged
+        worker-process deltas).
+        """
         self.executor.close(cancel=cancel)
+        if self.cache is not None:
+            try:
+                self.cache.flush_session_stats()
+            except OSError:
+                pass  # stats persistence must never mask the real teardown path
 
     @property
     def workers(self) -> int:
@@ -146,9 +173,7 @@ class EvaluationService:
             pending.append(index)
 
         if pending:
-            outputs = self.executor.run(
-                [(tasks[i].fn, tasks[i].args) for i in pending]
-            )
+            outputs = self._execute([(tasks[i].fn, tasks[i].args) for i in pending])
             self.stats.executed += len(pending)
             for index, output in zip(pending, outputs):
                 results[index] = output
@@ -158,6 +183,44 @@ class EvaluationService:
         for index, owner in duplicates:
             results[index] = results[owner]
         return results
+
+    def _execute(self, calls: list[tuple[Callable[..., Any], tuple]]) -> list[Any]:
+        """Dispatch cache misses to the executor, collecting observability.
+
+        Pooled calls are wrapped in :class:`~repro.obs.collect.TracedCall`
+        when tracing is on (to capture worker-side spans/counters and
+        queue-wait) or when the executor may cross a process boundary while
+        a cache is attached (to ship worker cache-stat deltas home).  The
+        wrapper preserves ``is_task_codec``, so ``auto`` routing and results
+        are unchanged — envelopes are unwrapped before anything downstream
+        (cache puts, callers) sees them.
+        """
+        recording = trace.active() is not None
+        kind = self.executor.kind
+        wrap = kind != "serial" and (
+            recording or (self.cache is not None and kind in ("process", "auto"))
+        )
+        if wrap:
+            calls = [(TracedCall(fn, recording), args) for fn, args in calls]
+        self.stats.submitted += len(calls)
+        trace.count("engine.tasks_submitted", len(calls))
+        trace.observe("engine.batch_pending", len(calls))
+        try:
+            with trace.span("engine.execute", pending=len(calls), executor=kind):
+                outputs = self.executor.run(calls)
+        except BaseException as error:
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                self.stats.cancelled += len(calls)
+                trace.count("engine.tasks_cancelled", len(calls))
+            else:
+                self.stats.failed += len(calls)
+                trace.count("engine.tasks_failed", len(calls))
+            raise
+        self.stats.completed += len(calls)
+        trace.count("engine.tasks_completed", len(calls))
+        if wrap:
+            outputs = [absorb(output, self.cache) for output in outputs]
+        return outputs
 
     def map(self, fn: Callable[..., Any], args_list: Sequence[tuple]) -> list[Any]:
         """Convenience: evaluate ``fn`` over many argument tuples, unkeyed."""

@@ -35,6 +35,7 @@ from repro.hardware.cost_table import CostTableBank
 from repro.hardware.dvfs import DvfsSetting
 from repro.hardware.energy import EnergyModel
 from repro.hardware.population_kernel import PopulationKernel, PopulationPathCosts
+from repro.obs import trace
 from repro.utils.validation import check_nonneg
 
 
@@ -184,7 +185,12 @@ class DynamicEvaluator:
         """Full dynamic evaluation of (x, f | b) (cached)."""
         key = (placement.key, setting.core_ghz, setting.emc_ghz)
         if key in self._eval_cache:
+            trace.count("dyneval.memo_hits")
             return self._eval_cache[key]
+        trace.count("dyneval.evaluations")
+        trace.count(
+            "dyneval.table_path" if self.use_tables else "dyneval.reference_path"
+        )
 
         stats = self.oracle.evaluate_placement(placement)
         positions = placement.positions
@@ -251,7 +257,11 @@ class DynamicEvaluator:
         """
         placements = list(placements)
         if not (self.use_tables and self.use_population_kernel):
+            trace.count("dyneval.population_fallbacks")
+            trace.count("dyneval.population_fallback_rows", len(placements))
             return [self.evaluate(p, setting) for p in placements]
+        trace.count("dyneval.population_calls")
+        trace.count("dyneval.population_rows", len(placements))
         cache = self._eval_cache
         core, emc = setting.core_ghz, setting.emc_ghz
         keys = [(p.key, core, emc) for p in placements]

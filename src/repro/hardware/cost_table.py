@@ -27,6 +27,7 @@ cached branch scalars.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -34,6 +35,7 @@ import numpy as np
 
 from repro.arch.cost import LayerCost, NetworkCost
 from repro.hardware.dvfs import DvfsSetting
+from repro.obs import trace
 from repro.hardware.energy import (
     EnergyModel,
     EnergyReport,
@@ -339,11 +341,25 @@ class CostTableBank:
         key = (setting.core_ghz, setting.emc_ghz)
         table = self._tables.get(key)
         if table is None:
+            # Timed only on the miss path, so the lock-free hit costs nothing
+            # extra; when tracing is off the clock reads are skipped too.
+            timing = trace.active() is not None
+            wait_start = time.perf_counter() if timing else 0.0
             with self._lock:
+                if timing:
+                    trace.observe(
+                        "cost_table.lock_wait_s", time.perf_counter() - wait_start
+                    )
                 table = self._tables.get(key)
                 if table is None:
-                    table = self._build_table(setting)
+                    with trace.span(
+                        "cost_table.build", core=key[0], emc=key[1]
+                    ):
+                        table = self._build_table(setting)
+                    trace.count("cost_table.builds")
                     self._tables[key] = table
+                else:
+                    trace.count("cost_table.build_races")
         return table
 
     def _build_table(self, setting: DvfsSetting) -> SettingCostTable:

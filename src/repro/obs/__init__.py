@@ -1,0 +1,20 @@
+"""Observability: tracing/metrics runtime, collectors, exports, manifests.
+
+Import surface is deliberately thin — ``repro.engine.cache`` imports this
+package for its counters, so the package initialiser must not pull in
+``obs.collect`` (which imports the cache back).  Instrumented modules do
+``from repro.obs import trace`` and call ``trace.span`` / ``trace.count`` /
+``trace.observe``; everything else (collector, exporters, manifest, CLI)
+is imported from its own module on demand.
+"""
+
+from repro.obs.trace import (  # noqa: F401
+    Recorder,
+    active,
+    count,
+    install,
+    observe,
+    recording,
+    span,
+    uninstall,
+)

@@ -1,0 +1,119 @@
+"""``repro trace`` — inspect saved traces — plus the runners' ``--trace`` hook.
+
+Usage::
+
+    python -m repro trace summary out.jsonl
+    python -m repro trace top out.jsonl --limit 10
+    python -m repro trace export out.jsonl --chrome chrome.json
+
+``summary`` prints the aggregate span/counter/histogram tables; ``top``
+prints only the N heaviest span names; ``export --chrome`` writes Chrome
+``trace_event`` JSON that Perfetto (https://ui.perfetto.dev) opens directly.
+
+:func:`traced_run` is the shared implementation behind every runner's
+``--trace out.jsonl`` flag: it installs a global recorder for the duration,
+then writes the trace JSONL and a ``<out>.manifest.json``
+:class:`~repro.obs.manifest.RunManifest` beside it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs import trace
+from repro.obs.export import load_jsonl, render_summary, to_chrome_trace, write_jsonl
+from repro.obs.manifest import build_manifest
+
+
+@contextlib.contextmanager
+def traced_run(
+    out: str | None,
+    command: str,
+    config: Any = None,
+    seed: int = 0,
+    platforms: list[str] | tuple[str, ...] = (),
+) -> Iterator[trace.Recorder | None]:
+    """Record the enclosed block to ``out`` (no-op when ``out`` is None).
+
+    Installs the process-global recorder so every instrumented layer —
+    including worker processes, whose envelopes merge back through the
+    service — lands in one trace.  On exit the trace JSONL and its manifest
+    are written and their paths printed; tracing never changes results (the
+    runtime touches no RNG), so a traced run is bit-identical to a bare one.
+    """
+    if out is None:
+        yield None
+        return
+    if trace.active() is not None:
+        raise RuntimeError("a trace recording is already active in this process")
+    recorder = trace.Recorder()
+    started_at = time.time()
+    wall0 = time.perf_counter()
+    trace.install(recorder)
+    try:
+        yield recorder
+    finally:
+        trace.uninstall()
+        wall_s = time.perf_counter() - wall0
+        path = write_jsonl(
+            recorder, out, meta={"command": command, "seed": int(seed)}
+        )
+        manifest = build_manifest(
+            recorder,
+            command=command,
+            config=config,
+            seed=seed,
+            platforms=list(platforms),
+            started_at=started_at,
+            wall_s=wall_s,
+        )
+        manifest_path = manifest.save(Path(out).with_suffix(".manifest.json"))
+        print(f"trace written to {path} (manifest: {manifest_path})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="aggregate span/counter tables")
+    p_summary.add_argument("trace_file")
+
+    p_top = sub.add_parser("top", help="heaviest span names by total wall time")
+    p_top.add_argument("trace_file")
+    p_top.add_argument("-n", "--limit", type=int, default=10)
+
+    p_export = sub.add_parser("export", help="convert to other formats")
+    p_export.add_argument("trace_file")
+    p_export.add_argument(
+        "--chrome",
+        metavar="OUT",
+        required=True,
+        help="write Chrome trace_event JSON (open in Perfetto) to OUT",
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        payload = load_jsonl(args.trace_file)
+    except OSError as error:
+        raise SystemExit(f"cannot read trace {args.trace_file!r}: {error}")
+
+    if args.command == "summary":
+        print(render_summary(payload))
+    elif args.command == "top":
+        print(render_summary(payload, top=max(args.limit, 1)))
+    elif args.command == "export":
+        out = Path(args.chrome)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(to_chrome_trace(payload)))
+        print(f"chrome trace written to {out} ({len(payload['events'])} events)")
+    return 0

@@ -1,0 +1,133 @@
+"""Collector: ship worker-side events and cache deltas home with results.
+
+Pool workers (threads *and* processes) run outside the submitting thread's
+recorder, and process workers additionally keep their own ``ResultCache``
+instances whose hit/miss accounting the parent never sees.  The collector
+closes both gaps through the existing executor result channel — no extra
+sockets, files or queues:
+
+* :class:`TracedCall` wraps each pending ``(fn, args)`` call in
+  :meth:`EvaluationService.evaluate_batch`.  In the worker it runs ``fn``
+  under a fresh thread-local :class:`~repro.obs.trace.Recorder` (when
+  tracing is on), snapshots the process-wide cache-stats delta (when running
+  in a forked worker), and returns everything bundled in an
+  :class:`Envelope` alongside the result.
+* :func:`absorb` unwraps the envelope in the parent: events merge into the
+  active recorder, cache deltas merge into the service's cache, and the bare
+  result flows onward — downstream code (cache puts, result assembly) never
+  sees the wrapper.
+
+``TracedCall`` mirrors the wrapped function's ``is_task_codec`` attribute so
+the ``auto`` executor's codec-batch routing is unchanged, and it pickles iff
+the wrapped function does — exactly the existing process-executor contract.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import contextlib
+
+from repro.engine.cache import (
+    runtime_stats_delta,
+    runtime_stats_snapshot,
+    stats_capture,
+)
+from repro.obs import trace
+
+
+@dataclass
+class Envelope:
+    """A worker result plus the observability freight riding with it."""
+
+    result: Any
+    payload: dict | None = None  # Recorder.export_payload() from the worker
+    cache_deltas: dict | None = None  # namespace -> {hits, misses, puts}
+    queue_wait_s: float | None = None
+    pid: int = 0
+
+
+def _task_label(fn: Any, args: tuple) -> str:
+    """Human-readable task name: the spec kind for codec calls, else the fn."""
+    if getattr(fn, "is_task_codec", False) and args:
+        kind = getattr(args[0], "kind", None)
+        if kind:
+            return str(kind)
+    inner = getattr(fn, "fn", None)  # unwrap nested TracedCall, defensively
+    target = inner if inner is not None else fn
+    return getattr(target, "__name__", type(target).__name__)
+
+
+class TracedCall:
+    """Picklable call wrapper that records one task's worker-side telemetry.
+
+    ``record`` controls event capture (tracing on in the parent at submit
+    time); cache-stats deltas are captured whenever the call actually runs
+    in another process, so cross-process cache accounting stays truthful
+    even with tracing off.
+    """
+
+    def __init__(self, fn: Any, record: bool):
+        self.fn = fn
+        self.record = record
+        self.origin_pid = os.getpid()
+        self.submitted_at = time.time()
+        # Preserve codec-batch detection through the wrapper.
+        self.is_task_codec = bool(getattr(fn, "is_task_codec", False))
+
+    def __call__(self, *args: Any) -> Any:
+        in_parent = os.getpid() == self.origin_pid
+        if not self.record and in_parent:
+            # Nothing to ship: events are off and the parent's live caches
+            # already see every hit/miss this call makes.
+            return self.fn(*args)
+        queue_wait = max(time.time() - self.submitted_at, 0.0)
+        baseline = None if in_parent else runtime_stats_snapshot()
+        # In a worker, the envelope owns this call's cache deltas: mute the
+        # session-stats sidecar for the duration so services closing inside
+        # the task don't record the same traffic a second time.
+        scope = stats_capture() if not in_parent else contextlib.nullcontext()
+        with scope:
+            if self.record:
+                recorder = trace.Recorder()
+                with trace.recording(recorder):
+                    with recorder.span(
+                        "worker.execute", task=_task_label(self.fn, args)
+                    ):
+                        result = self.fn(*args)
+                payload = recorder.export_payload()
+            else:
+                result = self.fn(*args)
+                payload = None
+        deltas = None if baseline is None else runtime_stats_delta(baseline)
+        return Envelope(
+            result=result,
+            payload=payload,
+            cache_deltas=deltas or None,
+            queue_wait_s=queue_wait,
+            pid=os.getpid(),
+        )
+
+
+def absorb(output: Any, cache: Any = None) -> Any:
+    """Unwrap an :class:`Envelope` in the parent, merging its freight.
+
+    Events and queue-wait samples land on the parent's active recorder;
+    cache deltas from *other* processes merge into ``cache`` (the service's
+    shared :class:`~repro.engine.cache.ResultCache`) so ``cache.stats()``
+    counts worker traffic.  Non-envelope outputs pass through untouched.
+    """
+    if not isinstance(output, Envelope):
+        return output
+    recorder = trace.active()
+    if recorder is not None:
+        if output.payload is not None:
+            recorder.merge(output.payload)
+        if output.queue_wait_s is not None:
+            recorder.observe("engine.queue_wait_s", output.queue_wait_s)
+    if output.cache_deltas and cache is not None and output.pid != os.getpid():
+        cache.merge_stats(output.cache_deltas)
+    return output.result

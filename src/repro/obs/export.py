@@ -1,0 +1,237 @@
+"""Trace persistence and aggregation: JSONL, Chrome trace_event, summaries.
+
+The on-disk format is line-delimited JSON so traces stream and survive
+truncation: a ``meta`` header line, one ``span`` line per event, then a
+``counters`` and a ``histograms`` trailer.  :func:`to_chrome_trace` converts
+a loaded payload to the Chrome ``trace_event`` array format, which Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` open directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import Histogram, Recorder
+
+
+def write_jsonl(recorder: Recorder, path: str | Path, meta: dict | None = None) -> Path:
+    """Persist a recorder to ``path`` as JSONL; returns the path written."""
+    payload = recorder.export_payload()
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"type": "meta", "pid": payload["pid"]}
+        if meta:
+            header.update(meta)
+        handle.write(json.dumps(header) + "\n")
+        for event in payload["events"]:
+            handle.write(json.dumps({"type": "span", **event}) + "\n")
+        handle.write(
+            json.dumps({"type": "counters", "counters": payload["counters"]}) + "\n"
+        )
+        handle.write(
+            json.dumps({"type": "histograms", "histograms": payload["histograms"]})
+            + "\n"
+        )
+    return path
+
+
+def load_jsonl(path: str | Path) -> dict:
+    """Load a trace file back into a payload dict.
+
+    Returns ``{"meta", "events", "counters", "histograms"}``; corrupt lines
+    are skipped so a truncated trace still summarises.
+    """
+    payload: dict[str, Any] = {"meta": {}, "events": [], "counters": {}, "histograms": {}}
+    for line in Path(path).read_text().splitlines():
+        try:
+            record = json.loads(line)
+            kind = record.get("type")
+        except (ValueError, AttributeError):
+            continue
+        if kind == "meta":
+            payload["meta"] = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "span":
+            payload["events"].append({k: v for k, v in record.items() if k != "type"})
+        elif kind == "counters":
+            payload["counters"].update(record.get("counters", {}))
+        elif kind == "histograms":
+            payload["histograms"].update(record.get("histograms", {}))
+    return payload
+
+
+def span_tree(events: list[dict]) -> dict[tuple[int, int | None], list[dict]]:
+    """Group events by ``(pid, parent id)`` — children of ``(pid, None)`` are
+    roots of that process.  Ids are only unique per process, hence the pid in
+    the key."""
+    children: dict[tuple[int, int | None], list[dict]] = {}
+    for event in events:
+        key = (event.get("pid", 0), event.get("parent"))
+        children.setdefault(key, []).append(event)
+    return children
+
+
+def to_chrome_trace(payload: dict) -> dict:
+    """Convert a loaded payload to Chrome ``trace_event`` JSON (Perfetto).
+
+    Complete events (``"ph": "X"``) with microsecond timestamps rebased to
+    the earliest span, one row per (pid, tid).
+    """
+    events = payload.get("events", [])
+    base = min((event["ts"] for event in events), default=0.0)
+    trace_events = []
+    for event in events:
+        entry = {
+            "name": event["name"],
+            "cat": "span",
+            "ph": "X",
+            "ts": (event["ts"] - base) * 1e6,
+            "dur": event.get("wall_s", 0.0) * 1e6,
+            "pid": event.get("pid", 0),
+            "tid": event.get("tid", 0),
+        }
+        args = dict(event.get("attrs", {}))
+        if event.get("cpu_s") is not None:
+            args["cpu_s"] = event["cpu_s"]
+        if event.get("error"):
+            args["error"] = event["error"]
+        if args:
+            entry["args"] = args
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def _histogram_of(data: dict) -> Histogram:
+    hist = Histogram()
+    hist.merge_payload(data)
+    return hist
+
+
+def summarize(payload: dict) -> dict:
+    """Aggregate a payload into per-span-name and per-metric rollups."""
+    spans: dict[str, dict] = {}
+    for event in payload.get("events", []):
+        row = spans.setdefault(
+            event["name"],
+            {"count": 0, "wall_s": 0.0, "cpu_s": 0.0, "max_wall_s": 0.0},
+        )
+        row["count"] += 1
+        row["wall_s"] += event.get("wall_s", 0.0)
+        row["cpu_s"] += event.get("cpu_s", 0.0)
+        row["max_wall_s"] = max(row["max_wall_s"], event.get("wall_s", 0.0))
+    for row in spans.values():
+        row["mean_wall_s"] = row["wall_s"] / row["count"] if row["count"] else 0.0
+    histograms = {}
+    for name, data in payload.get("histograms", {}).items():
+        hist = _histogram_of(data)
+        histograms[name] = {
+            "count": hist.count,
+            "mean": hist.mean,
+            "p50": hist.percentile(0.50),
+            "p95": hist.percentile(0.95),
+            "max": hist.max if hist.count else 0.0,
+        }
+    return {
+        "spans": spans,
+        "counters": dict(payload.get("counters", {})),
+        "histograms": histograms,
+    }
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _format_sample(name: str, value: float) -> str:
+    # Only ``*_s`` histograms hold durations; the rest are plain quantities
+    # (batch sizes, group counts) and render as bare numbers.
+    if name.endswith("_s"):
+        return _format_seconds(value)
+    return f"{value:.4g}"
+
+
+def render_summary(payload: dict, top: int = 0) -> str:
+    """Human-readable aggregate table (the ``repro trace summary`` output).
+
+    ``top`` limits the span table to the N heaviest names by total wall
+    time (0 = all), which is also what ``repro trace top`` prints.
+    """
+    summary = summarize(payload)
+    lines = []
+    spans = sorted(
+        summary["spans"].items(), key=lambda item: item[1]["wall_s"], reverse=True
+    )
+    if top:
+        spans = spans[:top]
+    if spans:
+        lines.append("spans (by total wall time):")
+        lines.append(
+            f"  {'name':<28} {'count':>7} {'total':>10} {'mean':>10} "
+            f"{'max':>10} {'cpu':>10}"
+        )
+        for name, row in spans:
+            lines.append(
+                f"  {name:<28} {row['count']:>7} "
+                f"{_format_seconds(row['wall_s']):>10} "
+                f"{_format_seconds(row['mean_wall_s']):>10} "
+                f"{_format_seconds(row['max_wall_s']):>10} "
+                f"{_format_seconds(row['cpu_s']):>10}"
+            )
+    if summary["counters"]:
+        lines.append("counters:")
+        for name in sorted(summary["counters"]):
+            value = summary["counters"][name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<44} {rendered:>12}")
+    if summary["histograms"]:
+        lines.append("histograms:")
+        lines.append(
+            f"  {'name':<28} {'count':>7} {'mean':>10} {'p50':>10} "
+            f"{'p95':>10} {'max':>10}"
+        )
+        for name in sorted(summary["histograms"]):
+            row = summary["histograms"][name]
+            lines.append(
+                f"  {name:<28} {row['count']:>7} "
+                f"{_format_sample(name, row['mean']):>10} "
+                f"{_format_sample(name, row['p50']):>10} "
+                f"{_format_sample(name, row['p95']):>10} "
+                f"{_format_sample(name, row['max']):>10}"
+            )
+    if not lines:
+        return "empty trace"
+    return "\n".join(lines)
+
+
+def counter_rollup(recorder: Recorder) -> dict:
+    """Compact JSON-able rollup of a live recorder (for bench reports).
+
+    Counters verbatim, histograms as count/mean/p95 triples, plus derived
+    per-namespace cache hit rates — the shape both bench suites embed.
+    """
+    payload = recorder.export_payload()
+    summary = summarize(payload)
+    cache_hit_rates = {}
+    counters = summary["counters"]
+    namespaces = {
+        name.split(".")[1]
+        for name in counters
+        if name.startswith("cache.") and len(name.split(".")) == 3
+    }
+    for namespace in sorted(namespaces):
+        hits = counters.get(f"cache.{namespace}.hits", 0)
+        misses = counters.get(f"cache.{namespace}.misses", 0)
+        lookups = hits + misses
+        cache_hit_rates[namespace] = hits / lookups if lookups else 0.0
+    return {
+        "counters": counters,
+        "histograms": summary["histograms"],
+        "cache_hit_rates": cache_hit_rates,
+    }

@@ -1,0 +1,169 @@
+"""Run manifests: one JSON record of what a traced run actually was.
+
+A :class:`RunManifest` pins the facts a future reader needs to interpret a
+trace — what command ran, under which config fingerprint and seed, against
+which platforms and cache namespaces, at which code revision — plus the
+timing/counter rollup so the headline numbers survive even if the trace
+file itself is discarded.  ``validate_manifest`` checks a loaded manifest
+against :data:`MANIFEST_SCHEMA` (hand-rolled: the toolchain has no
+jsonschema dependency, and the schema is flat enough not to want one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform as platform_module
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.export import summarize
+from repro.obs.trace import Recorder
+from repro.utils.serialization import canonical_json, to_jsonable
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: field -> (required, allowed types); the validation contract for readers.
+MANIFEST_SCHEMA: dict[str, tuple[bool, tuple[type, ...]]] = {
+    "schema_version": (True, (int,)),
+    "command": (True, (str,)),
+    "config_fingerprint": (True, (str,)),
+    "seed": (True, (int,)),
+    "platforms": (True, (list,)),
+    "cache_namespaces": (True, (list,)),
+    "git_describe": (False, (str, type(None))),
+    "python_version": (True, (str,)),
+    "numpy_version": (False, (str, type(None))),
+    "hostname": (False, (str, type(None))),
+    "started_at": (True, (int, float)),
+    "wall_s": (True, (int, float)),
+    "counters": (True, (dict,)),
+    "spans": (True, (dict,)),
+    "histograms": (False, (dict,)),
+}
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything needed to identify and headline one traced run."""
+
+    command: str
+    config_fingerprint: str
+    seed: int
+    platforms: list[str]
+    cache_namespaces: list[str]
+    git_describe: str | None
+    python_version: str
+    numpy_version: str | None
+    hostname: str | None
+    started_at: float
+    wall_s: float
+    counters: dict[str, float]
+    spans: dict[str, dict]
+    histograms: dict[str, dict] = field(default_factory=dict)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def to_json(self) -> dict:
+        return to_jsonable(asdict(self))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable digest of any JSON-able config object (e.g. a Profile)."""
+    payload = canonical_json(to_jsonable(config))
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def git_describe() -> str | None:
+    """Best-effort ``git describe`` of the working tree; None off-repo."""
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    described = result.stdout.strip()
+    return described if result.returncode == 0 and described else None
+
+
+def _numpy_version() -> str | None:
+    try:
+        import numpy
+    except ImportError:  # the obs layer itself is stdlib-only
+        return None
+    return str(numpy.__version__)
+
+
+def build_manifest(
+    recorder: Recorder,
+    command: str,
+    config: Any = None,
+    seed: int = 0,
+    platforms: list[str] | tuple[str, ...] = (),
+    started_at: float = 0.0,
+    wall_s: float = 0.0,
+) -> RunManifest:
+    """Assemble the manifest for a finished recorder."""
+    summary = summarize(recorder.export_payload())
+    namespaces = sorted(
+        {
+            name.split(".")[1]
+            for name in summary["counters"]
+            if name.startswith("cache.") and len(name.split(".")) == 3
+        }
+    )
+    return RunManifest(
+        command=command,
+        config_fingerprint=config_fingerprint(config) if config is not None else "",
+        seed=int(seed),
+        platforms=[str(p) for p in platforms],
+        cache_namespaces=namespaces,
+        git_describe=git_describe(),
+        python_version=sys.version.split()[0],
+        numpy_version=_numpy_version(),
+        hostname=platform_module.node() or None,
+        started_at=float(started_at) if started_at else time.time() - wall_s,
+        wall_s=float(wall_s),
+        counters=summary["counters"],
+        spans=summary["spans"],
+        histograms=summary["histograms"],
+    )
+
+
+def validate_manifest(payload: dict) -> None:
+    """Raise ``ValueError`` listing every way ``payload`` violates the schema."""
+    problems = []
+    if not isinstance(payload, dict):
+        raise ValueError(f"manifest must be a JSON object, got {type(payload).__name__}")
+    for name, (required, types) in MANIFEST_SCHEMA.items():
+        if name not in payload:
+            if required:
+                problems.append(f"missing required field {name!r}")
+            continue
+        if not isinstance(payload[name], types):
+            expected = "/".join(t.__name__ for t in types)
+            problems.append(
+                f"field {name!r} has type {type(payload[name]).__name__}, "
+                f"expected {expected}"
+            )
+    version = payload.get("schema_version")
+    if isinstance(version, int) and version > MANIFEST_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is newer than supported "
+            f"{MANIFEST_SCHEMA_VERSION}"
+        )
+    if problems:
+        raise ValueError("invalid manifest: " + "; ".join(problems))

@@ -73,6 +73,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="persistent evaluation-result cache directory")
     parser.add_argument("--out", default="hadas-design.json",
                         help="write the selected design artifact here")
+    parser.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                        help="record a trace + run manifest of the search "
+                             "(inspect with `python -m repro trace summary`)")
     args = parser.parse_args(argv)
 
     args.platform = canonical_platform_key(args.platform)
@@ -84,15 +87,24 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--workers must be > 0, got {args.workers}")
 
     config = build_config(args)
-    search = HadasSearch(config)
-    start = time.perf_counter()
-    try:
-        result = search.run()
-    except BaseException:
-        search.close(cancel=True)  # drop queued work; leak no pool workers
-        raise
-    search.close()
-    elapsed = time.perf_counter() - start
+    from repro.obs.cli import traced_run
+
+    with traced_run(
+        args.trace,
+        command="repro search " + " ".join(argv or []),
+        config=config,
+        seed=args.seed,
+        platforms=[args.platform],
+    ):
+        search = HadasSearch(config)
+        start = time.perf_counter()
+        try:
+            result = search.run()
+        except BaseException:
+            search.close(cancel=True)  # drop queued work; leak no pool workers
+            raise
+        search.close()
+        elapsed = time.perf_counter() - start
 
     design = result.deployed_design()
     static_evals, dynamic_evals = result.num_evaluations

@@ -26,6 +26,7 @@ from repro.eval.static import StaticEvaluator
 from repro.exits.placement import ExitPlacement, ExitSpace
 from repro.hardware.dvfs import DvfsSpace
 from repro.hardware.energy import EnergyModel
+from repro.obs import trace
 from repro.search import operators
 from repro.search.archive import ParetoArchive
 from repro.search.individual import Individual
@@ -126,6 +127,9 @@ class _InnerProblem(Problem):
         groups: dict[tuple[float, float], list[int]] = {}
         for i, (_, setting) in enumerate(decoded):
             groups.setdefault((setting.core_ghz, setting.emc_ghz), []).append(i)
+        trace.count("ioe.population_batches")
+        trace.count("ioe.population_genomes", len(genomes))
+        trace.count("ioe.setting_groups", len(groups))
         results: list = [None] * len(genomes)
         for indices in groups.values():
             setting = decoded[indices[0]][1]
@@ -243,7 +247,8 @@ class InnerEngine:
             rng=child_rng(self.seed, "ioe", self.config.key),
             service=self.service,
         )
-        engine.run()
+        with trace.span("ioe.run", backbone=self.config.key):
+            engine.run()
         archive = ParetoArchive()
         archive.add_all(engine.history)
         return InnerResult(

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.metrics.pareto import crowding_distance, non_dominated_sort
+from repro.obs import trace
 from repro.search.individual import Individual
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_positive
@@ -169,6 +170,8 @@ class NSGA2:
             for key, (objectives, payload) in zip(fresh, outputs):
                 self._eval_cache[key] = (np.asarray(objectives, dtype=float), payload)
             self.num_evaluations += len(fresh)
+            trace.count("nsga.evaluations", len(fresh))
+            trace.count("nsga.memoized", len(individuals) - len(fresh))
         for individual in individuals:
             objectives, payload = self._eval_cache[individual.key()]
             individual.objectives = objectives.copy()
@@ -219,15 +222,17 @@ class NSGA2:
     # ----------------------------------------------------------------- loop
     def run(self) -> list[Individual]:
         """Full NSGA-II run; returns the final population (ranked)."""
-        population = self._initial_population()
+        with trace.span("nsga.generation", generation=0):
+            population = self._initial_population()
         rank_and_crowd(population)
         self.history.extend(population)
         for generation in range(1, self.config.generations):
-            offspring = self.make_offspring(population)
-            self.history.extend(offspring)
-            population = environmental_selection(
-                population + offspring, self.config.population
-            )
+            with trace.span("nsga.generation", generation=generation):
+                offspring = self.make_offspring(population)
+                self.history.extend(offspring)
+                population = environmental_selection(
+                    population + offspring, self.config.population
+                )
             if self.on_generation is not None:
                 self.on_generation(generation, population)
         rank_and_crowd(population)

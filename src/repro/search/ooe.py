@@ -26,6 +26,7 @@ from repro.arch.config import BackboneConfig
 from repro.arch.space import BackboneSpace
 from repro.engine.service import EvalTask, EvaluationService
 from repro.eval.static import StaticEvaluation, StaticEvaluator
+from repro.obs import trace
 from repro.search import operators
 from repro.search.archive import ParetoArchive
 from repro.search.individual import Individual
@@ -253,66 +254,70 @@ class OuterEngine:
             static_archive=ParetoArchive(), dynamic_archive=ParetoArchive()
         )
 
-        population = engine._initial_population()
+        with trace.span("ooe.generation", generation=0):
+            population = engine._initial_population()
         rank_and_crowd(population)
         engine.history.extend(population)
 
         for generation in range(self.nsga_config.generations):
-            # Early selection: P'_B — best-ranked backbones get an IOE run.
-            rank_and_crowd(population)
-            pruned = sorted(population, key=lambda ind: (ind.rank, -ind.crowding))
-            pruned = pruned[: self.ioe_candidates]
+            with trace.span("ooe.generation", generation=generation + 1):
+                # Early selection: P'_B — best-ranked backbones get an IOE run.
+                rank_and_crowd(population)
+                pruned = sorted(population, key=lambda ind: (ind.rank, -ind.crowding))
+                pruned = pruned[: self.ioe_candidates]
 
-            # Inner runs + aggregation of dynamic evaluations.  All inner
-            # runs of a generation are submitted as one batch: each is a
-            # pure function of (backbone, seed), so the service may overlap
-            # them across workers while results stay identical to serial.
-            fresh: dict[str, Individual] = {}
-            for backbone in pruned:
-                config: BackboneConfig = backbone.payload["config"]
-                if config.key not in result.inner_results:
-                    fresh.setdefault(config.key, backbone)
-            if fresh:
-                inners = self.service.evaluate_batch(
-                    [
-                        self.inner_task(ind.payload["config"], ind.payload["static"])
-                        for ind in fresh.values()
-                    ]
-                )
-                for backbone, inner in zip(fresh.values(), inners):
-                    result.inner_results[backbone.payload["config"].key] = inner
-                    result.num_dynamic_evaluations += inner.num_evaluations
-                    result.dynamic_archive.add_all(
-                        self._dynamic_individuals(backbone, inner)
+                # Inner runs + aggregation of dynamic evaluations.  All inner
+                # runs of a generation are submitted as one batch: each is a
+                # pure function of (backbone, seed), so the service may overlap
+                # them across workers while results stay identical to serial.
+                fresh: dict[str, Individual] = {}
+                for backbone in pruned:
+                    config: BackboneConfig = backbone.payload["config"]
+                    if config.key not in result.inner_results:
+                        fresh.setdefault(config.key, backbone)
+                trace.count("ooe.inner_runs", len(fresh))
+                trace.count("ooe.inner_memoized", len(pruned) - len(fresh))
+                if fresh:
+                    inners = self.service.evaluate_batch(
+                        [
+                            self.inner_task(ind.payload["config"], ind.payload["static"])
+                            for ind in fresh.values()
+                        ]
                     )
-            combined: list[tuple[Individual, np.ndarray]] = []
-            for backbone in pruned:
-                inner = result.inner_results[backbone.payload["config"].key]
-                combined.append((backbone, self._combined_objectives(backbone, inner)))
+                    for backbone, inner in zip(fresh.values(), inners):
+                        result.inner_results[backbone.payload["config"].key] = inner
+                        result.num_dynamic_evaluations += inner.num_evaluations
+                        result.dynamic_archive.add_all(
+                            self._dynamic_individuals(backbone, inner)
+                        )
+                combined: list[tuple[Individual, np.ndarray]] = []
+                for backbone in pruned:
+                    inner = result.inner_results[backbone.payload["config"].key]
+                    combined.append((backbone, self._combined_objectives(backbone, inner)))
 
-            # Second selection on combined S+D scores -> P''_B.
-            lifted = [
-                Individual(genome=ind.genome, objectives=obj, payload=ind.payload)
-                for ind, obj in combined
-            ]
-            survivors = environmental_selection(lifted, max(2, len(lifted) // 2))
-            survivor_inds = [
-                next(ind for ind, _ in combined if ind.key() == s.key())
-                for s in survivors
-            ]
+                # Second selection on combined S+D scores -> P''_B.
+                lifted = [
+                    Individual(genome=ind.genome, objectives=obj, payload=ind.payload)
+                    for ind, obj in combined
+                ]
+                survivors = environmental_selection(lifted, max(2, len(lifted) // 2))
+                survivor_inds = [
+                    next(ind for ind, _ in combined if ind.key() == s.key())
+                    for s in survivors
+                ]
 
-            if generation == self.nsga_config.generations - 1:
-                break
+                if generation == self.nsga_config.generations - 1:
+                    break
 
-            # Variation: P''_B parents -> next generation.
-            rank_and_crowd(survivor_inds)
-            offspring = engine.make_offspring(
-                survivor_inds if len(survivor_inds) >= 2 else population
-            )
-            engine.history.extend(offspring)
-            population = environmental_selection(
-                population + offspring, self.nsga_config.population
-            )
+                # Variation: P''_B parents -> next generation.
+                rank_and_crowd(survivor_inds)
+                offspring = engine.make_offspring(
+                    survivor_inds if len(survivor_inds) >= 2 else population
+                )
+                engine.history.extend(offspring)
+                population = environmental_selection(
+                    population + offspring, self.nsga_config.population
+                )
 
         result.explored = engine.history
         result.static_archive.add_all(engine.history)

@@ -89,6 +89,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="persistent result cache for serving cells")
     parser.add_argument("--json", default=None, help="write reports to this JSON file")
+    parser.add_argument("--trace-out", default=None, metavar="OUT.jsonl",
+                        help="record an observability trace + run manifest of "
+                             "the sweep (`--trace` names the load pattern; "
+                             "inspect with `python -m repro trace summary`)")
     args = parser.parse_args(argv)
 
     if args.workers <= 0:
@@ -104,9 +108,20 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"cannot load design from {args.from_result}: {error}")
         print(f"mounting {design.describe()}")
 
-    if args.fleet is not None:
-        return _serve_fleet(parser, args, design)
-    return _serve_single(parser, args, design)
+    from repro.obs.cli import traced_run
+
+    fleet_platforms = [args.fleet] if args.fleet is not None else [args.platform]
+    with traced_run(
+        args.trace_out,
+        command="repro serve " + " ".join(argv or []),
+        config={"pattern": args.trace, "scenario": args.scenario,
+                "policy": args.policy, "slo_ms": args.slo_ms},
+        seed=args.seed,
+        platforms=fleet_platforms,
+    ):
+        if args.fleet is not None:
+            return _serve_fleet(parser, args, design)
+        return _serve_single(parser, args, design)
 
 
 def _serve_single(parser, args, design) -> int:

@@ -35,6 +35,7 @@ from repro.engine.service import EvaluationService
 from repro.engine.tasks import spec_task, task_spec
 from repro.hardware.energy import PathProfile
 from repro.hardware.platform import resolve_platform_keys
+from repro.obs import trace as tracing
 from repro.serving.batcher import BatchPolicy
 from repro.serving.deploy import DeployedDesign
 from repro.serving.governor import (
@@ -506,12 +507,16 @@ class FleetSimulator:
                 obs = self._observe(lane, start, trace, battery_budget, battery_spent)
                 lane.config = lane.policy.select(obs)
                 lane.governor_decisions += 1
+                tracing.count("fleet.governor_decisions")
                 lane.next_decision = start + self.window_s
             active = lane.config
             if lane.thermal is not None and lane.thermal.throttled:
                 active = lane.coolest  # hardware throttle overrides the policy
                 lane.throttled += 1
             lane.config_usage[active.name] = lane.config_usage.get(active.name, 0) + 1
+            tracing.count("fleet.batches")
+            tracing.count(f"fleet.lane.{lane.stack.spec.platform}.batches")
+            tracing.observe("fleet.batch_size", len(batch))
 
             indices = np.asarray([r.index for r in batch], dtype=np.int64)
             outcome = execute_batch(

@@ -24,6 +24,7 @@ import numpy as np
 from repro.eval.dynamic import DynamicEvaluator
 from repro.exits.placement import ExitPlacement
 from repro.hardware.energy import PathProfile, batched_execution
+from repro.obs import trace as tracing
 from repro.serving.batcher import BatchPolicy, MicroBatcher
 from repro.serving.governor import (
     GovernorObservation,
@@ -191,6 +192,23 @@ class ServingSimulator:
         seed: int = 0,
     ) -> ServingReport:
         """Serve the whole trace and aggregate telemetry."""
+        with tracing.span(
+            "serving.run",
+            pattern=trace.pattern,
+            scenario=self.scenario.name,
+            policy=self.policy.name,
+            requests=trace.num_requests,
+        ):
+            return self._run(trace, stream, platform, model, seed)
+
+    def _run(
+        self,
+        trace: Trace,
+        stream: ServingStream,
+        platform: str,
+        model: str,
+        seed: int,
+    ) -> ServingReport:
         n = trace.num_requests
         if stream.final_logits.shape[0] != n:
             raise ValueError(
@@ -229,6 +247,7 @@ class ServingSimulator:
             )
         )
         governor_decisions += 1
+        tracing.count("serving.governor_decisions")
         next_decision = self.window_s
 
         while (formed := batcher.next_batch(t_free)) is not None:
@@ -240,13 +259,17 @@ class ServingSimulator:
                 obs = self._observe(start, trace, arrivals, batcher, thermal, battery_spent)
                 config = self.policy.select(obs)
                 governor_decisions += 1
+                tracing.count("serving.governor_decisions")
                 next_decision = start + self.window_s
 
             active = config
             if thermal is not None and thermal.throttled:
                 active = self._coolest  # hardware throttle overrides the policy
                 throttled += 1
+                tracing.count("serving.throttled_batches")
             config_usage[active.name] = config_usage.get(active.name, 0) + 1
+            tracing.count("serving.batches")
+            tracing.observe("serving.batch_size", len(batch))
 
             indices = np.asarray([r.index for r in batch], dtype=np.int64)
             outcome = execute_batch(
