@@ -1,0 +1,231 @@
+"""Serving-core scale benchmark: trace size × fleet size, old vs new engine.
+
+Measures the million-request serving core this PR introduces: the
+vectorized trace generators, the array-backed batcher and the indexed
+event loop with compiled per-config pricing — against the retained
+reference engine (``MicroBatcher`` + per-batch ``execute_batch``), which
+is the pre-PR per-request/per-batch Python loop, kept bit-identical as
+``ServingSimulator(engine="reference")``.
+
+The grid sweeps trace scales (10⁴ → 10⁶ requests by default) down one
+axis and fleet compositions (single device, duo, quad) down the other,
+reporting wall clock, simulated-requests-per-wall-second and peak RSS for
+every cell.  The reference engine runs up to ``--reference-cap`` requests
+(its per-batch Python pricing makes 10⁶ impractical — that being the
+point); its throughput is per-batch work and therefore scale-independent,
+so the speedup contract compares the indexed engine's largest run against
+the reference engine's largest feasible run.
+
+Contract (asserted): the indexed engine's requests/second at the largest
+scale is ≥ ``--speedup-floor`` × the reference engine's (10× full, 3×
+smoke), and both engines serve every request they are offered.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py --smoke --json scale.json
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py --max-scale 1000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+
+from repro.serving.fleet import (
+    FleetSimulator,
+    FleetSpec,
+    build_fleet_stacks,
+    build_fleet_trace_and_stream,
+)
+from repro.serving.governor import AdaptiveGovernor, StaticPolicy
+from repro.serving.harness import ServingSpec, build_serving_stack
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import make_trace
+from repro.utils.serialization import save_json
+
+#: Fleet compositions on the second axis (1 × is the single-device engine).
+FLEETS = {
+    "duo": ("tx2-gpu", "agx-gpu"),
+    "quad": ("agx-gpu", "carmel-cpu", "tx2-gpu", "denver-cpu"),
+}
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set of this process so far, in MiB (monotone)."""
+    kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return kb / 1024.0  # Linux reports KiB
+
+
+def _simulator(stack, spec: ServingSpec, engine: str) -> ServingSimulator:
+    if spec.policy == "static":
+        policy = StaticPolicy(stack.static_config)
+    else:
+        policy = AdaptiveGovernor(stack.ladder, stack.batch_policy)
+    return ServingSimulator(
+        evaluator=stack.evaluator,
+        placement=stack.placement,
+        policy=policy,
+        ladder=stack.ladder,
+        scenario=stack.scenario,
+        slo_s=spec.slo_ms / 1e3,
+        batch_policy=stack.batch_policy,
+        window_s=spec.window_ms / 1e3,
+        engine=engine,
+    )
+
+
+def run_single(spec: ServingSpec, scale: int, engine: str, seed: int) -> dict:
+    """One single-device cell at ``scale`` requests through ``engine``."""
+    stack = build_serving_stack(spec)
+    duration_s = scale / stack.rate_hz
+    t0 = time.perf_counter()
+    trace = make_trace(spec.pattern, stack.rate_hz, duration_s, seed=seed)
+    trace_s = time.perf_counter() - t0
+    stream = stack.synthesizer.synthesize(trace.difficulties())
+    simulator = _simulator(stack, spec, engine)
+    t0 = time.perf_counter()
+    report = simulator.run(
+        trace, stream, platform=spec.platform, model=spec.model_label, seed=seed
+    )
+    wall_s = time.perf_counter() - t0
+    assert report.num_served == report.num_requests, "unbounded queue dropped work"
+    return {
+        "engine": engine,
+        "fleet": "single",
+        "platforms": [spec.platform],
+        "requests": report.num_requests,
+        "trace_build_s": trace_s,
+        "wall_s": wall_s,
+        "rps": report.num_requests / wall_s,
+        "rss_mb": peak_rss_mb(),
+        "p95_ms": report.latency_ms_p95,
+        "total_energy_j": report.total_energy_j,
+    }
+
+
+def run_fleet(name: str, platforms: tuple[str, ...], scale: int, seed: int) -> dict:
+    """One fleet cell at ``scale`` total requests across ``platforms``."""
+    spec = FleetSpec(platforms=platforms, duration_s=1.0, seed=seed)
+    stacks = build_fleet_stacks(spec)
+    fleet_rate = sum(stack.rate_hz for stack in stacks)
+    spec = FleetSpec(platforms=platforms, duration_s=scale / fleet_rate, seed=seed)
+    stacks = build_fleet_stacks(spec)
+    t0 = time.perf_counter()
+    trace, stream = build_fleet_trace_and_stream(spec, stacks)
+    trace_s = time.perf_counter() - t0
+    simulator = FleetSimulator(spec, stacks)
+    t0 = time.perf_counter()
+    report = simulator.run(trace, stream)
+    wall_s = time.perf_counter() - t0
+    assert report.num_served == report.num_requests, "unbounded fleet dropped work"
+    return {
+        "engine": "indexed",
+        "fleet": name,
+        "platforms": list(platforms),
+        "requests": report.num_requests,
+        "trace_build_s": trace_s,
+        "wall_s": wall_s,
+        "rps": report.num_requests / wall_s,
+        "rss_mb": peak_rss_mb(),
+        "p95_ms": report.latency_ms_p95,
+        "total_energy_j": report.total_energy_j,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scales + relaxed speedup floor (CI)")
+    parser.add_argument("--max-scale", type=int, default=None,
+                        help="largest trace scale (default 10⁶; smoke 2×10⁴)")
+    parser.add_argument("--reference-cap", type=int, default=None,
+                        help="largest scale the reference engine runs at "
+                             "(default 10⁵; smoke uncapped)")
+    parser.add_argument("--speedup-floor", type=float, default=None,
+                        help="required indexed/reference rps ratio "
+                             "(default 10; smoke 3)")
+    parser.add_argument("--policy", default="static", choices=("static", "adaptive"),
+                        help="governor for the single-device scale runs")
+    parser.add_argument("--pattern", default="poisson")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", default=None, help="write rows to this JSON file")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scales = [5_000, 20_000]
+        reference_cap = args.reference_cap or 20_000
+        floor = args.speedup_floor or 3.0
+        fleet_scales = [20_000]
+        fleets = {"duo": FLEETS["duo"]}
+    else:
+        scales = [10_000, 100_000, 1_000_000]
+        reference_cap = args.reference_cap or 100_000
+        floor = args.speedup_floor or 10.0
+        fleet_scales = [10_000, 100_000, 1_000_000]
+        fleets = dict(FLEETS)
+    if args.max_scale is not None:
+        scales = [s for s in scales if s <= args.max_scale] or [args.max_scale]
+        fleet_scales = [s for s in fleet_scales if s <= args.max_scale] or [args.max_scale]
+
+    spec = ServingSpec(pattern=args.pattern, policy=args.policy, seed=args.seed)
+    rows = []
+    header = (
+        f"{'engine':>10s} {'fleet':>7s} {'requests':>10s} {'trace s':>8s} "
+        f"{'wall s':>8s} {'req/s':>10s} {'RSS MiB':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for scale in scales:
+        for engine in ("reference", "indexed"):
+            if engine == "reference" and scale > reference_cap:
+                continue
+            row = run_single(spec, scale, engine, args.seed)
+            rows.append(row)
+            print(
+                f"{row['engine']:>10s} {row['fleet']:>7s} {row['requests']:>10d} "
+                f"{row['trace_build_s']:8.2f} {row['wall_s']:8.2f} "
+                f"{row['rps']:10.0f} {row['rss_mb']:8.0f}"
+            )
+    for scale in fleet_scales:
+        for name, platforms in fleets.items():
+            row = run_fleet(name, platforms, scale, args.seed)
+            rows.append(row)
+            print(
+                f"{row['engine']:>10s} {row['fleet']:>7s} {row['requests']:>10d} "
+                f"{row['trace_build_s']:8.2f} {row['wall_s']:8.2f} "
+                f"{row['rps']:10.0f} {row['rss_mb']:8.0f}"
+            )
+
+    reference = [r for r in rows if r["engine"] == "reference"]
+    indexed = [r for r in rows if r["engine"] == "indexed" and r["fleet"] == "single"]
+    best_reference = max(reference, key=lambda r: r["requests"])
+    largest_indexed = max(indexed, key=lambda r: r["requests"])
+    speedup = largest_indexed["rps"] / best_reference["rps"]
+    summary = {
+        "speedup": speedup,
+        "speedup_floor": floor,
+        "speedup_ok": speedup >= floor,
+        "reference_rps": best_reference["rps"],
+        "indexed_rps": largest_indexed["rps"],
+        "largest_scale": largest_indexed["requests"],
+    }
+    print(
+        f"\nindexed engine at {largest_indexed['requests']:,} requests: "
+        f"{largest_indexed['rps']:,.0f} simulated req/s — {speedup:.1f}x the "
+        f"reference loop ({best_reference['rps']:,.0f} req/s at "
+        f"{best_reference['requests']:,})"
+    )
+    assert summary["speedup_ok"], (
+        f"indexed engine speedup {speedup:.1f}x below the {floor:.0f}x floor"
+    )
+
+    if args.json:
+        path = save_json({"rows": rows, "summary": summary}, args.json)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

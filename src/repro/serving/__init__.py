@@ -7,7 +7,8 @@ timestamped request streams through searched designs:
 * :mod:`~repro.serving.workload` — load generators (Poisson, bursty MMPP,
   diurnal, replayed flash-crowd traces) with per-request difficulty;
 * :mod:`~repro.serving.batcher` — FIFO queue + micro-batcher (size cap /
-  head-of-line timeout);
+  head-of-line timeout), the array-backed batcher behind the indexed
+  engine, and queue-depth admission control (drop/defer, critical bypass);
 * :mod:`~repro.serving.stream` — difficulty-conditioned logits so the real
   entropy controllers make the exit decisions;
 * :mod:`~repro.serving.governor` — the runtime-config ladder (exit-rate ×
@@ -29,7 +30,13 @@ Entry points: ``repro serve ...`` (CLI), ``benchmarks/bench_serving.py``
 and ``benchmarks/bench_fleet.py``.
 """
 
-from repro.serving.batcher import BatchPolicy, MicroBatcher
+from repro.serving.batcher import (
+    ADMISSION_MODES,
+    AdmissionPolicy,
+    ArrayBatcher,
+    BatchPolicy,
+    MicroBatcher,
+)
 from repro.serving.governor import (
     AdaptiveGovernor,
     GovernorObservation,
@@ -74,17 +81,26 @@ from repro.serving.router import (
     make_router,
 )
 from repro.serving.scenarios import SCENARIO_NAMES, SCENARIOS, Scenario, get_scenario
-from repro.serving.simulator import ServingSimulator
+from repro.serving.simulator import (
+    ENGINE_NAMES,
+    CompiledStream,
+    ServingSimulator,
+    compile_stream,
+)
 from repro.serving.stream import LogitsSynthesizer, ServingStream
 from repro.serving.telemetry import (
     ServingReport,
+    class_latency_stats,
     render_comparison,
     render_fleet_report,
     render_report,
     render_router_comparison,
 )
 from repro.serving.workload import (
+    BEST_EFFORT,
+    LATENCY_CRITICAL,
     LOAD_PATTERNS,
+    SLO_CLASSES,
     Request,
     Trace,
     bursty_trace,
@@ -96,8 +112,16 @@ from repro.serving.workload import (
 )
 
 __all__ = [
+    "ADMISSION_MODES",
     "AdaptiveGovernor",
+    "AdmissionPolicy",
+    "ArrayBatcher",
+    "BEST_EFFORT",
     "BatchPolicy",
+    "CompiledStream",
+    "ENGINE_NAMES",
+    "LATENCY_CRITICAL",
+    "SLO_CLASSES",
     "DeployedDesign",
     "DeviceTelemetry",
     "DifficultyAwareRouter",
@@ -132,6 +156,8 @@ __all__ = [
     "build_serving_stack",
     "build_trace_and_stream",
     "bursty_trace",
+    "class_latency_stats",
+    "compile_stream",
     "design_from_individual",
     "diurnal_trace",
     "flash_crowd_trace",

@@ -31,6 +31,7 @@ from repro.hardware.platform import (
     resolve_platform_keys,
     validate_platform_keys,
 )
+from repro.serving.batcher import ADMISSION_MODES
 from repro.serving.fleet import FleetSpec, fleet_sweep
 from repro.serving.harness import POLICY_NAMES, ServingSpec, sweep
 from repro.serving.router import ROUTER_NAMES
@@ -83,6 +84,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-batch", type=int, default=6)
     parser.add_argument("--batch-timeout-ms", type=float, default=4.0)
     parser.add_argument("--window-ms", type=float, default=400.0)
+    parser.add_argument("--critical-fraction", type=float, default=0.0,
+                        help="share of arrivals tagged latency-critical "
+                             "(per-class percentiles land in the report)")
+    parser.add_argument("--admission-queue", type=int, default=None,
+                        help="backlog cap; arrivals beyond it are dropped or "
+                             "deferred instead of queueing unboundedly")
+    parser.add_argument("--admission-mode", default="drop",
+                        choices=list(ADMISSION_MODES),
+                        help="what happens past the cap (fleet runs are drop-only)")
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--executor", default="auto",
                         choices=["auto", "serial", "thread", "process"])
@@ -150,6 +160,9 @@ def _serve_single(parser, args, design) -> int:
                 batch_timeout_ms=args.batch_timeout_ms,
                 window_ms=args.window_ms,
                 design=design,
+                critical_fraction=args.critical_fraction,
+                admission_max_queue=args.admission_queue,
+                admission_mode=args.admission_mode,
             )
             for policy in policies
         ]
@@ -186,6 +199,8 @@ def _serve_fleet(parser, args, design) -> int:
         parser.error(str(error))
     if not platforms:
         parser.error("--fleet needs at least one platform (e.g. --fleet tx2,xavier)")
+    if args.admission_queue is not None and args.admission_mode != "drop":
+        parser.error("fleet admission is drop-only; use --admission-mode drop")
 
     routers = list(ROUTER_NAMES) if args.router == "all" else [args.router]
     policy = "adaptive" if args.policy == "both" else args.policy
@@ -208,6 +223,8 @@ def _serve_fleet(parser, args, design) -> int:
                 batch_timeout_ms=args.batch_timeout_ms,
                 window_ms=args.window_ms,
                 design=design,
+                critical_fraction=args.critical_fraction,
+                admission_max_queue=args.admission_queue,
             )
             for router in routers
         ]

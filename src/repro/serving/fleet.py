@@ -7,8 +7,20 @@ dynamic network (default spread or a searched
 config ladder, micro-batcher, governor and thermal state (all reused from
 the single-device stack).  One trace arrives at a shared front door; a
 pluggable :class:`~repro.serving.router.FleetRouter` assigns every request
-to a device lane at arrival time, and each lane then batches and serves
-its share exactly like the single-device simulator would.
+to a device lane at arrival time (latency-critical requests spill off
+backlogged lanes earlier than best-effort ones), and each lane then
+batches and serves its share exactly like the single-device simulator
+would.  Lanes carry request *indices*, not objects, and price batches
+through the same compiled per-config executor as the indexed single-device
+engine (:class:`~repro.serving.simulator._CompiledConfig`) — bit-identical
+to the per-batch reference path.
+
+With an :class:`~repro.serving.batcher.AdmissionPolicy` the fleet applies
+queue-depth admission at the lane door: a request routed to a full lane is
+dropped (fleet admission is drop-only — "defer" would amount to
+re-routing, which the router spill guard already does at arrival time).
+Dropped requests never complete (NaN completion); latency statistics cover
+served requests only.
 
 Dispatch is deterministic: requests are routed in arrival order, and a
 lane only forms a batch once no future arrival could still join it (the
@@ -36,7 +48,7 @@ from repro.engine.tasks import spec_task, task_spec
 from repro.hardware.energy import PathProfile
 from repro.hardware.platform import resolve_platform_keys
 from repro.obs import trace as tracing
-from repro.serving.batcher import BatchPolicy
+from repro.serving.batcher import AdmissionPolicy, BatchPolicy
 from repro.serving.deploy import DeployedDesign
 from repro.serving.governor import (
     AdaptiveGovernor,
@@ -56,14 +68,20 @@ from repro.serving.harness import (
 )
 from repro.serving.router import ROUTER_NAMES, FleetRouter, make_router
 from repro.serving.scenarios import Scenario, ThermalState, get_scenario
-from repro.serving.simulator import execute_batch
+from repro.serving.simulator import CompiledStream, _CompiledConfig, compile_stream
 from repro.serving.stream import ServingStream
-from repro.serving.telemetry import percentile_ms
-from repro.serving.workload import LOAD_PATTERNS, Request, Trace, make_trace
+from repro.serving.telemetry import class_latency_stats, percentile_ms
+from repro.serving.workload import (
+    LATENCY_CRITICAL,
+    LOAD_PATTERNS,
+    SLO_CLASSES,
+    Trace,
+    make_trace,
+)
 from repro.utils.validation import check_positive
 
 #: Bump when fleet-cell semantics change; orphans persisted fleet entries.
-FLEET_CELL_VERSION = "1"
+FLEET_CELL_VERSION = "2"
 
 
 @dataclass(frozen=True)
@@ -95,6 +113,9 @@ class FleetSpec:
     num_classes: int = 10
     calibration_samples: int = 512
     design: DeployedDesign | None = None
+    critical_fraction: float = 0.0  # share of latency-critical arrivals
+    admission_max_queue: int | None = None  # per-lane cap; None = unbounded
+    admission_critical_bypass: bool = True
 
     def __post_init__(self):
         if not self.platforms:
@@ -116,6 +137,10 @@ class FleetSpec:
         check_positive("utilization", self.utilization)
         if self.rate_hz is not None:
             check_positive("rate_hz", self.rate_hz)
+        if not 0.0 <= self.critical_fraction <= 1.0:
+            raise ValueError("critical_fraction must lie in [0, 1]")
+        if self.admission_max_queue is not None:
+            check_positive("admission_max_queue", self.admission_max_queue)
 
     def device_spec(self, platform: str, rate_hz: float | None = None) -> ServingSpec:
         """The single-device spec a fleet member is built from."""
@@ -137,6 +162,15 @@ class FleetSpec:
             num_classes=self.num_classes,
             calibration_samples=self.calibration_samples,
             design=self.design,
+        )
+
+    def admission_policy(self) -> AdmissionPolicy | None:
+        if self.admission_max_queue is None:
+            return None
+        return AdmissionPolicy(
+            max_queue=self.admission_max_queue,
+            mode="drop",
+            critical_bypass=self.admission_critical_bypass,
         )
 
     @property
@@ -169,6 +203,8 @@ class DeviceTelemetry:
     governor_decisions: int = 0
     throttled_batches: int = 0
     peak_temperature_c: float = 0.0
+    critical_requests: int = 0  # latency-critical requests served here
+    num_dropped: int = 0  # admission drops at this lane's door
 
 
 @dataclass(frozen=True)
@@ -189,7 +225,7 @@ class FleetReport:
     duration_s: float = 0.0
     offered_rate_rps: float = 0.0
     throughput_rps: float = 0.0
-    # Latency / SLO (cross-device)
+    # Latency / SLO (cross-device, served requests only)
     latency_ms_mean: float = 0.0
     latency_ms_p50: float = 0.0
     latency_ms_p95: float = 0.0
@@ -208,6 +244,12 @@ class FleetReport:
     battery_exhausted: bool = False
     # Per-device split
     devices: list[DeviceTelemetry] = field(default_factory=list)
+    # Admission control / SLO classes (PR 8)
+    num_served: int = 0
+    num_dropped: int = 0
+    num_deferred: int = 0  # always 0: fleet admission is drop-only
+    drop_rate: float = 0.0
+    class_stats: dict[str, dict] = field(default_factory=dict)  # per SLO class
 
     @property
     def met_slo_rate(self) -> float:
@@ -220,7 +262,10 @@ class DeviceLane:
     The lane exposes the read-only :class:`~repro.serving.router.LaneState`
     surface routers observe (queue depth, estimated wait, reference
     capacity/energy) and owns the per-device governor state the simulator
-    drives (current config, decision clock, thermal, profile caches).
+    drives (current config, decision clock, thermal, compiled-config
+    caches).  The queue holds request *indices*; arrival bookkeeping is an
+    append-only sorted list plus pop counters, so :meth:`backlog_at` is a
+    bisect instead of the former O(queue) copy per call.
     """
 
     def __init__(self, index: int, stack: ServingStack, policy: ServingPolicy):
@@ -230,9 +275,14 @@ class DeviceLane:
         self.reference = reference_config(stack.ladder)
         self.coolest = min(stack.ladder, key=lambda c: c.expected_power_w)
         self.max_power_w = max(c.expected_power_w for c in stack.ladder)
-        # Live queue: routed-but-undispatched requests, FIFO by arrival.
-        self._queue: deque[Request] = deque()
+        # Live queue: routed-but-undispatched request indices, FIFO by arrival.
+        self._queue: deque[int] = deque()
         self._queue_arrivals: deque[float] = deque()
+        # Append-only arrival books (sorted: requests route in arrival order).
+        self._admitted_times: list[float] = []  # admitted arrivals ever
+        self._crit_times: list[float] = []  # admitted latency-critical arrivals
+        self._popped = 0  # dispatched prefix of _admitted_times
+        self._crit_popped = 0  # dispatched prefix of _crit_times
         self._routed_times: list[float] = []  # every routed arrival (rate window)
         # Device clocks.
         self.t_free = 0.0
@@ -242,7 +292,7 @@ class DeviceLane:
         self.thermal: ThermalState | None = None
         # Caches shared across batches.
         self._profiles: dict[str, list[PathProfile]] = {}
-        self._controllers: dict[str, object] = {}
+        self._compiled: dict[str, _CompiledConfig] = {}
         # Meters.
         self.request_indices: list[int] = []
         self.busy_s = 0.0
@@ -251,6 +301,8 @@ class DeviceLane:
         self.num_batches = 0
         self.throttled = 0
         self.governor_decisions = 0
+        self.critical_requests = 0
+        self.num_dropped = 0
         self.config_usage: dict[str, int] = {}
         self.exit_counts = np.zeros(stack.placement.num_exits + 1, dtype=np.int64)
 
@@ -273,18 +325,43 @@ class DeviceLane:
         return residual + self.queue_depth / self.reference_capacity_rps
 
     # ------------------------------------------------------------- the queue
-    def push(self, request: Request) -> None:
-        self._queue.append(request)
-        self._queue_arrivals.append(request.arrival_s)
-        self._routed_times.append(request.arrival_s)
-        self.request_indices.append(request.index)
+    def push(self, index: int, arrival_s: float, critical: bool) -> None:
+        self._queue.append(index)
+        self._queue_arrivals.append(arrival_s)
+        self._admitted_times.append(arrival_s)
+        self._routed_times.append(arrival_s)
+        self.request_indices.append(index)
+        if critical:
+            self._crit_times.append(arrival_s)
+            self.critical_requests += 1
+
+    def reject(self, arrival_s: float) -> None:
+        """Record an admission drop at this lane's door.
+
+        The offered arrival still counts toward the governor's rate window —
+        demand the lane sheds is still demand it saw.
+        """
+        self._routed_times.append(arrival_s)
+        self.num_dropped += 1
 
     def backlog_at(self, now_s: float) -> int:
-        """Routed requests that have arrived but not dispatched by ``now_s``."""
-        return bisect_right(list(self._queue_arrivals), now_s)
+        """Routed requests that have arrived but not dispatched by ``now_s``.
+
+        Dispatch pops arrival-ordered prefixes and only pops arrivals ≤ the
+        dispatch instant, so at any observation time the simulator uses
+        (a batch start or later) the count is exactly (admitted arrivals ≤
+        now) − (popped); querying an earlier instant clamps at zero.
+        """
+        return max(bisect_right(self._admitted_times, now_s) - self._popped, 0)
+
+    def critical_backlog_at(self, now_s: float) -> int:
+        """Latency-critical share of :meth:`backlog_at`."""
+        if not self._crit_times:
+            return 0
+        return max(bisect_right(self._crit_times, now_s) - self._crit_popped, 0)
 
     def arrival_rate_hz(self, now_s: float, window_s: float, fallback: float) -> float:
-        """Routed arrivals/second over the trailing window."""
+        """Routed arrivals/second (admitted or dropped) over the trailing window."""
         if now_s <= 0:
             return fallback
         window_start = max(0.0, now_s - window_s)
@@ -303,7 +380,7 @@ class DeviceLane:
         if not self._queue:
             return None
         policy = self.stack.batch_policy
-        expiry = self._queue[0].arrival_s + policy.timeout_s
+        expiry = self._queue_arrivals[0] + policy.timeout_s
         if (
             len(self._queue) >= policy.max_batch
             and self._queue_arrivals[policy.max_batch - 1] <= expiry
@@ -313,7 +390,7 @@ class DeviceLane:
             trigger = expiry
         return max(self.t_free, trigger)
 
-    def next_ready_batch(self, until_s: float) -> tuple[float, list[Request]] | None:
+    def next_ready_batch(self, until_s: float) -> tuple[float, list[int]] | None:
         """Form the next batch, but only once the fleet clock reaches it.
 
         A batch is returned only when it dispatches before the next fleet
@@ -333,8 +410,14 @@ class DeviceLane:
                 break
             size += 1
         batch = [self._queue.popleft() for _ in range(size)]
+        crit_times = self._crit_times
+        crit_popped = self._crit_popped
         for _ in range(size):
-            self._queue_arrivals.popleft()
+            arrival = self._queue_arrivals.popleft()
+            if crit_popped < len(crit_times) and crit_times[crit_popped] <= arrival:
+                crit_popped += 1
+        self._popped += size
+        self._crit_popped = crit_popped
         return start, batch
 
     # ---------------------------------------------------------- config state
@@ -345,10 +428,14 @@ class DeviceLane:
             )
         return self._profiles[config.name]
 
-    def controller_of(self, config: RuntimeConfig):
-        if config.name not in self._controllers:
-            self._controllers[config.name] = config.controller()
-        return self._controllers[config.name]
+    def compiled_of(
+        self, config: RuntimeConfig, cstream: CompiledStream, switch_cost_j: float
+    ) -> _CompiledConfig:
+        if config.name not in self._compiled:
+            self._compiled[config.name] = _CompiledConfig(
+                config, self.profiles_of(config), cstream, switch_cost_j
+            )
+        return self._compiled[config.name]
 
 
 def build_fleet_stacks(spec: FleetSpec) -> list[ServingStack]:
@@ -381,7 +468,13 @@ def build_fleet_trace_and_stream(
     the stream comes from the first and is valid for all lanes.
     """
     fleet_rate = sum(stack.rate_hz for stack in stacks)
-    trace = make_trace(spec.pattern, fleet_rate, spec.duration_s, seed=spec.seed)
+    trace = make_trace(
+        spec.pattern,
+        fleet_rate,
+        spec.duration_s,
+        seed=spec.seed,
+        critical_fraction=spec.critical_fraction,
+    )
     stream = stacks[0].synthesizer.synthesize(trace.difficulties())
     return trace, stream
 
@@ -395,6 +488,7 @@ class FleetSimulator:
         stacks: list[ServingStack],
         switch_cost_j: float = 0.0,
         emergency_backlog_batches: float = 2.0,
+        admission: AdmissionPolicy | None = None,
     ):
         self.spec = spec
         self.scenario: Scenario = get_scenario(spec.scenario)
@@ -402,6 +496,14 @@ class FleetSimulator:
         self.window_s = spec.window_ms / 1e3
         self.switch_cost_j = switch_cost_j
         self.emergency_backlog = emergency_backlog_batches * spec.max_batch
+        if admission is None:
+            admission = spec.admission_policy()
+        if admission is not None and admission.mode != "drop":
+            raise ValueError(
+                "fleet admission is drop-only: deferral at the fleet door is "
+                "re-routing, which the router spill guard already performs"
+            )
+        self.admission = admission
         self.lanes = [
             DeviceLane(i, stack, self._policy_for(stack)) for i, stack in enumerate(stacks)
         ]
@@ -456,6 +558,7 @@ class FleetSimulator:
             temperature_c=lane.thermal.temperature_c if lane.thermal else 0.0,
             power_cap_w=power_cap,
             energy_cap_j=energy_cap,
+            critical_backlog=lane.critical_backlog_at(now_s),
         )
 
     # -------------------------------------------------------------- main loop
@@ -465,10 +568,17 @@ class FleetSimulator:
             raise ValueError(
                 f"stream carries {stream.final_logits.shape[0]} requests, trace has {n}"
             )
-        arrivals = trace.arrival_times()
+        placement = self.lanes[0].stack.placement
+        if stream.num_exits != placement.num_exits:
+            raise ValueError(
+                f"stream carries {stream.num_exits} exit heads but the deployed "
+                f"placement expects {placement.num_exits}; the mounted logits "
+                "stream and exit placement must describe the same DyNN"
+            )
         router: FleetRouter = make_router(self.spec.router, self.lanes, self.slo_s)
+        cstream = compile_stream(stream)
 
-        completion = np.zeros(n)
+        completion = np.full(n, np.nan)
         correct = np.zeros(n, dtype=bool)
         battery_budget = self._battery_budget_j(trace)
         battery_spent = 0.0
@@ -498,11 +608,13 @@ class FleetSimulator:
             lane.governor_decisions += 1
             lane.next_decision = self.window_s
 
-        def dispatch(lane: DeviceLane, start: float, batch: list[Request]) -> None:
+        def dispatch(lane: DeviceLane, start: float, batch: list[int]) -> None:
             nonlocal battery_spent, battery_exhausted
             if lane.thermal is not None and start > lane.clock:
                 lane.thermal.advance(0.0, start - lane.clock)  # idle: device cools
-            spike = lane.backlog_at(start) > self.emergency_backlog
+            # Spike check counts the in-flight batch: next_ready_batch
+            # already popped it, but it is still unserved work.
+            spike = lane.backlog_at(start) + len(batch) > self.emergency_backlog
             if start >= lane.next_decision or spike:
                 obs = self._observe(lane, start, trace, battery_budget, battery_spent)
                 lane.config = lane.policy.select(obs)
@@ -518,31 +630,24 @@ class FleetSimulator:
             tracing.count(f"fleet.lane.{lane.stack.spec.platform}.batches")
             tracing.observe("fleet.batch_size", len(batch))
 
-            indices = np.asarray([r.index for r in batch], dtype=np.int64)
-            outcome = execute_batch(
-                lane.controller_of(active),
-                lane.profiles_of(active),
-                active.dvfs_governor(self.switch_cost_j),
-                stream,
-                indices,
-            )
-            lane.switching_energy_j += outcome.switching_j
+            indices = np.asarray(batch, dtype=np.int64)
+            compiled = lane.compiled_of(active, cstream, self.switch_cost_j)
+            decisions = compiled.decisions[indices]
+            latency, energy, switch = compiled.price(decisions)
+            lane.switching_energy_j += switch
 
-            end = start + outcome.latency_s
+            end = start + latency
             completion[indices] = end
-            correct[indices] = outcome.correct
-            for d in outcome.decisions:
-                lane.exit_counts[d] += 1
+            correct[indices] = compiled.correct[indices]
+            lane.exit_counts += np.bincount(decisions, minlength=len(lane.exit_counts))
 
-            lane.energy_j += outcome.energy_j
-            lane.busy_s += outcome.latency_s
-            battery_spent += outcome.energy_j
+            lane.energy_j += energy
+            lane.busy_s += latency
+            battery_spent += energy
             if battery_budget is not None and battery_spent > battery_budget:
                 battery_exhausted = True
-            if lane.thermal is not None and outcome.latency_s > 0:
-                lane.thermal.advance(
-                    outcome.energy_j / outcome.latency_s, outcome.latency_s
-                )
+            if lane.thermal is not None and latency > 0:
+                lane.thermal.advance(energy / latency, latency)
             lane.clock = end
             lane.t_free = end
             lane.num_batches += 1
@@ -564,10 +669,25 @@ class FleetSimulator:
                 formed = best.next_ready_batch(until)
                 dispatch(best, *formed)
 
-        for i, request in enumerate(trace.requests):
-            lane_index = router.route(request, request.arrival_s, self.lanes)
-            self.lanes[lane_index].push(request)
-            drain(arrivals[i + 1] if i + 1 < n else float("inf"))
+        admission = self.admission
+        times = trace.arrival_s.tolist()
+        difficulties = trace.difficulty.tolist()
+        classes = trace.slo_class.tolist()
+        lanes = self.lanes
+        for i in range(n):
+            arrival = times[i]
+            slo_class = classes[i]
+            lane = lanes[router.route(difficulties[i], slo_class, arrival, lanes)]
+            critical = slo_class == LATENCY_CRITICAL
+            if (
+                admission is not None
+                and lane.queue_depth >= admission.max_queue
+                and not (critical and admission.critical_bypass)
+            ):
+                lane.reject(arrival)
+            else:
+                lane.push(i, arrival, critical)
+            drain(times[i + 1] if i + 1 < n else float("inf"))
         drain(float("inf"))
 
         return self._report(trace, completion, correct, battery_budget,
@@ -584,36 +704,43 @@ class FleetSimulator:
         battery_exhausted: bool,
     ) -> FleetReport:
         n = trace.num_requests
-        arrivals = trace.arrival_times()
-        latencies = completion - arrivals
-        makespan = max(float(completion.max()) if n else 0.0, trace.duration_s)
+        arrivals = trace.arrival_s
+        served = ~np.isnan(completion)
+        num_served = int(served.sum())
+        num_dropped = n - num_served
+        latencies = completion[served] - arrivals[served]
+        makespan = max(
+            float(np.max(completion[served])) if num_served else 0.0, trace.duration_s
+        )
 
         devices = []
         for lane in self.lanes:
             idx = np.asarray(lane.request_indices, dtype=np.int64)
-            lane_lat = latencies[idx] if len(idx) else np.zeros(0)
-            served = len(idx)
+            lane_lat = (completion[idx] - arrivals[idx]) if len(idx) else np.zeros(0)
+            lane_served = len(idx)
             devices.append(
                 DeviceTelemetry(
                     platform=lane.stack.spec.platform,
-                    requests=served,
-                    share=served / n if n else 0.0,
+                    requests=lane_served,
+                    share=lane_served / n if n else 0.0,
                     batches=lane.num_batches,
-                    mean_batch_size=served / lane.num_batches if lane.num_batches else 0.0,
+                    mean_batch_size=lane_served / lane.num_batches if lane.num_batches else 0.0,
                     utilization=lane.busy_s / makespan if makespan > 0 else 0.0,
                     latency_ms_p50=percentile_ms(lane_lat, 50),
                     latency_ms_p95=percentile_ms(lane_lat, 95),
                     latency_ms_p99=percentile_ms(lane_lat, 99),
-                    deadline_miss_rate=float((lane_lat > self.slo_s).mean()) if served else 0.0,
+                    deadline_miss_rate=float((lane_lat > self.slo_s).mean()) if lane_served else 0.0,
                     energy_j=lane.energy_j,
-                    energy_per_request_j=lane.energy_j / served if served else 0.0,
+                    energy_per_request_j=lane.energy_j / lane_served if lane_served else 0.0,
                     switching_energy_j=lane.switching_energy_j,
-                    accuracy=float(correct[idx].mean()) if served else 0.0,
-                    exit_usage=[float(c) / served if served else 0.0 for c in lane.exit_counts],
+                    accuracy=float(correct[idx].mean()) if lane_served else 0.0,
+                    exit_usage=[float(c) / lane_served if lane_served else 0.0 for c in lane.exit_counts],
                     config_usage=dict(lane.config_usage),
                     governor_decisions=lane.governor_decisions,
                     throttled_batches=lane.throttled,
                     peak_temperature_c=lane.thermal.peak_c if lane.thermal is not None else 0.0,
+                    critical_requests=lane.critical_requests,
+                    num_dropped=lane.num_dropped,
                 )
             )
 
@@ -631,17 +758,21 @@ class FleetSimulator:
             num_requests=n,
             duration_s=trace.duration_s,
             offered_rate_rps=trace.mean_rate_hz,
-            throughput_rps=n / makespan if makespan > 0 else 0.0,
-            latency_ms_mean=float(latencies.mean() * 1e3) if n else 0.0,
+            throughput_rps=num_served / makespan if makespan > 0 else 0.0,
+            latency_ms_mean=float(latencies.mean() * 1e3) if num_served else 0.0,
             latency_ms_p50=percentile_ms(latencies, 50),
             latency_ms_p95=percentile_ms(latencies, 95),
             latency_ms_p99=percentile_ms(latencies, 99),
-            deadline_miss_rate=float((latencies > self.slo_s).mean()) if n else 0.0,
-            energy_per_request_j=total_energy / n if n else 0.0,
+            deadline_miss_rate=float((latencies > self.slo_s).mean())
+            if num_served
+            else 0.0,
+            energy_per_request_j=total_energy / num_served if num_served else 0.0,
             total_energy_j=total_energy,
             switching_energy_j=sum(lane.switching_energy_j for lane in self.lanes),
-            accuracy=float(correct.mean()) if n else 0.0,
-            exit_usage=[float(c) / n if n else 0.0 for c in exit_counts],
+            accuracy=float(correct[served].mean()) if num_served else 0.0,
+            exit_usage=[
+                float(c) / num_served if num_served else 0.0 for c in exit_counts
+            ],
             governor_decisions=sum(lane.governor_decisions for lane in self.lanes),
             peak_temperature_c=max(
                 (lane.thermal.peak_c for lane in self.lanes if lane.thermal is not None),
@@ -651,6 +782,13 @@ class FleetSimulator:
             battery_spent_j=battery_spent if battery_budget is not None else 0.0,
             battery_exhausted=battery_exhausted,
             devices=devices,
+            num_served=num_served,
+            num_dropped=num_dropped,
+            num_deferred=0,
+            drop_rate=num_dropped / n if n else 0.0,
+            class_stats=class_latency_stats(
+                trace.slo_class, SLO_CLASSES, arrivals, completion, self.slo_s
+            ),
         )
 
 

@@ -79,15 +79,26 @@ class RuntimeConfig:
         """Expected dispatch overhead paid once by a batch of ``batch_size``.
 
         The batch pays the overhead of its deepest path; under independent
-        exit draws, P(deepest = k) follows from the usage CDF.
+        exit draws, P(deepest = k) follows from the usage CDF.  Pure in
+        ``(self, batch_size)`` and called per governor decision, so the
+        result is memoized on the instance (frozen dataclass, hence the
+        ``object.__setattr__`` for the lazily created cache dict).
         """
-        usage = np.asarray(self.expected_usage)
-        overheads = np.asarray(self.path_overheads_s)
-        cdf = np.cumsum(usage)
-        cdf = cdf / max(cdf[-1], 1e-12)
-        p_all_leq = cdf**batch_size
-        p_max = np.diff(np.concatenate([[0.0], p_all_leq]))
-        return float(p_max @ overheads)
+        cache = getattr(self, "_shared_overhead_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_shared_overhead_cache", cache)
+        value = cache.get(batch_size)
+        if value is None:
+            usage = np.asarray(self.expected_usage)
+            overheads = np.asarray(self.path_overheads_s)
+            cdf = np.cumsum(usage)
+            cdf = cdf / max(cdf[-1], 1e-12)
+            p_all_leq = cdf**batch_size
+            p_max = np.diff(np.concatenate([[0.0], p_all_leq]))
+            value = float(p_max @ overheads)
+            cache[batch_size] = value
+        return value
 
     def capacity_rps(self, batch_policy: BatchPolicy) -> float:
         """Sustainable throughput at full micro-batches (requests/second)."""
@@ -276,6 +287,7 @@ class GovernorObservation:
     temperature_c: float = 0.0
     power_cap_w: float | None = None  # thermal constraint, None = unconstrained
     energy_cap_j: float | None = None  # battery allowance per request
+    critical_backlog: int = 0  # latency-critical share of ``backlog``
 
 
 class ServingPolicy:
@@ -398,6 +410,10 @@ class AdaptiveGovernor(ServingPolicy):
         demand = max(obs.arrival_rate_hz, self._rate_ewma) * self.safety
         if obs.window_s > 0:
             demand += obs.backlog / obs.window_s
+            # Latency-critical backlog counts double: it must drain early in
+            # the window to leave queueing headroom under the SLO, so the
+            # governor provisions as if each critical request were two.
+            demand += obs.critical_backlog / obs.window_s
         return _best_sustaining(
             self._allowed(obs), self._capacity, demand, obs.slo_s, self.batch_policy
         )

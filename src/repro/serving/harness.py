@@ -29,7 +29,7 @@ from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
 from repro.hardware.dvfs import DvfsSpace
 from repro.hardware.energy import EnergyModel
 from repro.hardware.platform import get_platform, validate_platform_keys
-from repro.serving.batcher import BatchPolicy
+from repro.serving.batcher import ADMISSION_MODES, AdmissionPolicy, BatchPolicy
 from repro.serving.deploy import DeployedDesign
 from repro.serving.governor import (
     RuntimeConfig,
@@ -46,7 +46,7 @@ from repro.serving.workload import LOAD_PATTERNS, Trace, make_trace
 from repro.utils.validation import check_positive
 
 #: Bump when serving-cell semantics change; orphans persisted serving entries.
-SERVING_CELL_VERSION = "1"
+SERVING_CELL_VERSION = "2"
 
 POLICY_NAMES = ("static", "adaptive")
 
@@ -79,6 +79,10 @@ class ServingSpec:
     num_classes: int = 10
     calibration_samples: int = 512
     design: DeployedDesign | None = None
+    critical_fraction: float = 0.0  # share of latency-critical arrivals
+    admission_max_queue: int | None = None  # backlog cap; None = unbounded
+    admission_mode: str = "drop"  # "drop" | "defer" when a cap is set
+    admission_critical_bypass: bool = True  # criticals ignore the cap
 
     def __post_init__(self):
         validate_platform_keys([self.platform])
@@ -99,6 +103,25 @@ class ServingSpec:
         check_positive("utilization", self.utilization)
         if self.rate_hz is not None:
             check_positive("rate_hz", self.rate_hz)
+        if not 0.0 <= self.critical_fraction <= 1.0:
+            raise ValueError("critical_fraction must lie in [0, 1]")
+        if self.admission_mode not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {self.admission_mode!r}; "
+                f"valid: {ADMISSION_MODES}"
+            )
+        if self.admission_max_queue is not None:
+            check_positive("admission_max_queue", self.admission_max_queue)
+
+    def admission_policy(self) -> AdmissionPolicy | None:
+        """The admission gate this spec configures (None = admit everything)."""
+        if self.admission_max_queue is None:
+            return None
+        return AdmissionPolicy(
+            max_queue=self.admission_max_queue,
+            mode=self.admission_mode,
+            critical_bypass=self.admission_critical_bypass,
+        )
 
     @property
     def model_label(self) -> str:
@@ -221,7 +244,13 @@ def build_serving_stack(spec: ServingSpec) -> ServingStack:
 def build_trace_and_stream(stack: ServingStack) -> tuple[Trace, ServingStream]:
     """The paired (trace, logits) inputs both policies are compared on."""
     spec = stack.spec
-    trace = make_trace(spec.pattern, stack.rate_hz, spec.duration_s, seed=spec.seed)
+    trace = make_trace(
+        spec.pattern,
+        stack.rate_hz,
+        spec.duration_s,
+        seed=spec.seed,
+        critical_fraction=spec.critical_fraction,
+    )
     stream = stack.synthesizer.synthesize(trace.difficulties())
     return trace, stream
 
@@ -244,6 +273,7 @@ def run_serving_cell(spec: ServingSpec) -> ServingReport:
         batch_policy=stack.batch_policy,
         window_s=spec.window_ms / 1e3,
         battery_budget_j=stack.battery_budget_j(trace.num_requests),
+        admission=spec.admission_policy(),
     )
     return simulator.run(
         trace, stream, platform=spec.platform, model=spec.model_label, seed=spec.seed

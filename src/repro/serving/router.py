@@ -3,9 +3,10 @@
 A :class:`FleetRouter` picks, per arriving request, which device lane the
 request joins.  Routers see a read-only :class:`LaneState` per device —
 queue depth, device-free time, the lane's reference capacity and energy —
-and the request itself (whose ``difficulty`` scalar stands in for a cheap
+and the request's scalar features: ``difficulty`` (standing in for a cheap
 upstream difficulty predictor; HADAS's premise is exactly that easy inputs
-early-exit, so difficulty is observable-enough to estimate).
+early-exit, so difficulty is observable-enough to estimate) and its SLO
+class (``latency_critical`` or ``best_effort``).
 
 Three policies:
 
@@ -20,6 +21,9 @@ Three policies:
   the SLO.  A spill guard reroutes to the least-loaded lane whenever the
   banded choice's estimated wait would blow the deadline — bursty arrivals
   degrade into least-backlog instead of queueing behind a weak device.
+  Latency-critical requests spill at *half* the wait threshold: best-effort
+  traffic rides out moderate backlog in its band while criticals move to
+  the least-loaded lane early enough to keep their deadline headroom.
 
 Everything is deterministic: ties break on lane index.
 """
@@ -29,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
-from repro.serving.workload import Request
+from repro.serving.workload import LATENCY_CRITICAL
 
 #: Router names accepted by :func:`make_router` (CLI/bench vocabulary).
 ROUTER_NAMES = ("round_robin", "least_backlog", "difficulty_aware")
@@ -53,23 +57,35 @@ class LaneState(Protocol):
 
 
 class FleetRouter:
-    """Base: maps an arriving request to a lane index."""
+    """Base: maps an arriving request's (difficulty, class) to a lane index."""
 
     name = "router"
 
-    def route(self, request: Request, now_s: float, lanes: Sequence[LaneState]) -> int:
+    def route(
+        self,
+        difficulty: float,
+        slo_class: int,
+        now_s: float,
+        lanes: Sequence[LaneState],
+    ) -> int:
         raise NotImplementedError
 
 
 class RoundRobinRouter(FleetRouter):
-    """Cyclic assignment, blind to state and difficulty."""
+    """Cyclic assignment, blind to state, difficulty and class."""
 
     name = "round_robin"
 
     def __init__(self):
         self._next = 0
 
-    def route(self, request: Request, now_s: float, lanes: Sequence[LaneState]) -> int:
+    def route(
+        self,
+        difficulty: float,
+        slo_class: int,
+        now_s: float,
+        lanes: Sequence[LaneState],
+    ) -> int:
         index = self._next % len(lanes)
         self._next += 1
         return index
@@ -80,7 +96,13 @@ class LeastBacklogRouter(FleetRouter):
 
     name = "least_backlog"
 
-    def route(self, request: Request, now_s: float, lanes: Sequence[LaneState]) -> int:
+    def route(
+        self,
+        difficulty: float,
+        slo_class: int,
+        now_s: float,
+        lanes: Sequence[LaneState],
+    ) -> int:
         return min(lanes, key=lambda lane: (lane.estimated_wait_s(now_s), lane.index)).index
 
 
@@ -94,13 +116,15 @@ class _Band:
 
 
 class DifficultyAwareRouter(FleetRouter):
-    """Difficulty-banded assignment with an SLO spill guard.
+    """Difficulty-banded assignment with a class-aware SLO spill guard.
 
     Lanes sorted by reference capacity partition the difficulty axis into
     bands proportional to their capacity share — the weakest (and usually
     cheapest) lane owns the easiest band.  When the banded lane's estimated
     wait exceeds ``spill_fraction``·SLO, the request spills to the lane
-    with the least estimated wait instead.
+    with the least estimated wait instead; latency-critical requests use
+    half that threshold, so they leave a backlogged band before best-effort
+    traffic does.
     """
 
     name = "difficulty_aware"
@@ -129,9 +153,18 @@ class DifficultyAwareRouter(FleetRouter):
                 return band.lane_index
         return self._bands[-1].lane_index
 
-    def route(self, request: Request, now_s: float, lanes: Sequence[LaneState]) -> int:
-        chosen = self.banded_lane(request.difficulty)
-        if lanes[chosen].estimated_wait_s(now_s) > self.spill_fraction * self.slo_s:
+    def route(
+        self,
+        difficulty: float,
+        slo_class: int,
+        now_s: float,
+        lanes: Sequence[LaneState],
+    ) -> int:
+        chosen = self.banded_lane(difficulty)
+        threshold = self.spill_fraction * self.slo_s
+        if slo_class == LATENCY_CRITICAL:
+            threshold *= 0.5  # criticals abandon a backlogged band early
+        if lanes[chosen].estimated_wait_s(now_s) > threshold:
             spill = min(
                 lanes, key=lambda lane: (lane.estimated_wait_s(now_s), lane.index)
             )

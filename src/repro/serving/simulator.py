@@ -1,15 +1,35 @@
 """The discrete-event edge-serving simulator.
 
 Feeds a timestamped request :class:`~repro.serving.workload.Trace` through a
-:class:`~repro.serving.batcher.MicroBatcher` onto a single simulated edge
-device.  Per decision window the serving policy picks a
-:class:`~repro.serving.governor.RuntimeConfig` (entropy thresholds + DVFS);
-per batch the *real* entropy controller decides each request's exit, the
-hardware model prices the batch (busy time serialises, dispatch overhead is
-shared — :func:`repro.hardware.energy.batched_execution`), and the
+micro-batcher onto a single simulated edge device.  Per decision window the
+serving policy picks a :class:`~repro.serving.governor.RuntimeConfig`
+(entropy thresholds + DVFS); per batch the *real* entropy controller decides
+each request's exit, the hardware model prices the batch (busy time
+serialises, dispatch overhead is shared —
+:func:`repro.hardware.energy.batched_execution`), and the
 :class:`~repro.runtime.governor.DvfsGovernor` charges frequency-switch
 energy across the intra-batch exit sequence.  Thermal and battery state
 evolve alongside and feed back into the governor's observation.
+
+Two engines produce the same physics:
+
+* ``engine="reference"`` — the original per-request loop over
+  :class:`~repro.serving.workload.Request` objects and a
+  :class:`~repro.serving.batcher.MicroBatcher`; retained as the executable
+  specification.
+* ``engine="indexed"`` (default) — the vectorized event core: an
+  :class:`~repro.serving.batcher.ArrayBatcher` forms batches as index
+  arithmetic over the arrival array, and a per-config compiled executor
+  (:class:`_CompiledConfig`) precomputes full-stream exit decisions,
+  correctness and per-path cost tables once, so the per-batch work is a few
+  table gathers.  Reports are bit-identical to the reference engine — the
+  repo's standing invariant, in the family of serial-vs-parallel and
+  table-vs-reference before it.
+
+The indexed engine additionally supports admission control
+(:class:`~repro.serving.batcher.AdmissionPolicy`) and latency-critical /
+best-effort SLO classes; dropped requests never complete (NaN completion)
+and latency statistics are computed over *served* requests only.
 
 Everything is deterministic: the trace, the logits stream and every policy
 decision are pure functions of the seed and configuration.
@@ -17,15 +37,16 @@ decision are pure functions of the seed and configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.eval.dynamic import DynamicEvaluator
 from repro.exits.placement import ExitPlacement
 from repro.hardware.energy import PathProfile, batched_execution
+from repro.nn.functional import entropy_np
 from repro.obs import trace as tracing
-from repro.serving.batcher import BatchPolicy, MicroBatcher
+from repro.serving.batcher import AdmissionPolicy, ArrayBatcher, BatchPolicy, MicroBatcher
 from repro.serving.governor import (
     GovernorObservation,
     RuntimeConfig,
@@ -34,9 +55,11 @@ from repro.serving.governor import (
 )
 from repro.serving.scenarios import Scenario, ThermalState
 from repro.serving.stream import ServingStream
-from repro.serving.telemetry import ServingReport, percentile_ms
-from repro.serving.workload import Trace
+from repro.serving.telemetry import ServingReport, class_latency_stats, percentile_ms
+from repro.serving.workload import SLO_CLASSES, Trace
 from repro.utils.validation import check_positive
+
+ENGINE_NAMES = ("indexed", "reference")
 
 
 @dataclass(frozen=True)
@@ -77,6 +100,221 @@ def execute_batch(controller, profiles, dvfs_governor, stream, indices) -> Batch
     )
 
 
+@dataclass(frozen=True)
+class CompiledStream:
+    """Per-request quantities of a :class:`ServingStream`, precomputed once.
+
+    The entropy controller and the correctness check are row-independent
+    (softmax/entropy/argmax act per request), so evaluating them over the
+    full stream up front yields bit-identical values to evaluating them
+    batch by batch — which is what lets the indexed engine replace the
+    per-batch controller with table lookups.
+    """
+
+    num_exits: int
+    entropy: np.ndarray  # (num_exits, n) normalized entropy per exit head
+    head_correct: np.ndarray  # (num_exits + 1, n) argmax == label per head
+
+
+#: Rows per chunk when compiling a stream.  Entropy and argmax act per
+#: row, so chunking changes nothing numerically — it only keeps the
+#: softmax temporaries cache-sized instead of materializing multiple
+#: (n, classes) float64 scratch arrays at million-request scale.
+_COMPILE_CHUNK = 65536
+
+
+def compile_stream(stream: ServingStream) -> CompiledStream:
+    """Precompute per-head entropies and correctness for the whole stream."""
+    num_exits = stream.num_exits
+    labels = stream.labels
+    n = len(labels)
+    entropy = np.empty((num_exits, n))
+    head_correct = np.empty((num_exits + 1, n), dtype=bool)
+    for i in range(num_exits):
+        logits = stream.exit_logits[i]
+        for lo in range(0, n, _COMPILE_CHUNK):
+            hi = min(lo + _COMPILE_CHUNK, n)
+            entropy[i, lo:hi] = entropy_np(logits[lo:hi], axis=-1)
+            head_correct[i, lo:hi] = logits[lo:hi].argmax(axis=-1) == labels[lo:hi]
+    final = stream.final_logits
+    for lo in range(0, n, _COMPILE_CHUNK):
+        hi = min(lo + _COMPILE_CHUNK, n)
+        head_correct[num_exits, lo:hi] = final[lo:hi].argmax(axis=-1) == labels[lo:hi]
+    return CompiledStream(num_exits=num_exits, entropy=entropy, head_correct=head_correct)
+
+
+class _CompiledConfig:
+    """One ladder rung compiled against a stream: decisions + cost tables.
+
+    ``decisions`` replicates :meth:`EntropyThresholdController.decide` over
+    the full stream (first exit whose entropy clears its threshold);
+    :meth:`price` replicates :func:`batched_execution` +
+    :meth:`DvfsGovernor.switching_energy` for a batch of those decisions.
+    Sums run as Python float sums over lists (NOT ``np.sum``, whose pairwise
+    reduction associates differently) and the shared-overhead path is the
+    *first* maximum, exactly like ``max(..., key=...)`` — this is what keeps
+    the compiled executor bit-identical to the reference one.
+    """
+
+    __slots__ = (
+        "decisions",
+        "correct",
+        "_busy",
+        "_over",
+        "_passive",
+        "_unit",
+        "_sid",
+        "_switch_cost_j",
+        "_dec_req",
+        "_busy_l",
+        "_over_l",
+        "_passive_l",
+        "_unit_l",
+        "_sid_l",
+        "_lat_one",
+        "_energy_one",
+    )
+
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        profiles: list[PathProfile],
+        cstream: CompiledStream,
+        switch_cost_j: float,
+    ):
+        n = cstream.head_correct.shape[1]
+        decisions = np.full(n, cstream.num_exits, dtype=np.int64)
+        undecided = np.ones(n, dtype=bool)
+        for i, threshold in enumerate(config.thresholds):
+            takes = undecided & (cstream.entropy[i] <= threshold)
+            decisions[takes] = i
+            undecided &= ~takes
+        self.decisions = decisions
+        self.correct = cstream.head_correct[decisions, np.arange(n)]
+        self._busy = np.asarray([p.busy_s for p in profiles])
+        self._over = np.asarray([p.overhead_s for p in profiles])
+        self._passive = np.asarray([p.passive_power_w for p in profiles])
+        self._unit = np.asarray(
+            [p.dynamic_energy_j + p.passive_power_w * p.busy_s for p in profiles]
+        )
+        # DVFS settings collapsed to equality-class ids so intra-batch
+        # transitions are an integer comparison instead of dataclass !=.
+        governor = config.dvfs_governor(switch_cost_j)
+        seen: list = []
+        sid = []
+        for path in range(len(profiles)):
+            setting = governor.setting_for(path)
+            for class_id, other in enumerate(seen):
+                if setting == other:
+                    sid.append(class_id)
+                    break
+            else:
+                sid.append(len(seen))
+                seen.append(setting)
+        self._sid = np.asarray(sid, dtype=np.int64)
+        self._switch_cost_j = switch_cost_j
+        self._dec_req = None  # per-request decision list, built on first span price
+
+    def ensure_span_tables(self) -> None:
+        """Materialize span-pricing lookups, once per (config, stream).
+
+        Span-mode batches are contiguous ``[lo, hi)`` ranges averaging a
+        handful of requests, so pricing works off one Python list of
+        per-request exit decisions (small ints, so ``tolist`` is cheap —
+        unlike converting five per-request float gathers) plus per-exit
+        Python float tables.  The per-request values this indexes are
+        exactly the ones the gather in :meth:`price` would produce, in the
+        same order, so the float sums are bit-identical.  ``_lat_one`` and
+        ``_energy_one`` pre-fold the single-request batch: ``busy + over``
+        and ``unit + passive * over`` associate identically to the batch
+        formulas at size one.  Queue-mode runs never build any of this.
+        """
+        if self._dec_req is None:
+            self._dec_req = self.decisions.tolist()
+            self._busy_l = self._busy.tolist()
+            self._over_l = self._over.tolist()
+            self._passive_l = self._passive.tolist()
+            self._unit_l = self._unit.tolist()
+            self._sid_l = self._sid.tolist()
+            self._lat_one = [b + o for b, o in zip(self._busy_l, self._over_l)]
+            self._energy_one = [
+                u + p * o
+                for u, p, o in zip(self._unit_l, self._passive_l, self._over_l)
+            ]
+
+    def price_span(self, lo: int, hi: int) -> tuple[float, float, float]:
+        """:meth:`price` for the contiguous batch ``[lo, hi)`` (span mode)."""
+        dec = self._dec_req
+        if hi - lo == 1:
+            d = dec[lo]
+            return self._lat_one[d], self._energy_one[d], 0.0
+        busy = self._busy_l
+        over = self._over_l
+        unit = self._unit_l
+        busy_sum = 0.0
+        energy = 0.0
+        peak = -1.0
+        longest = lo
+        for j in range(lo, hi):
+            d = dec[j]
+            busy_sum += busy[d]
+            energy += unit[d]
+            o = over[d]
+            if o > peak:  # strict: keeps the first maximum, like argmax
+                peak = o
+                longest = j
+        latency = busy_sum + peak
+        energy += self._passive_l[dec[longest]] * peak
+        switch = 0.0
+        if self._switch_cost_j:
+            sids = self._sid_l
+            prev = sids[dec[lo]]
+            transitions = 0
+            for j in range(lo + 1, hi):
+                cur = sids[dec[j]]
+                if cur != prev:
+                    transitions += 1
+                    prev = cur
+            switch = transitions * self._switch_cost_j
+        return latency, energy + switch, switch
+
+    def price(self, decisions: np.ndarray) -> tuple[float, float, float]:
+        """(latency_s, energy_j incl. switching, switching_j) for one batch."""
+        busy_sum = sum(self._busy[decisions].tolist())
+        over = self._over[decisions]
+        longest = int(np.argmax(over))  # first occurrence, like max(key=...)
+        latency = busy_sum + float(over[longest])
+        energy = sum(self._unit[decisions].tolist()) + float(
+            self._passive[decisions[longest]] * over[longest]
+        )
+        switch = 0.0
+        if self._switch_cost_j and len(decisions) >= 2:
+            sids = self._sid[decisions]
+            transitions = int(np.count_nonzero(sids[1:] != sids[:-1]))
+            switch = transitions * self._switch_cost_j
+        return latency, energy + switch, switch
+
+
+@dataclass
+class _RunState:
+    """Accumulated telemetry of one serving loop, engine-agnostic."""
+
+    completion: np.ndarray  # NaN = never served (dropped at admission)
+    correct: np.ndarray
+    exit_counts: np.ndarray
+    total_energy: float = 0.0
+    switching_energy: float = 0.0
+    battery_spent: float = 0.0
+    battery_exhausted: bool = False
+    num_batches: int = 0
+    throttled: int = 0
+    governor_decisions: int = 0
+    num_dropped: int = 0
+    num_deferred: int = 0
+    config_usage: dict[str, int] = field(default_factory=dict)
+    peak_temperature_c: float = 0.0
+
+
 class ServingSimulator:
     """Replays one trace through one policy on one simulated device.
 
@@ -96,12 +334,18 @@ class ServingSimulator:
         Per-request completion deadline.
     window_s:
         Governor decision period.  Backlog spikes (more than
-        ``emergency_backlog_batches`` full batches waiting) trigger an
-        immediate re-decision instead of waiting out the window — burst
-        onsets are reacted to at batch granularity.
+        ``emergency_backlog_batches`` full batches in the system, counting
+        the batch being formed) trigger an immediate re-decision instead of
+        waiting out the window — burst onsets are reacted to at batch
+        granularity.
     battery_budget_j:
         Absolute energy allowance (None = unconstrained); the harness
         derives it from the scenario's ``battery_scale``.
+    admission:
+        Optional queue-depth admission policy (indexed engine only).
+    engine:
+        ``"indexed"`` (vectorized, default) or ``"reference"`` (the original
+        object loop, kept as the executable specification).
     """
 
     def __init__(
@@ -117,9 +361,18 @@ class ServingSimulator:
         switch_cost_j: float = 0.0,
         battery_budget_j: float | None = None,
         emergency_backlog_batches: float = 2.0,
+        admission: AdmissionPolicy | None = None,
+        engine: str = "indexed",
     ):
         check_positive("slo_s", slo_s)
         check_positive("window_s", window_s)
+        if engine not in ENGINE_NAMES:
+            raise ValueError(f"unknown engine {engine!r}; valid: {ENGINE_NAMES}")
+        if engine == "reference" and admission is not None:
+            raise ValueError(
+                "the reference engine predates admission control; "
+                "use engine='indexed' with an AdmissionPolicy"
+            )
         self.evaluator = evaluator
         self.placement = placement
         self.policy = policy
@@ -130,6 +383,8 @@ class ServingSimulator:
         self.window_s = window_s
         self.switch_cost_j = switch_cost_j
         self.battery_budget_j = battery_budget_j
+        self.admission = admission
+        self.engine = engine
         self.emergency_backlog = emergency_backlog_batches * self.batch_policy.max_batch
         self._max_power_w = max(c.expected_power_w for c in self.ladder)
         self._coolest = min(self.ladder, key=lambda c: c.expected_power_w)
@@ -154,7 +409,7 @@ class ServingSimulator:
         now_s: float,
         trace: Trace,
         arrivals: np.ndarray,
-        batcher: MicroBatcher,
+        batcher,
         thermal: ThermalState | None,
         battery_spent_j: float,
     ) -> GovernorObservation:
@@ -180,6 +435,18 @@ class ServingSimulator:
             temperature_c=thermal.temperature_c if thermal else 0.0,
             power_cap_w=power_cap,
             energy_cap_j=energy_cap,
+            critical_backlog=batcher.critical_backlog_at(now_s),
+        )
+
+    def _initial_config(self, trace: Trace) -> RuntimeConfig:
+        return self.policy.select(
+            GovernorObservation(
+                now_s=0.0,
+                window_s=self.window_s,
+                arrival_rate_hz=trace.mean_rate_hz,
+                backlog=0,
+                slo_s=self.slo_s,
+            )
         )
 
     # -------------------------------------------------------------- main loop
@@ -214,39 +481,44 @@ class ServingSimulator:
             raise ValueError(
                 f"stream carries {stream.final_logits.shape[0]} requests, trace has {n}"
             )
-        arrivals = trace.arrival_times()
-        batcher = MicroBatcher(trace, self.batch_policy)
+        if stream.num_exits != self.placement.num_exits:
+            raise ValueError(
+                f"stream carries {stream.num_exits} exit heads but the deployed "
+                f"placement expects {self.placement.num_exits}; the mounted "
+                "logits stream and exit placement must describe the same DyNN"
+            )
         thermal = (
             ThermalState(self.scenario.thermal, self._max_power_w)
             if self.scenario.thermal is not None
             else None
         )
+        if self.engine == "reference":
+            if trace.num_critical:
+                raise ValueError(
+                    "the reference engine is class-agnostic; serve SLO-tagged "
+                    "traces with engine='indexed'"
+                )
+            state = self._serve_reference(trace, stream, thermal)
+        else:
+            state = self._serve_indexed(trace, stream, thermal)
+        return self._build_report(trace, thermal, state, platform, model, seed)
 
-        completion = np.zeros(n)
-        correct = np.zeros(n, dtype=bool)
-        exit_counts = np.zeros(self.placement.num_exits + 1, dtype=np.int64)
-        total_energy = 0.0
-        switching_energy = 0.0
-        battery_spent = 0.0
-        battery_exhausted = False
-        num_batches = 0
-        throttled = 0
-        config_usage: dict[str, int] = {}
-        governor_decisions = 0
-
+    def _serve_reference(
+        self, trace: Trace, stream: ServingStream, thermal: ThermalState | None
+    ) -> _RunState:
+        """The original object loop: MicroBatcher + per-batch controller."""
+        n = trace.num_requests
+        arrivals = trace.arrival_s
+        batcher = MicroBatcher(trace, self.batch_policy)
+        state = _RunState(
+            completion=np.full(n, np.nan),
+            correct=np.zeros(n, dtype=bool),
+            exit_counts=np.zeros(self.placement.num_exits + 1, dtype=np.int64),
+        )
         clock = 0.0  # last simulated instant (for thermal integration)
         t_free = 0.0
-        next_decision = 0.0
-        config = self.policy.select(
-            GovernorObservation(
-                now_s=0.0,
-                window_s=self.window_s,
-                arrival_rate_hz=trace.mean_rate_hz,
-                backlog=0,
-                slo_s=self.slo_s,
-            )
-        )
-        governor_decisions += 1
+        config = self._initial_config(trace)
+        state.governor_decisions += 1
         tracing.count("serving.governor_decisions")
         next_decision = self.window_s
 
@@ -254,20 +526,24 @@ class ServingSimulator:
             start, batch = formed
             if thermal is not None and start > clock:
                 thermal.advance(0.0, start - clock)  # idle: device cools
-            spike = batcher.backlog_at(start) > self.emergency_backlog
+            # Spike check counts the in-flight batch: next_batch already
+            # popped it off the queue, but it is still unserved work.
+            spike = batcher.backlog_at(start) + len(batch) > self.emergency_backlog
             if start >= next_decision or spike:
-                obs = self._observe(start, trace, arrivals, batcher, thermal, battery_spent)
+                obs = self._observe(
+                    start, trace, arrivals, batcher, thermal, state.battery_spent
+                )
                 config = self.policy.select(obs)
-                governor_decisions += 1
+                state.governor_decisions += 1
                 tracing.count("serving.governor_decisions")
                 next_decision = start + self.window_s
 
             active = config
             if thermal is not None and thermal.throttled:
                 active = self._coolest  # hardware throttle overrides the policy
-                throttled += 1
+                state.throttled += 1
                 tracing.count("serving.throttled_batches")
-            config_usage[active.name] = config_usage.get(active.name, 0) + 1
+            state.config_usage[active.name] = state.config_usage.get(active.name, 0) + 1
             tracing.count("serving.batches")
             tracing.observe("serving.batch_size", len(batch))
 
@@ -279,26 +555,191 @@ class ServingSimulator:
                 stream,
                 indices,
             )
-            switching_energy += outcome.switching_j
+            state.switching_energy += outcome.switching_j
 
             end = start + outcome.latency_s
-            completion[indices] = end
-            correct[indices] = outcome.correct
+            state.completion[indices] = end
+            state.correct[indices] = outcome.correct
             for d in outcome.decisions:
-                exit_counts[d] += 1
+                state.exit_counts[d] += 1
 
-            total_energy += outcome.energy_j
-            battery_spent += outcome.energy_j
-            if self.battery_budget_j is not None and battery_spent > self.battery_budget_j:
-                battery_exhausted = True
+            state.total_energy += outcome.energy_j
+            state.battery_spent += outcome.energy_j
+            if (
+                self.battery_budget_j is not None
+                and state.battery_spent > self.battery_budget_j
+            ):
+                state.battery_exhausted = True
             if thermal is not None and outcome.latency_s > 0:
                 thermal.advance(outcome.energy_j / outcome.latency_s, outcome.latency_s)
             clock = end
             t_free = end
+            state.num_batches += 1
+        return state
+
+    def _serve_indexed(
+        self, trace: Trace, stream: ServingStream, thermal: ThermalState | None
+    ) -> _RunState:
+        """The vectorized event core: ArrayBatcher + compiled executor."""
+        n = trace.num_requests
+        arrivals = trace.arrival_s
+        batcher = ArrayBatcher(trace, self.batch_policy, self.admission)
+        cstream = compile_stream(stream)
+        compiled: dict[str, _CompiledConfig] = {}
+
+        def compiled_of(config: RuntimeConfig) -> _CompiledConfig:
+            cc = compiled.get(config.name)
+            if cc is None:
+                cc = _CompiledConfig(
+                    config, self._profiles_of(config), cstream, self.switch_cost_j
+                )
+                compiled[config.name] = cc
+            return cc
+
+        state = _RunState(
+            completion=np.full(n, np.nan),
+            correct=np.zeros(n, dtype=bool),
+            exit_counts=np.zeros(self.placement.num_exits + 1, dtype=np.int64),
+        )
+        completion = state.completion
+        correct = state.correct
+        exit_counts = state.exit_counts
+        use_span = batcher.contiguous
+        clock = 0.0
+        t_free = 0.0
+        config = self._initial_config(trace)
+        state.governor_decisions += 1
+        tracing.count("serving.governor_decisions")
+        next_decision = self.window_s
+
+        # Hot-loop locals: at 10⁶ requests the attribute chases and no-op
+        # tracing shims are real costs, so the loop binds everything once
+        # (the recorder cannot change mid-run — it is thread-scoped and this
+        # loop is synchronous) and writes the meters back at the end.
+        recorder = tracing.active()
+        policy_select = self.policy.select
+        window_s = self.window_s
+        emergency_backlog = self.emergency_backlog
+        battery_budget = self.battery_budget_j
+        config_usage = state.config_usage
+        backlog_at = batcher.backlog_at
+        num_batches = 0
+        total_energy = 0.0
+        battery_spent = 0.0
+        switching_energy = 0.0
+        # Span-mode writes of `correct`/`exit_counts` are flushed per *run*
+        # of consecutive batches priced by the same compiled config — one
+        # slice copy and one bincount per config stretch instead of per
+        # batch (a static nominal run flushes exactly once).
+        run_cc: _CompiledConfig | None = None
+        run_lo = run_hi = 0
+
+        def flush_run() -> None:
+            if run_cc is not None and run_hi > run_lo:
+                correct[run_lo:run_hi] = run_cc.correct[run_lo:run_hi]
+                counts = np.bincount(
+                    run_cc.decisions[run_lo:run_hi], minlength=len(exit_counts)
+                )
+                np.add(exit_counts, counts, out=exit_counts)
+
+        while True:
+            if use_span:
+                formed = batcher.next_span(t_free)
+            else:
+                formed = batcher.next_batch(t_free)
+            if formed is None:
+                break
+            if use_span:
+                start, lo, hi = formed
+                size = hi - lo
+            else:
+                start, indices = formed
+                size = len(indices)
+            if thermal is not None and start > clock:
+                thermal.advance(0.0, start - clock)  # idle: device cools
+            # Spike check counts the in-flight batch (see reference loop).
+            spike = backlog_at(start) + size > emergency_backlog
+            if start >= next_decision or spike:
+                state.battery_spent = battery_spent
+                obs = self._observe(
+                    start, trace, arrivals, batcher, thermal, battery_spent
+                )
+                config = policy_select(obs)
+                state.governor_decisions += 1
+                if recorder is not None:
+                    recorder.count("serving.governor_decisions", 1)
+                next_decision = start + window_s
+
+            active = config
+            if thermal is not None and thermal.throttled:
+                active = self._coolest
+                state.throttled += 1
+                if recorder is not None:
+                    recorder.count("serving.throttled_batches", 1)
+            name = active.name
+            config_usage[name] = config_usage.get(name, 0) + 1
+            if recorder is not None:
+                recorder.count("serving.batches", 1)
+                recorder.observe("serving.batch_size", size)
+
+            cc = compiled_of(active)
+            if use_span:
+                if cc._dec_req is None:
+                    cc.ensure_span_tables()
+                latency, energy, switch = cc.price_span(lo, hi)
+                if cc is run_cc and lo == run_hi:
+                    run_hi = hi
+                else:
+                    flush_run()
+                    run_cc, run_lo, run_hi = cc, lo, hi
+                completion[lo:hi] = start + latency
+            else:
+                decisions = cc.decisions[indices]
+                latency, energy, switch = cc.price(decisions)
+                completion[indices] = start + latency
+                correct[indices] = cc.correct[indices]
+                exit_counts += np.bincount(decisions, minlength=len(exit_counts))
+            switching_energy += switch
+
+            end = start + latency
+            total_energy += energy
+            battery_spent += energy
+            if battery_budget is not None and battery_spent > battery_budget:
+                state.battery_exhausted = True
+            if thermal is not None and latency > 0:
+                thermal.advance(energy / latency, latency)
+            clock = end
+            t_free = end
             num_batches += 1
 
-        latencies = completion - arrivals
-        makespan = max(float(completion.max()) if n else 0.0, trace.duration_s)
+        flush_run()
+        state.num_batches = num_batches
+        state.total_energy = total_energy
+        state.battery_spent = battery_spent
+        state.switching_energy = switching_energy
+        state.num_dropped = batcher.num_dropped
+        state.num_deferred = batcher.num_deferred
+        return state
+
+    def _build_report(
+        self,
+        trace: Trace,
+        thermal: ThermalState | None,
+        state: _RunState,
+        platform: str,
+        model: str,
+        seed: int,
+    ) -> ServingReport:
+        n = trace.num_requests
+        arrivals = trace.arrival_s
+        completion = state.completion
+        served = ~np.isnan(completion)
+        num_served = int(served.sum())
+        latencies = completion[served] - arrivals[served]
+        makespan = max(
+            float(np.max(completion[served])) if num_served else 0.0, trace.duration_s
+        )
+        num_batches = state.num_batches
         return ServingReport(
             pattern=trace.pattern,
             scenario=self.scenario.name,
@@ -310,24 +751,37 @@ class ServingSimulator:
             num_requests=n,
             duration_s=trace.duration_s,
             offered_rate_rps=trace.mean_rate_hz,
-            throughput_rps=n / makespan if makespan > 0 else 0.0,
+            throughput_rps=num_served / makespan if makespan > 0 else 0.0,
             num_batches=num_batches,
-            mean_batch_size=n / num_batches if num_batches else 0.0,
-            latency_ms_mean=float(latencies.mean() * 1e3) if n else 0.0,
+            mean_batch_size=num_served / num_batches if num_batches else 0.0,
+            latency_ms_mean=float(latencies.mean() * 1e3) if num_served else 0.0,
             latency_ms_p50=percentile_ms(latencies, 50),
             latency_ms_p95=percentile_ms(latencies, 95),
             latency_ms_p99=percentile_ms(latencies, 99),
-            deadline_miss_rate=float((latencies > self.slo_s).mean()) if n else 0.0,
-            energy_per_request_j=total_energy / n if n else 0.0,
-            total_energy_j=total_energy,
-            switching_energy_j=switching_energy,
-            accuracy=float(correct.mean()) if n else 0.0,
-            exit_usage=[float(c) / n if n else 0.0 for c in exit_counts],
-            config_usage=config_usage,
-            governor_decisions=governor_decisions,
-            throttled_batches=throttled,
+            deadline_miss_rate=float((latencies > self.slo_s).mean())
+            if num_served
+            else 0.0,
+            energy_per_request_j=state.total_energy / num_served if num_served else 0.0,
+            total_energy_j=state.total_energy,
+            switching_energy_j=state.switching_energy,
+            accuracy=float(state.correct[served].mean()) if num_served else 0.0,
+            exit_usage=[
+                float(c) / num_served if num_served else 0.0 for c in state.exit_counts
+            ],
+            config_usage=state.config_usage,
+            governor_decisions=state.governor_decisions,
+            throttled_batches=state.throttled,
             peak_temperature_c=thermal.peak_c if thermal is not None else 0.0,
             battery_budget_j=self.battery_budget_j or 0.0,
-            battery_spent_j=battery_spent if self.battery_budget_j is not None else 0.0,
-            battery_exhausted=battery_exhausted,
+            battery_spent_j=state.battery_spent
+            if self.battery_budget_j is not None
+            else 0.0,
+            battery_exhausted=state.battery_exhausted,
+            num_served=num_served,
+            num_dropped=state.num_dropped,
+            num_deferred=state.num_deferred,
+            drop_rate=state.num_dropped / n if n else 0.0,
+            class_stats=class_latency_stats(
+                trace.slo_class, SLO_CLASSES, arrivals, completion, self.slo_s
+            ),
         )

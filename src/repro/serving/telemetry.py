@@ -20,6 +20,44 @@ def percentile_ms(latencies_s: np.ndarray, q: float) -> float:
     return float(np.percentile(latencies_s, q) * 1e3)
 
 
+def class_latency_stats(
+    slo_classes: np.ndarray,
+    class_names: tuple[str, ...],
+    arrivals_s: np.ndarray,
+    completion_s: np.ndarray,
+    slo_s: float,
+) -> dict[str, dict]:
+    """Per-SLO-class latency/miss/drop statistics over served requests.
+
+    ``completion_s`` uses NaN for never-served (dropped) requests; every
+    latency statistic is computed over the served subset only, so admission
+    drops can never manufacture negative latencies.  Keys are stable (one
+    entry per class name) so reports keep a uniform schema whether or not
+    the trace carries latency-critical traffic.
+    """
+    stats: dict[str, dict] = {}
+    for code, name in enumerate(class_names):
+        mask = np.asarray(slo_classes) == code
+        completion = completion_s[mask]
+        served = ~np.isnan(completion)
+        latencies = completion[served] - arrivals_s[mask][served]
+        total = int(mask.sum())
+        num_served = int(served.sum())
+        stats[name] = {
+            "num_requests": total,
+            "num_served": num_served,
+            "num_dropped": total - num_served,
+            "latency_ms_mean": float(latencies.mean() * 1e3) if num_served else 0.0,
+            "latency_ms_p50": percentile_ms(latencies, 50),
+            "latency_ms_p95": percentile_ms(latencies, 95),
+            "latency_ms_p99": percentile_ms(latencies, 99),
+            "deadline_miss_rate": float((latencies > slo_s).mean())
+            if num_served
+            else 0.0,
+        }
+    return stats
+
+
 @dataclass(frozen=True)
 class ServingReport:
     """Aggregate outcome of one serving run (one trace × one policy)."""
@@ -59,10 +97,38 @@ class ServingReport:
     battery_budget_j: float = 0.0  # 0 when the scenario has no battery
     battery_spent_j: float = 0.0
     battery_exhausted: bool = False
+    # Admission control / SLO classes (PR 8). num_served + num_dropped ==
+    # num_requests; latency stats above cover served requests only.
+    num_served: int = 0
+    num_dropped: int = 0
+    num_deferred: int = 0  # parked by a defer-mode admission gate at least once
+    drop_rate: float = 0.0
+    class_stats: dict[str, dict] = field(default_factory=dict)  # per SLO class
 
     @property
     def met_slo_rate(self) -> float:
         return 1.0 - self.deadline_miss_rate
+
+
+def _admission_lines(report) -> list[str]:
+    """Drop/defer and per-class lines shared by the single/fleet renderers."""
+    lines: list[str] = []
+    if report.num_dropped or report.num_deferred:
+        lines.append(
+            f"  admission       {report.num_served} served, "
+            f"{report.num_dropped} dropped ({report.drop_rate * 100:.1f}%), "
+            f"{report.num_deferred} deferred"
+        )
+    stats = getattr(report, "class_stats", None) or {}
+    critical = stats.get("latency_critical")
+    if critical and critical["num_requests"]:
+        for name, cls in stats.items():
+            lines.append(
+                f"  {name:<15s} {cls['num_served']}/{cls['num_requests']} served  "
+                f"p95 {cls['latency_ms_p95']:.1f}ms  "
+                f"miss {cls['deadline_miss_rate'] * 100:.1f}%"
+            )
+    return lines
 
 
 def render_report(report: ServingReport) -> str:
@@ -75,6 +141,7 @@ def render_report(report: ServingReport) -> str:
         f"  latency ms      mean {report.latency_ms_mean:.1f}  p50 {report.latency_ms_p50:.1f}  "
         f"p95 {report.latency_ms_p95:.1f}  p99 {report.latency_ms_p99:.1f}",
         f"  SLO {report.slo_ms:.0f}ms       miss rate {report.deadline_miss_rate * 100:.1f}%",
+        *_admission_lines(report),
         f"  energy          {report.energy_per_request_j * 1e3:.1f} mJ/request "
         f"({report.total_energy_j:.2f} J total, switch {report.switching_energy_j * 1e3:.1f} mJ)",
         f"  accuracy        {report.accuracy * 100:.1f}%",
@@ -115,6 +182,7 @@ def render_fleet_report(report) -> str:
         f"  latency ms      mean {report.latency_ms_mean:.1f}  p50 {report.latency_ms_p50:.1f}  "
         f"p95 {report.latency_ms_p95:.1f}  p99 {report.latency_ms_p99:.1f}",
         f"  SLO {report.slo_ms:.0f}ms       miss rate {report.deadline_miss_rate * 100:.1f}%",
+        *_admission_lines(report),
         f"  energy          {report.energy_per_request_j * 1e3:.1f} mJ/request "
         f"({report.total_energy_j:.2f} J total)",
         f"  accuracy        {report.accuracy * 100:.1f}%",

@@ -34,7 +34,7 @@ from repro.serving.router import (
     make_router,
 )
 from repro.serving.telemetry import render_fleet_report, render_router_comparison
-from repro.serving.workload import Request
+from repro.serving.workload import BEST_EFFORT, LATENCY_CRITICAL
 
 
 @pytest.fixture(scope="module")
@@ -71,8 +71,9 @@ class TestRouters:
     def test_round_robin_cycles(self):
         router = RoundRobinRouter()
         lanes = [_FakeLane(i, 10.0, 0.1, 0.0) for i in range(3)]
-        request = Request(index=0, arrival_s=0.0, difficulty=0.5)
-        assert [router.route(request, 0.0, lanes) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+        assert [
+            router.route(0.5, BEST_EFFORT, 0.0, lanes) for _ in range(6)
+        ] == [0, 1, 2, 0, 1, 2]
 
     def test_least_backlog_picks_least_wait(self):
         router = LeastBacklogRouter()
@@ -81,14 +82,12 @@ class TestRouters:
             _FakeLane(1, 10.0, 0.1, 0.1),
             _FakeLane(2, 10.0, 0.1, 0.9),
         ]
-        request = Request(index=0, arrival_s=0.0, difficulty=0.5)
-        assert router.route(request, 0.0, lanes) == 1
+        assert router.route(0.5, BEST_EFFORT, 0.0, lanes) == 1
 
     def test_least_backlog_ties_break_on_index(self):
         router = LeastBacklogRouter()
         lanes = [_FakeLane(i, 10.0, 0.1, 0.3) for i in range(3)]
-        request = Request(index=0, arrival_s=0.0, difficulty=0.5)
-        assert router.route(request, 0.0, lanes) == 0
+        assert router.route(0.5, BEST_EFFORT, 0.0, lanes) == 0
 
     def test_difficulty_bands_follow_capacity_order(self):
         # Lane 1 is the weak device: it owns the easy band despite its index.
@@ -102,9 +101,19 @@ class TestRouters:
         busy_weak = _FakeLane(0, 10.0, 0.1, 10.0)  # banded choice, swamped
         idle_strong = _FakeLane(1, 30.0, 0.3, 0.0)
         router = DifficultyAwareRouter([busy_weak, idle_strong], slo_s=0.075)
-        easy = Request(index=0, arrival_s=0.0, difficulty=0.01)
-        assert router.banded_lane(easy.difficulty) == 0
-        assert router.route(easy, 0.0, [busy_weak, idle_strong]) == 1
+        assert router.banded_lane(0.01) == 0
+        assert router.route(0.01, BEST_EFFORT, 0.0, [busy_weak, idle_strong]) == 1
+
+    def test_critical_spills_at_half_threshold(self):
+        # Wait of 0.03 s sits between the critical threshold (0.5·0.5·SLO ≈
+        # 0.019 s) and the best-effort one (0.5·SLO ≈ 0.038 s): best-effort
+        # traffic stays in its band, criticals move to the idle lane.
+        moderately_busy = _FakeLane(0, 10.0, 0.1, 0.03)
+        idle_strong = _FakeLane(1, 30.0, 0.3, 0.0)
+        lanes = [moderately_busy, idle_strong]
+        router = DifficultyAwareRouter(lanes, slo_s=0.075)
+        assert router.route(0.01, BEST_EFFORT, 0.0, lanes) == 0
+        assert router.route(0.01, LATENCY_CRITICAL, 0.0, lanes) == 1
 
     def test_make_router_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown router"):
@@ -141,46 +150,65 @@ class TestFleetSpec:
 # -------------------------------------------------------------- lane batching
 class TestDeviceLane:
     @pytest.fixture(scope="class")
-    def lane(self):
-        stack = build_serving_stack(ServingSpec(duration_s=4.0, max_batch=4))
+    def stack(self):
+        return build_serving_stack(ServingSpec(duration_s=4.0, max_batch=4))
+
+    def _lane(self, stack, times):
         from repro.serving.governor import StaticPolicy
 
-        return DeviceLane(0, stack, StaticPolicy(stack.static_config))
+        lane = DeviceLane(0, stack, StaticPolicy(stack.static_config))
+        for i, t in enumerate(times):
+            lane.push(i, float(t), critical=False)
+        return lane
 
-    def _requests(self, times):
-        return [Request(index=i, arrival_s=float(t), difficulty=0.5) for i, t in enumerate(times)]
-
-    def test_waits_for_fleet_clock(self, lane):
-        lane._queue.clear(); lane._queue_arrivals.clear()
-        lane.t_free = 0.0
-        for r in self._requests([0.0, 0.001]):
-            lane.push(r)
+    def test_waits_for_fleet_clock(self, stack):
+        lane = self._lane(stack, [0.0, 0.001])
         # Head expiry is 4 ms; the fleet clock is still at 1 ms: not ready.
         assert lane.next_ready_batch(until_s=0.001) is None
         formed = lane.next_ready_batch(until_s=1.0)
         assert formed is not None
         start, batch = formed
         assert start == pytest.approx(0.004)
-        assert [r.index for r in batch] == [0, 1]
+        assert batch == [0, 1]
 
-    def test_full_batch_dispatches_at_fill_time(self, lane):
-        lane._queue.clear(); lane._queue_arrivals.clear()
-        lane.t_free = 0.0
-        for r in self._requests([0.0, 0.001, 0.002, 0.003, 0.0035]):
-            lane.push(r)
+    def test_full_batch_dispatches_at_fill_time(self, stack):
+        lane = self._lane(stack, [0.0, 0.001, 0.002, 0.003, 0.0035])
         start, batch = lane.next_ready_batch(until_s=1.0)
         assert start == pytest.approx(0.003)  # 4th arrival fills max_batch=4
-        assert [r.index for r in batch] == [0, 1, 2, 3]
+        assert batch == [0, 1, 2, 3]
         assert lane.queue_depth == 1
 
-    def test_opportunistic_fill_while_device_busy(self, lane):
-        lane._queue.clear(); lane._queue_arrivals.clear()
+    def test_opportunistic_fill_while_device_busy(self, stack):
+        lane = self._lane(stack, [0.0, 0.2, 0.4])
         lane.t_free = 0.5
-        for r in self._requests([0.0, 0.2, 0.4]):
-            lane.push(r)
         start, batch = lane.next_ready_batch(until_s=1.0)
         assert start == pytest.approx(0.5)
-        assert [r.index for r in batch] == [0, 1, 2]
+        assert batch == [0, 1, 2]
+
+    def test_backlog_counts_admitted_minus_dispatched(self, stack):
+        lane = self._lane(stack, [0.0, 0.1, 0.2, 5.0])
+        assert lane.backlog_at(0.25) == 3
+        assert lane.next_ready_batch(until_s=10.0)[1] == [0]  # head timeout batch
+        assert lane.backlog_at(0.25) == 2  # dispatched work no longer counted
+        while lane.next_ready_batch(until_s=float("inf")) is not None:
+            pass
+        assert lane.backlog_at(0.25) == 0
+        assert lane.backlog_at(5.5) == 0
+
+    def test_critical_backlog_tracks_class(self, stack):
+        from repro.serving.governor import StaticPolicy
+
+        lane = DeviceLane(0, stack, StaticPolicy(stack.static_config))
+        lane.push(0, 0.0, critical=True)
+        lane.push(1, 0.1, critical=False)
+        lane.push(2, 0.2, critical=True)
+        assert lane.critical_backlog_at(0.15) == 1
+        assert lane.critical_backlog_at(0.25) == 2
+        assert lane.next_ready_batch(until_s=10.0)[1] == [0]  # head timeout batch
+        assert lane.critical_backlog_at(0.25) == 1  # critical 2 still queued
+        while lane.next_ready_batch(until_s=float("inf")) is not None:
+            pass
+        assert lane.critical_backlog_at(0.25) == 0
 
 
 # ---------------------------------------------------------------- fleet cells
@@ -483,3 +511,24 @@ class TestFleetStacks:
         assert stream.final_logits.shape[0] == trace.num_requests
         # Identical mounts ⇒ identical placements on every lane.
         assert len({s.placement.positions for s in stacks}) == 1
+
+
+# ----------------------------------------------------------- latent-bug pins
+class TestFleetRegressions:
+    def test_exit_head_mismatch_raises(self):
+        """Regression: a stream with the wrong number of exit heads used to
+        crash deep inside a lane's compiled executor; the fleet now refuses
+        upfront, same as the single-device simulator."""
+        from repro.serving.fleet import FleetSimulator
+        from repro.serving.stream import ServingStream
+
+        spec = FleetSpec(platforms=("tx2-gpu", "agx-gpu"), duration_s=3.0)
+        stacks = build_fleet_stacks(spec)
+        trace, stream = build_fleet_trace_and_stream(spec, stacks)
+        wrong = ServingStream(
+            exit_logits=stream.exit_logits[:-1],
+            final_logits=stream.final_logits,
+            labels=stream.labels,
+        )
+        with pytest.raises(ValueError, match="exit heads"):
+            FleetSimulator(spec, stacks).run(trace, wrong)

@@ -175,3 +175,130 @@ class TestEndToEndConsistency:
         )
         assert engine.evaluator.baseline_energy_j == pytest.approx(static.energy_j)
         assert engine.evaluator.baseline_latency_s == pytest.approx(static.latency_s)
+
+
+# --------------------------------------------------------------- serving laws
+class TestTraceGeneratorLaws:
+    """Laws every load generator must satisfy over its whole input space."""
+
+    PATTERNS = ("poisson", "bursty", "diurnal", "replay")
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from(PATTERNS),
+        st.floats(20.0, 200.0),
+        st.floats(5.0, 30.0),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_sorted_and_bounded(self, pattern, rate_hz, duration_s, seed):
+        from repro.serving.workload import make_trace
+
+        trace = make_trace(pattern, rate_hz, duration_s, seed=seed)
+        times = trace.arrival_s
+        assert np.all(np.diff(times) >= 0)
+        assert len(times) == 0 or (times[0] >= 0.0 and times[-1] < duration_s)
+        assert trace.duration_s == duration_s
+        assert np.all((trace.difficulty >= 0.0) & (trace.difficulty <= 1.0))
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from(PATTERNS), st.integers(0, 2**31 - 1))
+    def test_mean_rate_near_nominal(self, pattern, seed):
+        from repro.serving.workload import make_trace
+
+        rate_hz, duration_s = 100.0, 120.0
+        trace = make_trace(pattern, rate_hz, duration_s, seed=seed)
+        # Poisson counting noise is ~1% here, but bursty/diurnal add
+        # dwell/cycle-level variance on top — allow a generous ±25%.
+        assert trace.num_requests == pytest.approx(rate_hz * duration_s, rel=0.25)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.sampled_from(PATTERNS),
+        st.integers(0, 2**31 - 1),
+        st.floats(0.0, 1.0),
+    )
+    def test_per_seed_determinism(self, pattern, seed, critical_fraction):
+        from repro.serving.workload import make_trace
+
+        a = make_trace(pattern, 60.0, 8.0, seed=seed, critical_fraction=critical_fraction)
+        b = make_trace(pattern, 60.0, 8.0, seed=seed, critical_fraction=critical_fraction)
+        assert np.array_equal(a.arrival_s, b.arrival_s)
+        assert np.array_equal(a.difficulty, b.difficulty)
+        assert np.array_equal(a.slo_class, b.slo_class)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from(PATTERNS), st.floats(0.0, 1.0), st.integers(0, 2**31 - 1))
+    def test_critical_fraction_tags_about_that_share(self, pattern, fraction, seed):
+        from repro.serving.workload import LATENCY_CRITICAL, make_trace
+
+        trace = make_trace(pattern, 80.0, 20.0, seed=seed, critical_fraction=fraction)
+        if trace.num_requests == 0:
+            return
+        share = float(np.mean(trace.slo_class == LATENCY_CRITICAL))
+        assert share == pytest.approx(fraction, abs=0.08)
+
+
+class TestBatcherLaws:
+    """The two batcher implementations agree and satisfy dispatch laws."""
+
+    @staticmethod
+    def _drain_array(trace, policy, service_s):
+        from repro.serving.batcher import ArrayBatcher
+
+        batcher = ArrayBatcher(trace, policy)
+        t_free, out = 0.0, []
+        while (formed := batcher.next_batch(t_free)) is not None:
+            start, indices = formed
+            out.append((start, list(indices)))
+            t_free = start + service_s
+        return out
+
+    @staticmethod
+    def _drain_micro(trace, policy, service_s):
+        from repro.serving.batcher import MicroBatcher
+
+        batcher = MicroBatcher(trace, policy)
+        t_free, out = 0.0, []
+        while (formed := batcher.next_batch(t_free)) is not None:
+            start, batch = formed
+            out.append((start, [r.index for r in batch]))
+            t_free = start + service_s
+        return out
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 8),
+        st.floats(0.001, 0.05),
+        st.floats(0.001, 0.05),
+    )
+    def test_array_batcher_matches_micro_batcher(
+        self, seed, max_batch, timeout_s, service_s
+    ):
+        from repro.serving.batcher import BatchPolicy
+        from repro.serving.workload import make_trace
+
+        trace = make_trace("bursty", 80.0, 6.0, seed=seed)
+        policy = BatchPolicy(max_batch=max_batch, timeout_s=timeout_s)
+        assert self._drain_array(trace, policy, service_s) == self._drain_micro(
+            trace, policy, service_s
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 8), st.floats(0.001, 0.05))
+    def test_fifo_each_request_dispatched_once_after_arrival(
+        self, seed, max_batch, timeout_s
+    ):
+        from repro.serving.batcher import BatchPolicy
+        from repro.serving.workload import make_trace
+
+        trace = make_trace("poisson", 60.0, 6.0, seed=seed)
+        policy = BatchPolicy(max_batch=max_batch, timeout_s=timeout_s)
+        batches = self._drain_array(trace, policy, service_s=0.01)
+        dispatched = [i for _, indices in batches for i in indices]
+        # FIFO and exactly-once: the concatenation is 0..n-1 in order.
+        assert dispatched == list(range(trace.num_requests))
+        for start, indices in batches:
+            assert len(indices) <= max_batch
+            # no batch starts before its last member arrives
+            assert start >= trace.arrival_s[indices[-1]]

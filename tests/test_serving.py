@@ -95,7 +95,7 @@ def _trace_from_times(times, duration):
         Request(index=i, arrival_s=float(t), difficulty=0.5)
         for i, t in enumerate(times)
     )
-    return Trace(pattern="replay", requests=requests, duration_s=duration)
+    return Trace.from_requests("replay", requests, duration_s=duration)
 
 
 class TestMicroBatcher:
@@ -515,3 +515,142 @@ class TestCli:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "removed" in capsys.readouterr().out
         assert len(ResultCache(tmp_path)) == 0
+
+
+# ------------------------------------------------- engines & latent-bug pins
+class TestEngineEquivalence:
+    """The indexed event core must be bit-identical to the reference loop."""
+
+    @pytest.mark.parametrize("policy_name", ["static", "adaptive"])
+    @pytest.mark.parametrize("pattern", ["poisson", "bursty"])
+    def test_engines_bit_identical(self, stack, policy_name, pattern):
+        trace = make_trace(pattern, stack.rate_hz, 5.0, seed=3)
+        stream = stack.synthesizer.synthesize(trace.difficulties())
+        reports = {}
+        for engine in ("reference", "indexed"):
+            policy = (
+                StaticPolicy(stack.static_config)
+                if policy_name == "static"
+                else AdaptiveGovernor(stack.ladder, stack.batch_policy)
+            )
+            simulator = ServingSimulator(
+                evaluator=stack.evaluator,
+                placement=stack.placement,
+                policy=policy,
+                ladder=stack.ladder,
+                scenario=stack.scenario,
+                slo_s=stack.spec.slo_ms / 1e3,
+                batch_policy=stack.batch_policy,
+                engine=engine,
+            )
+            reports[engine] = simulator.run(trace, stream)
+        assert reports["reference"] == reports["indexed"]
+
+    @pytest.mark.parametrize("engine", ["reference", "indexed"])
+    def test_exit_head_mismatch_raises(self, stack, engine):
+        """Regression: a stream with the wrong number of exit heads used to
+        crash deep inside the controller; now both engines refuse upfront."""
+        trace, _ = build_trace_and_stream(stack)
+        from repro.serving.stream import ServingStream
+
+        stream = stack.synthesizer.synthesize(trace.difficulties())
+        wrong = ServingStream(
+            exit_logits=stream.exit_logits[:-1],
+            final_logits=stream.final_logits,
+            labels=stream.labels,
+        )
+        simulator = ServingSimulator(
+            evaluator=stack.evaluator,
+            placement=stack.placement,
+            policy=StaticPolicy(stack.static_config),
+            ladder=stack.ladder,
+            scenario=stack.scenario,
+            slo_s=0.075,
+            engine=engine,
+        )
+        with pytest.raises(ValueError, match="exit heads"):
+            simulator.run(trace, wrong)
+
+    @pytest.mark.parametrize("engine", ["reference", "indexed"])
+    def test_spike_check_counts_inflight_batch(self, stack, engine):
+        """Regression: the backlog-spike check ignored the batch that
+        ``next_batch`` had just popped, so a burst exactly one batch over the
+        emergency threshold never triggered a governor re-decision."""
+        trace = replay_trace(np.zeros(5))
+        stream = stack.synthesizer.synthesize(trace.difficulties())
+        simulator = ServingSimulator(
+            evaluator=stack.evaluator,
+            placement=stack.placement,
+            policy=StaticPolicy(stack.static_config),
+            ladder=stack.ladder,
+            scenario=stack.scenario,
+            slo_s=0.075,
+            batch_policy=BatchPolicy(max_batch=4, timeout_s=0.004),
+            window_s=100.0,
+            emergency_backlog_batches=1.0,
+            engine=engine,
+        )
+        report = simulator.run(trace, stream)
+        # The first batch of 4 leaves a backlog of 1: 1 queued + 4 in
+        # flight > 4 is a spike, so the governor decides twice (initial +
+        # emergency), never on the (100 s) window.
+        assert report.governor_decisions == 2
+
+    def test_replay_day_scale_keeps_final_arrival(self):
+        """Regression: the implicit replay horizon was ``max + 1e-9``, which
+        float rounding absorbs beyond ~10⁴ s — the strict ``< duration``
+        filter then silently dropped the day's last request."""
+        times = np.array([0.0, 3600.0, 86_399.5, 86_400.0])
+        trace = replay_trace(times)
+        assert trace.num_requests == len(times)
+        assert trace.arrival_s[-1] == 86_400.0
+
+
+class TestAdmissionAndSloClasses:
+    """Admission control and latency-class serving on the indexed engine."""
+
+    def _overloaded(self, **extra):
+        return ServingSpec(
+            pattern="bursty",
+            policy="static",
+            duration_s=8.0,
+            utilization=1.2,
+            **extra,
+        )
+
+    def test_drop_accounting_and_no_negative_latencies(self):
+        report = run_serving_cell(self._overloaded(admission_max_queue=4))
+        assert report.num_dropped > 0
+        assert report.num_served + report.num_dropped == report.num_requests
+        assert report.drop_rate == pytest.approx(
+            report.num_dropped / report.num_requests
+        )
+        # Regression: dropped requests once entered the latency pool with
+        # completion 0, manufacturing negative latencies.
+        assert report.latency_ms_p50 > 0
+        assert report.latency_ms_mean > 0
+
+    def test_critical_bypass_protects_criticals(self):
+        report = run_serving_cell(
+            self._overloaded(admission_max_queue=4, critical_fraction=0.25)
+        )
+        crit = report.class_stats["latency_critical"]
+        best = report.class_stats["best_effort"]
+        assert crit["num_dropped"] == 0
+        assert best["num_dropped"] > 0
+        assert crit["num_requests"] + best["num_requests"] == report.num_requests
+
+    def test_defer_mode_serves_everything(self):
+        report = run_serving_cell(
+            self._overloaded(admission_max_queue=6, admission_mode="defer")
+        )
+        assert report.num_dropped == 0
+        assert report.num_deferred > 0
+        assert report.num_served == report.num_requests
+
+    def test_critical_p95_beats_best_effort_under_contention(self):
+        report = run_serving_cell(self._overloaded(critical_fraction=0.2))
+        crit = report.class_stats["latency_critical"]
+        best = report.class_stats["best_effort"]
+        assert crit["num_served"] > 20 and best["num_served"] > 20
+        assert crit["latency_ms_p95"] <= best["latency_ms_p95"]
