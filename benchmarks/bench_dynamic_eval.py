@@ -16,14 +16,25 @@ reports evaluations/sec before vs after.  Also records:
   (population, setting)) vs the per-call cost-table kernel, with the exit
   oracle pre-warmed on both sides so the comparison isolates the cost
   kernels, plus the oracle's column cache hit/miss counters;
+* an accuracy-side phase — the batched exit-oracle statistics kernel
+  (stacked packed-column masking with shared-prefix reuse) vs the
+  per-placement popcount loop, on column-prewarmed oracles so the timed
+  region isolates the ideal-mapping statistics, with the oracle's LRU
+  memo/prefix-cache counters in the report;
 * tiny- and fast-budget IOE wall-clock rows (full inner NSGA-II runs in
-  all three modes: reference loop, per-call tables, population kernel).
+  all three modes: reference loop, per-call tables, population kernel);
+* a paper-budget (50 x 70) IOE wall-clock row — the fused
+  accuracy+cost kernel stack vs the PR-6 population mode (batched oracle
+  and fused objectives off, the retained reference non-dominated sort
+  swapped in; archive bookkeeping stays vectorized, which makes the
+  measured speedup conservative).
 
 Asserts the acceptance contracts: ≥ 5x single-worker speedup on the
 fast-budget IOE evaluation loop (tables vs reference), ≥ 5x
 evaluations/sec at population scale (population kernel vs per-call
-tables), bit-identical results everywhere, and a table-driven (O(exits))
-hot path.
+tables), ≥ 3x oracle statistics throughput (batched vs per-placement),
+≥ 3x paper-budget IOE wall clock (fused vs PR-6 mode), bit-identical
+results everywhere, and a table-driven (O(exits)) hot path.
 
 Run directly::
 
@@ -60,7 +71,12 @@ from repro.utils.serialization import save_json
 #: The acceptance floor for the fast-budget IOE evaluation-loop speedup.
 SPEEDUP_FLOOR = 5.0
 
-BUDGETS = {"tiny": (10, 4), "fast": (16, 6)}
+#: Acceptance floors for the accuracy-side kernel: batched oracle
+#: statistics throughput and the paper-budget fused-IOE wall clock.
+ACCURACY_SPEEDUP_FLOOR = 3.0
+PAPER_SPEEDUP_FLOOR = 3.0
+
+BUDGETS = {"tiny": (10, 4), "fast": (16, 6), "paper": (50, 70)}
 
 
 class _Workbench:
@@ -82,18 +98,22 @@ class _Workbench:
         self.baseline_latency_s = base.latency_s
         self.accuracy = self.surrogate.accuracy_fraction(self.config)
 
-    def evaluator(self, use_tables: bool) -> DynamicEvaluator:
-        """A fresh evaluator (own oracle, own caches, own table bank)."""
-        oracle = BackboneExitOracle(
+    def oracle(self, use_batched_stats: bool = True) -> BackboneExitOracle:
+        """A fresh exit oracle (own columns, own memo/prefix caches)."""
+        return BackboneExitOracle(
             self.config.key,
             self.config.total_mbconv_layers,
             self.accuracy,
             seed=self.seed,
+            use_batched_stats=use_batched_stats,
         )
+
+    def evaluator(self, use_tables: bool) -> DynamicEvaluator:
+        """A fresh evaluator (own oracle, own caches, own table bank)."""
         return DynamicEvaluator(
             config=self.config,
             cost=self.cost,
-            oracle=oracle,
+            oracle=self.oracle(),
             energy_model=self.energy_model,
             baseline_energy_j=self.baseline_energy_j,
             baseline_latency_s=self.baseline_latency_s,
@@ -101,7 +121,12 @@ class _Workbench:
         )
 
     def inner_engine(
-        self, budget: str, use_tables: bool, use_population_kernel: bool = True
+        self,
+        budget: str,
+        use_tables: bool,
+        use_population_kernel: bool = True,
+        use_batched_oracle: bool = True,
+        use_fused_objectives: bool = True,
     ) -> InnerEngine:
         population, generations = BUDGETS[budget]
         return InnerEngine(
@@ -112,6 +137,8 @@ class _Workbench:
             seed=self.seed,
             use_tables=use_tables,
             use_population_kernel=use_population_kernel,
+            use_batched_oracle=use_batched_oracle,
+            use_fused_objectives=use_fused_objectives,
         )
 
     def record_ioe_stream(self, budget: str) -> list[tuple[ExitPlacement, object]]:
@@ -298,6 +325,106 @@ def _population_phase(
     }
 
 
+def _accuracy_phase(bench: _Workbench, population: int, reps: int) -> dict:
+    """Oracle statistics throughput: batched kernel vs per-placement loop.
+
+    Both sides run on fresh oracles with every correctness column
+    materialised up front (column construction is identical work either
+    way), so the timed region isolates the ideal-mapping statistics: the
+    per-placement path pays one popcount sweep per (placement, exit), the
+    batched path one stacked pass over the packed column matrix with
+    shared-prefix reuse.  Bit-identity of every statistics field is
+    asserted across the whole population, and the batched oracle's LRU
+    memo / prefix-cache counters land in the report.
+    """
+    placements = _distinct_placements(bench, population, bench.seed + 41)
+    distinct = sorted({p for placement in placements for p in placement.positions})
+
+    def timed_pass(use_batched: bool) -> tuple[float, BackboneExitOracle]:
+        oracle = bench.oracle(use_batched_stats=use_batched)
+        for position in distinct:
+            oracle.exit_column(position)
+        oracle.final_column()
+        start = time.perf_counter()
+        oracle.evaluate_placements(placements)
+        return time.perf_counter() - start, oracle
+
+    batched_runs = [timed_pass(True) for _ in range(reps)]
+    per_placement_runs = [timed_pass(False) for _ in range(reps)]
+    batched_wall = min(wall for wall, _ in batched_runs)
+    per_placement_wall = min(wall for wall, _ in per_placement_runs)
+    batched_oracle = batched_runs[-1][1]
+
+    got = batched_oracle.evaluate_placements(placements)  # memo reads
+    want = per_placement_runs[-1][1].evaluate_placements(placements)
+    for fast, slow in zip(got, want):
+        assert np.array_equal(fast.n_i, slow.n_i)
+        assert np.array_equal(fast.usage, slow.usage)
+        assert np.array_equal(fast.dissimilarity, slow.dissimilarity)
+        assert fast.dynamic_accuracy == slow.dynamic_accuracy
+        assert fast.final_accuracy == slow.final_accuracy
+
+    return {
+        "population": len(placements),
+        "per_placement_evals_per_s": len(placements) / per_placement_wall,
+        "batched_evals_per_s": len(placements) / batched_wall,
+        "speedup": per_placement_wall / batched_wall,
+        "oracle_memo": batched_oracle.memo_stats(),
+    }
+
+
+def _paper_ioe_row(bench: _Workbench) -> dict:
+    """Paper-budget (50 x 70) IOE wall: fused stack vs the PR-6 mode.
+
+    The PR-6 comparator is the population cost kernel *without* this PR's
+    accuracy side — batched oracle and fused objectives off, and the
+    retained reference non-dominated sort swapped into the NSGA-II module
+    (the scalar ``dominates`` loop dominated the PR-6 profile).  Archive
+    bookkeeping stays vectorized in both modes, so the measured speedup
+    understates the true against-PR-6 ratio.  Both runs must agree on the
+    best candidate's D score (full histories are flag-invariant; the
+    equivalence tests assert that member by member).
+    """
+    import repro.search.nsga2 as nsga2_module
+
+    from repro.metrics.pareto import non_dominated_sort_reference
+
+    def timed_run(fused: bool) -> tuple[float, float, int]:
+        engine = bench.inner_engine(
+            "paper",
+            use_tables=True,
+            use_population_kernel=True,
+            use_batched_oracle=fused,
+            use_fused_objectives=fused,
+        )
+        vectorized_sort = nsga2_module.non_dominated_sort
+        if not fused:
+            nsga2_module.non_dominated_sort = non_dominated_sort_reference
+        try:
+            start = time.perf_counter()
+            result = engine.run()
+            wall = time.perf_counter() - start
+        finally:
+            nsga2_module.non_dominated_sort = vectorized_sort
+        best = result.best.payload["evaluation"].d_score
+        return wall, best, result.num_evaluations
+
+    fused_wall, fused_best, evaluations = timed_run(True)
+    pr6_wall, pr6_best, _ = timed_run(False)
+    assert fused_best == pr6_best, (
+        f"paper-budget IOE modes diverged: fused {fused_best} vs pr6 {pr6_best}"
+    )
+    return {
+        "budget": "paper",
+        "population": BUDGETS["paper"][0],
+        "generations": BUDGETS["paper"][1],
+        "evaluations": evaluations,
+        "pr6_wall_s": pr6_wall,
+        "fused_wall_s": fused_wall,
+        "speedup": pr6_wall / fused_wall,
+    }
+
+
 def _observability_pass(bench: _Workbench, pairs, placements_hint: int) -> dict:
     """Counter rollup from a short instrumented replay (untimed, so the
     recorder's lock never touches the benchmark's timed loops).
@@ -321,6 +448,15 @@ def _observability_pass(bench: _Workbench, pairs, placements_hint: int) -> dict:
         population = bench.evaluator(True)
         placements = _distinct_placements(bench, placements_hint, bench.seed + 17)
         population.evaluate_population(placements, bench.dvfs.default_setting())
+        # A mixed-setting generation batch: surfaces the oracle's batch-size
+        # and shared-prefix-reuse counters plus the generation grouping.
+        generation = bench.evaluator(True)
+        settings = _distinct_settings(bench, 4, bench.seed + 53)
+        decoded = [
+            (placement, settings[i % len(settings)])
+            for i, placement in enumerate(placements)
+        ]
+        generation.evaluate_generation(decoded)
     finally:
         trace.uninstall()
     return counter_rollup(recorder)
@@ -388,7 +524,13 @@ def main(argv: list[str] | None = None) -> int:
         num_settings=10 if args.smoke else 12,
         reps=reps,
     )
+    # Grid-sweep scale: the exhaustive DVFS artifacts stream thousands of
+    # placements per oracle, which is where prefix sharing amortises best.
+    accuracy = _accuracy_phase(
+        bench, population=1024 if args.smoke else 2048, reps=reps
+    )
     ioe_rows = [_ioe_wall_row(bench, budget) for budget in ("tiny", "fast")]
+    paper_row = _paper_ioe_row(bench)
     observability = _observability_pass(
         bench, ioe_stream, placements_hint=64 if args.smoke else 128
     )
@@ -416,6 +558,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{population['speedup']:>7.1f}x"
     )
     print(
+        f"{'oracle statistics (batched)':>28} {accuracy['population']:>6} "
+        f"{accuracy['per_placement_evals_per_s']:>8.0f} "
+        f"{accuracy['batched_evals_per_s']:>8.0f} "
+        f"{accuracy['speedup']:>7.1f}x"
+    )
+    print(
         f"\nwarm hot path: {warm['layer_timing_calls']} layer_timing / "
         f"{warm['batch_timing_calls']} batch_timing calls (must be 0/0)"
     )
@@ -424,6 +572,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{population['settings']} settings; oracle columns "
         f"{population['oracle_columns']}"
     )
+    memo = accuracy["oracle_memo"]
+    print(
+        "oracle LRU caches: stats "
+        f"{memo['stats']['size']}/{memo['stats']['maxsize']} "
+        f"({memo['stats']['evictions']} evictions), prefix "
+        f"{memo['prefix']['size']}/{memo['prefix']['maxsize']} "
+        f"({memo['prefix']['hits']} hits)"
+    )
     for row in ioe_rows:
         print(
             f"IOE {row['budget']:>4} budget ({row['population']}x{row['generations']}): "
@@ -431,13 +587,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['vectorized_wall_s']:.3f}s ({row['speedup']:.1f}x), population "
             f"{row['population_wall_s']:.3f}s ({row['population_speedup']:.1f}x)"
         )
+    print(
+        f"IOE paper budget ({paper_row['population']}x{paper_row['generations']}): "
+        f"pr6 mode {paper_row['pr6_wall_s']:.3f}s, fused "
+        f"{paper_row['fused_wall_s']:.3f}s ({paper_row['speedup']:.1f}x)"
+    )
     obs_counters = observability["counters"]
     print(
         "observability rollup: "
         f"{obs_counters.get('dyneval.evaluations', 0):.0f} evaluations / "
         f"{obs_counters.get('dyneval.memo_hits', 0):.0f} memo hits, "
         f"{obs_counters.get('dyneval.population_rows', 0):.0f} population rows, "
-        f"{obs_counters.get('cost_table.builds', 0):.0f} table builds"
+        f"{obs_counters.get('cost_table.builds', 0):.0f} table builds, "
+        f"{obs_counters.get('oracle.batch_rows', 0):.0f} oracle batch rows / "
+        f"{obs_counters.get('oracle.prefix_nodes', 0):.0f} prefix nodes / "
+        f"{obs_counters.get('oracle.prefix_hits', 0):.0f} prefix hits, "
+        f"{obs_counters.get('dyneval.generation_groups', 0):.0f} generation groups"
     )
 
     report = {
@@ -458,13 +623,23 @@ def main(argv: list[str] | None = None) -> int:
         },
         "warm_bank": warm,
         "population_kernel": population,
+        "accuracy_kernel": accuracy,
         "ioe_rows": ioe_rows,
+        "paper_ioe": paper_row,
         "observability": observability,
         "summary": {
             "speedup_floor": SPEEDUP_FLOOR,
             "speedup_ok": bool(speedup >= SPEEDUP_FLOOR),
             "population_speedup_floor": SPEEDUP_FLOOR,
             "population_speedup_ok": bool(population["speedup"] >= SPEEDUP_FLOOR),
+            "accuracy_speedup_floor": ACCURACY_SPEEDUP_FLOOR,
+            "accuracy_speedup_ok": bool(
+                accuracy["speedup"] >= ACCURACY_SPEEDUP_FLOOR
+            ),
+            "paper_ioe_speedup_floor": PAPER_SPEEDUP_FLOOR,
+            "paper_ioe_speedup_ok": bool(
+                paper_row["speedup"] >= PAPER_SPEEDUP_FLOOR
+            ),
             "hot_path_table_driven": warm["layer_timing_calls"] == 0
             and warm["batch_timing_calls"] == 0,
         },
@@ -483,6 +658,14 @@ def main(argv: list[str] | None = None) -> int:
     assert population["speedup"] >= SPEEDUP_FLOOR, (
         f"population-kernel speedup {population['speedup']:.1f}x below the "
         f"{SPEEDUP_FLOOR:.0f}x acceptance floor at population scale"
+    )
+    assert accuracy["speedup"] >= ACCURACY_SPEEDUP_FLOOR, (
+        f"batched oracle statistics speedup {accuracy['speedup']:.1f}x below "
+        f"the {ACCURACY_SPEEDUP_FLOOR:.0f}x acceptance floor"
+    )
+    assert paper_row["speedup"] >= PAPER_SPEEDUP_FLOOR, (
+        f"paper-budget fused IOE speedup {paper_row['speedup']:.1f}x below "
+        f"the {PAPER_SPEEDUP_FLOOR:.0f}x acceptance floor"
     )
     for row in ioe_rows:
         assert row["speedup"] >= 1.0, (

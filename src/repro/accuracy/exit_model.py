@@ -37,6 +37,7 @@ regenerating the Monte-Carlo population.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 from typing import TYPE_CHECKING
@@ -44,8 +45,14 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.data.difficulty import DifficultyDistribution
-from repro.exits.evaluation import ExitEvaluation
+from repro.exits.evaluation import (
+    ExitEvaluation,
+    PopulationExitStats,
+    ideal_mapping_stats_population,
+    stack_exit_evaluations,
+)
 from repro.exits.placement import ExitPlacement
+from repro.obs import trace
 from repro.utils.rng import child_rng
 from repro.utils.validation import check_positive, check_probability
 
@@ -66,6 +73,86 @@ _POPCOUNT = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
 def _popcount(packed: np.ndarray) -> int:
     """Number of set bits in a packbits array."""
     return int(_POPCOUNT[packed].sum())
+
+
+class _LruCache:
+    """Bounded mapping with LRU eviction and hit/miss/evict counters.
+
+    The oracle's memo dicts (per-placement statistics, shared-prefix
+    states, per-column derivatives) previously grew without limit — fine
+    for one search, not for day-long grid sweeps that stream millions of
+    distinct placements through one oracle.  Each cache documents its cap
+    at the construction site; counters feed ``memo_stats()`` and the
+    dynamic-eval bench rollup.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, maxsize: int):
+        check_positive("maxsize", maxsize)
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key):
+        """Counted lookup; refreshes recency on hit, returns None on miss."""
+        data = self._data
+        value = data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key):
+        """Uncounted lookup (no recency refresh) for post-batch gathers."""
+        return self._data.get(key)
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
+            return
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def put_many(self, items) -> None:
+        """Bulk insert of known-fresh keys (batch kernels' hot path).
+
+        Skips the per-key existence check — callers pass keys that just
+        missed — and settles the cap once at the end; the evicted set is
+        identical to per-key :meth:`put` because every inserted key is
+        newer than anything already stored.
+        """
+        data = self._data
+        for key, value in items:
+            data[key] = value
+        over = len(data) - self.maxsize
+        if over > 0:
+            for _ in range(over):
+                data.popitem(last=False)
+            self.evictions += over
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 @dataclass(frozen=True)
@@ -168,6 +255,18 @@ class BackboneExitOracle:
         columns are stored bit-packed under the platform-independent
         ``oracle`` namespace, warm-starting re-searches where only the
         hardware side (DVFS grid, platform) changed.
+    use_batched_stats:
+        Evaluate placement batches through the population accuracy kernel
+        (stacked bit-packed masking with shared-prefix reuse; the default).
+        ``False`` keeps the per-placement popcount loop — the bench's
+        "before" comparator and the bit-identity reference; both paths
+        produce identical bits.
+    stats_memo_size, prefix_cache_size:
+        LRU caps of the per-placement :class:`ExitEvaluation` memo and the
+        shared-prefix state cache.  The defaults (64 Ki evaluations, 32 Ki
+        prefix states — roughly 20 MB at ``n_samples=2048``) cover any
+        single search many times over while bounding day-long grid sweeps;
+        eviction counts are visible in :meth:`memo_stats`.
     """
 
     def __init__(
@@ -180,6 +279,9 @@ class BackboneExitOracle:
         n_samples: int = 2048,
         seed: int = 0,
         cache: "ResultCache | None" = None,
+        use_batched_stats: bool = True,
+        stats_memo_size: int = 65536,
+        prefix_cache_size: int = 32768,
     ):
         check_probability("backbone_accuracy", backbone_accuracy)
         check_positive("n_samples", n_samples)
@@ -195,11 +297,21 @@ class BackboneExitOracle:
         self._difficulties = self.difficulty.sample(n_samples, rng)
         gp_rng = child_rng(seed, "exit-gp", backbone_key)
         self._latent = gp_rng.normal(0.0, 1.0, size=(n_samples, self.model.num_basis))
+        self.use_batched_stats = use_batched_stats
         self._columns: dict[int | str, np.ndarray] = {}
-        self._counts: dict[int | str, int] = {}
-        self._packed: dict[int | str, np.ndarray] = {}
+        # Derived-per-column caches (counts, packed forms) are keyed by exit
+        # position, so their population is naturally bounded by
+        # ``total_layers + 1`` — the LRU cap is a backstop, and eviction is
+        # always safe because entries rebuild from ``_columns``.
+        self._counts = _LruCache(max(256, 2 * (total_layers + 1)))
+        self._packed = _LruCache(max(256, 2 * (total_layers + 1)))
         self._pert_matrix: np.ndarray | None = None
-        self._stats: dict[tuple[int, ...], ExitEvaluation] = {}
+        self._stats = _LruCache(stats_memo_size)
+        self._prefix_cache = _LruCache(prefix_cache_size)
+        # Whole-population stacked statistics, keyed by the batch's position
+        # tuples; a handful of entries covers a DVFS sweep's repeated
+        # batches while staying tiny (the rows alias the ``_stats`` memo).
+        self._population_cache = _LruCache(8)
         #: Column-resolution counters (column requests by outcome): how many
         #: landed in memory, warm-started from the persistent cache, or were
         #: built from the Monte-Carlo population.  The dynamic-eval bench
@@ -304,7 +416,7 @@ class BackboneExitOracle:
         count = self._counts.get(key)
         if count is None:
             count = int(np.count_nonzero(self._columns[key]))
-            self._counts[key] = count
+            self._counts.put(key, count)
         return count
 
     def _packed_column(self, key: int | str) -> np.ndarray:
@@ -317,7 +429,7 @@ class BackboneExitOracle:
         packed = self._packed.get(key)
         if packed is None:
             packed = np.packbits(self._columns[key])
-            self._packed[key] = packed
+            self._packed.put(key, packed)
         return packed
 
     def n_i(self, position: int) -> float:
@@ -340,7 +452,7 @@ class BackboneExitOracle:
         stats = self._stats.get(placement.positions)
         if stats is None:
             stats = self._assemble_stats(placement.positions)
-            self._stats[placement.positions] = stats
+            self._stats.put(placement.positions, stats)
         return stats
 
     def evaluate_placements(
@@ -348,13 +460,15 @@ class BackboneExitOracle:
     ) -> list[ExitEvaluation]:
         """Statistics for a whole population (order-preserving).
 
-        The population kernel's accuracy side: every distinct requested
-        column is materialised first — each a gather against the one
-        precomputed perturbation matrix — before the per-placement
-        (memoised) packed-popcount assemblies run.  Bit-identical to calling
-        :meth:`evaluate_placement` in a loop; the batch surface exists so
-        callers pay the column fills up front instead of interleaved with
-        stats assembly.
+        The population kernel's accuracy side.  With ``use_batched_stats``
+        (the default) every distinct unmemoised placement goes through
+        :meth:`_batched_stats` — one stacked pass over the bit-packed
+        column matrix with shared-prefix reuse — and only memo reads remain
+        per placement.  Bit-identical to calling :meth:`evaluate_placement`
+        in a loop (hypothesis-asserted): both produce the same integer
+        counts divided by the same ``n``, and duplicates resolve to the
+        same memoised instance.  With the flag off this *is* that loop
+        (columns warmed up front), retained as the reference comparator.
         """
         for placement in placements:
             if placement.total_layers != self.total_layers:
@@ -362,11 +476,200 @@ class BackboneExitOracle:
                     f"placement assumes {placement.total_layers} layers, oracle "
                     f"has {self.total_layers}"
                 )
-        distinct = sorted({p for placement in placements for p in placement.positions})
+        if not self.use_batched_stats:
+            distinct = sorted(
+                {p for placement in placements for p in placement.positions}
+            )
+            for position in distinct:
+                self.exit_column(position)
+            self.final_column()
+            return [self.evaluate_placement(placement) for placement in placements]
+        trace.count("oracle.batch_calls")
+        trace.count("oracle.batch_rows", len(placements))
+        memo = self._stats
+        pending: dict[tuple[int, ...], None] = {}
+        for placement in placements:
+            positions = placement.positions
+            if positions not in pending and memo.get(positions) is None:
+                pending[positions] = None
+        if pending:
+            self._batched_stats(list(pending))
+        results = []
+        for placement in placements:
+            stats = memo.peek(placement.positions)
+            if stats is None:  # evicted mid-gather: batch larger than the memo cap
+                stats = self.evaluate_placement(placement)
+            results.append(stats)
+        return results
+
+    def population_stats(self, placements: list[ExitPlacement]) -> PopulationExitStats:
+        """Stacked accuracy matrices + per-placement evaluations of a batch.
+
+        The fusion surface the dynamic evaluator consumes: one call yields
+        the ``(N, E_max)`` accuracy-side matrices aligned with the cost
+        kernel's padded layout plus the (memo-shared) per-placement
+        evaluations.  Rows are bitwise the per-placement statistics
+        regardless of which placements were memoised beforehand.
+
+        The statistics are DVFS-independent, so a population swept across
+        many settings (the exhaustive-grid shards, the bench) re-reads one
+        stacked instance from a small LRU instead of restacking per
+        setting.
+        """
+        key = tuple(placement.positions for placement in placements)
+        stats = self._population_cache.get(key)
+        if stats is None:
+            stats = stack_exit_evaluations(self.evaluate_placements(placements))
+            self._population_cache.put(key, stats)
+        return stats
+
+    def _batched_stats(self, pending: list[tuple[int, ...]]) -> None:
+        """Evaluate distinct placements in one pass over packed columns.
+
+        The pending placements' distinct *prefixes* form a trie; each node
+        carries the packed ``(remaining, union)`` state after its last exit
+        plus the take count at that exit.  Nodes are resolved level by
+        level as stacked uint8 ops — one ``(nodes, n/8)`` mask/popcount per
+        trie depth instead of one per (placement, exit) — so placements
+        that overlap in early exits share those levels' work, and the
+        cross-batch LRU prefix cache extends the sharing across
+        generations (NSGA offspring mostly mutate the *tail* of good
+        placements).  Counts equal the scalar sweep's exactly: identical
+        byte masks, identical popcount table.
+        """
+        n = self.n_samples
+        distinct = sorted({p for positions in pending for p in positions})
         for position in distinct:
             self.exit_column(position)
         self.final_column()
-        return [self.evaluate_placement(placement) for placement in placements]
+        final_packed = self._packed_column("final")
+        row_of = {position: i for i, position in enumerate(distinct)}
+        packed_rows = np.stack([self._packed_column(p) for p in distinct])
+        counts_of = np.asarray(
+            [self._column_count(p) for p in distinct], dtype=np.int64
+        )
+
+        # Intern every distinct prefix as a trie node id: the walk hashes
+        # flat ``parent * stride + position`` integers (identity hash)
+        # instead of re-sliced prefix tuples, and every downstream gather
+        # becomes integer fancy indexing over per-node arrays.
+        cache = self._prefix_cache
+        cache_get = cache.get
+        stride = self.total_layers + 1
+        trie: dict[int, int] = {}
+        trie_get = trie.get
+        node_parent: list[int] = []
+        node_row: list[int] = []
+        node_prefix: list[tuple[int, ...]] = []
+        cached_states: list[tuple | None] = []
+        levels: dict[int, list[int]] = {}
+        flat_id_list: list[int] = []
+        flat_append = flat_id_list.append
+        leaf_id_list: list[int] = []
+        hits = 0
+        for positions in pending:
+            parent = -1  # root sentinel: key arithmetic below maps it to 0
+            depth = 0
+            for position in positions:
+                depth += 1
+                key = (parent + 1) * stride + position
+                node = trie_get(key)
+                if node is None:
+                    node = len(node_parent)
+                    trie[key] = node
+                    node_parent.append(parent)
+                    node_row.append(row_of[position])
+                    prefix = (
+                        node_prefix[parent] + (position,) if parent >= 0 else (position,)
+                    )
+                    node_prefix.append(prefix)
+                    state = cache_get(prefix)
+                    cached_states.append(state)
+                    if state is not None:
+                        hits += 1
+                    else:
+                        levels.setdefault(depth, []).append(node)
+                flat_append(node)
+                parent = node
+            leaf_id_list.append(parent)
+
+        num_nodes = len(node_parent)
+        parent_of = np.asarray(node_parent, dtype=np.intp)
+        row_arr = np.asarray(node_row, dtype=np.intp)
+        width_bytes = packed_rows.shape[1]
+        node_remaining = np.empty((num_nodes, width_bytes), dtype=np.uint8)
+        node_union = np.empty((num_nodes, width_bytes), dtype=np.uint8)
+        node_takes = np.zeros(num_nodes, dtype=np.int64)
+        for node, state in enumerate(cached_states):
+            if state is not None:
+                node_remaining[node] = state[0]
+                node_union[node] = state[1]
+                node_takes[node] = state[2]
+        computed = 0
+        for depth in sorted(levels):
+            level_nodes = levels[depth]
+            nodes = np.asarray(level_nodes, dtype=np.intp)
+            packed = packed_rows[row_arr[nodes]]
+            if depth == 1:
+                remaining = ~packed
+                union = packed
+                takes = counts_of[row_arr[nodes]]
+            else:
+                parent_remaining = node_remaining[parent_of[nodes]]
+                takes = _POPCOUNT[parent_remaining & packed].sum(axis=1)
+                remaining = parent_remaining & ~packed
+                union = node_union[parent_of[nodes]] | packed
+            node_remaining[nodes] = remaining
+            node_union[nodes] = union
+            node_takes[nodes] = takes
+            cache.put_many(
+                (node_prefix[node], state)
+                for node, state in zip(
+                    level_nodes, zip(remaining, union, takes.tolist())
+                )
+            )
+            computed += len(level_nodes)
+        trace.count("oracle.prefix_hits", hits)
+        trace.count("oracle.prefix_nodes", computed)
+
+        count = len(pending)
+        widths = np.fromiter(
+            (len(positions) for positions in pending), dtype=np.intp, count=count
+        )
+        e_max = int(widths.max())
+        flat_ids = np.asarray(flat_id_list, dtype=np.intp)
+        total = len(flat_ids)
+        rows = np.repeat(np.arange(count), widths)
+        cols = np.arange(total) - np.repeat(np.cumsum(widths) - widths, widths)
+        take_counts = np.zeros((count, e_max), dtype=np.int64)
+        marginal_counts = np.zeros((count, e_max), dtype=np.int64)
+        take_counts[rows, cols] = node_takes[flat_ids]
+        marginal_counts[rows, cols] = counts_of[row_arr[flat_ids]]
+        leaf_ids = np.asarray(leaf_id_list, dtype=np.intp)
+        leaf_remaining = node_remaining[leaf_ids]
+        leaf_union = node_union[leaf_ids]
+        tail_counts = n - _POPCOUNT[~leaf_remaining].sum(axis=1)
+        union_counts = _POPCOUNT[leaf_union | final_packed].sum(axis=1)
+        population = ideal_mapping_stats_population(
+            take_counts=take_counts,
+            tail_counts=tail_counts,
+            marginal_counts=marginal_counts,
+            union_counts=union_counts,
+            final_count=self._column_count("final"),
+            n_samples=n,
+            widths=widths,
+        )
+        self._stats.put_many(zip(pending, population.evaluations))
+
+    def memo_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/evict counters of every bounded oracle cache."""
+        return {
+            "stats": self._stats.stats(),
+            "prefix": self._prefix_cache.stats(),
+            "population": self._population_cache.stats(),
+            "counts": self._counts.stats(),
+            "packed": self._packed.stats(),
+        }
 
     def _assemble_stats(self, positions: tuple[int, ...]) -> ExitEvaluation:
         """Build :class:`ExitEvaluation` from cached columns and counts.

@@ -305,13 +305,14 @@ def _population_eval(
     capability_model=None,
     cache_dir: str | None = None,
 ):
-    """One (population-chunk, setting) batch through the stacked kernel.
+    """One (population-chunk, setting) batch through the fused kernel.
 
     ``placements`` is a sequence of exit-position tuples; the result is one
     slim JSON-able row per placement, in input order — what the exhaustive
-    DVFS-grid artifacts assemble.  Mirrors
-    ``DynamicEvaluator.evaluate_population`` exactly (same seeds, same
-    kernel), so sharded sweeps are bit-identical to inline ones.
+    DVFS-grid artifacts assemble.  The call lowers to
+    ``DynamicEvaluator.evaluate_population`` — one fused accuracy+cost
+    kernel pass (batched oracle statistics plus the stacked cost gather) —
+    with the same seeds, so sharded sweeps are bit-identical to inline ones.
     """
     from repro.exits.placement import ExitPlacement
     from repro.hardware.dvfs import DvfsSetting

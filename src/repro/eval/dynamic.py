@@ -29,7 +29,7 @@ import numpy as np
 from repro.accuracy.exit_model import BackboneExitOracle
 from repro.arch.config import BackboneConfig
 from repro.arch.cost import LayerCost, NetworkCost, exit_branch_cost
-from repro.exits.evaluation import ExitEvaluation
+from repro.exits.evaluation import ExitEvaluation, PopulationExitStats
 from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
 from repro.hardware.cost_table import CostTableBank
 from repro.hardware.dvfs import DvfsSetting
@@ -99,6 +99,12 @@ class DynamicEvaluator:
         default; requires ``use_tables``).  ``False`` keeps the per-placement
         :meth:`evaluate` loop — the population bench's "before" comparator
         and the bit-identity reference; both paths produce identical bits.
+    use_fused_objectives:
+        Compute the IOE objective vectors for a population inside the fused
+        finalisation (stacked guarded reductions, memoised per (placement,
+        setting)) so :meth:`objectives` is a dict read on the search hot
+        path.  ``False`` keeps the per-evaluation scalar computation — the
+        bench's "before" comparator; both paths produce identical bits.
     """
 
     config: BackboneConfig
@@ -111,8 +117,12 @@ class DynamicEvaluator:
     literal_ratios: bool = False
     use_tables: bool = True
     use_population_kernel: bool = True
+    use_fused_objectives: bool = True
     _branch_cache: dict[int, LayerCost] = field(default_factory=dict, repr=False)
     _eval_cache: dict[tuple, DynamicEvaluation] = field(default_factory=dict, repr=False)
+    _objectives_cache: dict[tuple, tuple[float, float, float]] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self):
         check_nonneg("gamma", self.gamma)
@@ -271,25 +281,56 @@ class DynamicEvaluator:
                 pending[key] = placement
         if pending:
             batch = list(pending.values())
-            stats_list = self.oracle.evaluate_placements(batch)
-            costs = self.population.path_costs(
-                [p.positions for p in batch], setting
-            )
+            fused = self.population.fused_batch(batch, setting, self.oracle)
             for key, evaluation in zip(
-                pending, self._finalize_population(batch, stats_list, costs, setting)
+                pending,
+                self._finalize_population(batch, fused.stats, fused.costs, setting),
             ):
                 cache[key] = evaluation
         return [cache[key] for key in keys]
 
+    def evaluate_generation(
+        self, decoded: list[tuple[ExitPlacement, DvfsSetting]]
+    ) -> list[DynamicEvaluation]:
+        """Evaluate a mixed-setting generation, grouped by DVFS setting.
+
+        One fused accuracy+cost population call per distinct setting
+        (order-preserving results) — the entry point the NSGA-II/IOE batch
+        hook, random search and the ``population-eval`` task kind all lower
+        to.  Bit-identical to evaluating each (placement, setting) pair
+        individually, since :meth:`evaluate_population` is.
+        """
+        groups: dict[tuple[float, float], list[int]] = {}
+        for index, (_, setting) in enumerate(decoded):
+            groups.setdefault((setting.core_ghz, setting.emc_ghz), []).append(index)
+        trace.count("dyneval.generation_calls")
+        trace.count("dyneval.generation_rows", len(decoded))
+        trace.count("dyneval.generation_groups", len(groups))
+        results: list[DynamicEvaluation | None] = [None] * len(decoded)
+        for indices in groups.values():
+            setting = decoded[indices[0]][1]
+            evaluations = self.evaluate_population(
+                [decoded[i][0] for i in indices], setting
+            )
+            for i, evaluation in zip(indices, evaluations):
+                results[i] = evaluation
+        return results
+
     def _finalize_population(
         self,
         placements: list[ExitPlacement],
-        stats_list: list,
+        stats: PopulationExitStats,
         costs: PopulationPathCosts,
         setting: DvfsSetting,
     ) -> list[DynamicEvaluation]:
         """Stacked eq. 5–7 tail: ratios, clamps and scores as fixed-shape
-        matrix ops; reductions per row (see :meth:`evaluate_population`)."""
+        matrix ops; reductions per row (see :meth:`evaluate_population`).
+
+        The accuracy matrices arrive pre-stacked from the oracle's
+        population kernel — fused with the cost matrices here — and with
+        ``use_fused_objectives`` the per-row IOE objective vectors are
+        computed in the same pass (guarded stacked reductions) and memoised
+        so :meth:`objectives` never recomputes them."""
         exit_energy = costs.exit_energy_j
         exit_latency = costs.exit_latency_s
         energy_ratio = exit_energy / self.baseline_energy_j
@@ -300,13 +341,9 @@ class DynamicEvaluator:
         else:
             energy_term = np.clip(1.0 - energy_ratio, 0.0, None)
             latency_term = np.clip(1.0 - latency_ratio, 0.0, None)
-        n_i = np.zeros_like(exit_energy)
-        dissim = np.zeros_like(exit_energy)
-        for row, stats in enumerate(stats_list):
-            width = int(costs.widths[row])
-            n_i[row, :width] = stats.n_i
-            dissim[row, :width] = stats.dissimilarity
-        scores = n_i * energy_term * latency_term * dissim**self.gamma
+        n_i = stats.n_i
+        dissim_pow = stats.dissimilarity**self.gamma
+        scores = n_i * energy_term * latency_term * dissim_pow
 
         widths = costs.widths.tolist()
         full_energies = costs.full_energy_j.tolist()
@@ -328,6 +365,11 @@ class DynamicEvaluator:
                 float(np.add.reduce(scores[row, :widths[row]]) / widths[row])
                 for row in range(len(widths))
             ]
+        objective_rows = (
+            self._fused_objectives(n_i, dissim_pow, energy_term, latency_term, costs)
+            if self.use_fused_objectives
+            else None
+        )
         # One gather turns the padded matrices into flat concatenations of
         # the valid row prefixes; each evaluation's arrays are contiguous
         # slices of those buffers (read-only by convention, like
@@ -342,22 +384,26 @@ class DynamicEvaluator:
         bounds = np.concatenate(([0], np.cumsum(costs.widths))).tolist()
         new = DynamicEvaluation.__new__
         cls = DynamicEvaluation
+        core, emc = setting.core_ghz, setting.emc_ghz
+        objectives_cache = self._objectives_cache
         evaluations = []
-        for row, (placement, stats) in enumerate(zip(placements, stats_list)):
+        for row, (placement, exit_stats) in enumerate(
+            zip(placements, stats.evaluations)
+        ):
             start = bounds[row]
             end = bounds[row + 1]
             row_energy = flat_energy[start:end]
             row_latency = flat_latency[start:end]
             full_energy = full_energies[row]
             full_latency = full_latencies[row]
-            head, tail = stats.usage_split
+            head, tail = exit_stats.usage_split
             dynamic_energy = float(head @ row_energy + tail * full_energy)
             dynamic_latency = float(head @ row_latency + tail * full_latency)
             evaluation = new(cls)
             evaluation.__dict__.update({
                 "placement": placement,
                 "setting": setting,
-                "exit_stats": stats,
+                "exit_stats": exit_stats,
                 "exit_energy_j": row_energy,
                 "exit_latency_s": row_latency,
                 "dynamic_energy_j": dynamic_energy,
@@ -368,7 +414,53 @@ class DynamicEvaluator:
                 "d_score": d_scores[row],
             })
             evaluations.append(evaluation)
+            if objective_rows is not None:
+                objectives_cache[(placement.key, core, emc)] = objective_rows[row]
         return evaluations
+
+    def _fused_objectives(
+        self,
+        n_i: np.ndarray,
+        dissim_pow: np.ndarray,
+        energy_term: np.ndarray,
+        latency_term: np.ndarray,
+        costs: PopulationPathCosts,
+    ) -> list[tuple[float, float, float]]:
+        """Per-row IOE objective vectors as stacked guarded reductions.
+
+        Each component is a per-exit mean over the row's valid slice (see
+        :meth:`objectives`).  The accuracy operand's pads are exactly +0.0
+        (``n_i`` pads are zero), but the energy/latency savings terms are
+        ``clip(1 - 0/E_b) = 1.0`` at pad columns — the cost kernel's padded
+        exit costs gather 0 — so those operands are explicitly zeroed by
+        the width mask before reducing.  The same < 8-column guard as the
+        d_score reduction keeps every quotient bit-identical to
+        ``np.mean`` over the exact row slice.
+        """
+        widths = costs.widths
+        acc = n_i * dissim_pow
+        valid = np.arange(acc.shape[1]) < widths[:, None]
+        energy_masked = np.where(valid, energy_term, 0.0)
+        latency_masked = np.where(valid, latency_term, 0.0)
+        if acc.shape[1] < 8:
+            d_acc = (np.add.reduce(acc, axis=1) / widths).tolist()
+            d_energy = (np.add.reduce(energy_masked, axis=1) / widths).tolist()
+            d_latency = (np.add.reduce(latency_masked, axis=1) / widths).tolist()
+        else:
+            width_list = widths.tolist()
+            d_acc = [
+                float(np.add.reduce(acc[row, :w]) / w)
+                for row, w in enumerate(width_list)
+            ]
+            d_energy = [
+                float(np.add.reduce(energy_masked[row, :w]) / w)
+                for row, w in enumerate(width_list)
+            ]
+            d_latency = [
+                float(np.add.reduce(latency_masked[row, :w]) / w)
+                for row, w in enumerate(width_list)
+            ]
+        return list(zip(d_acc, d_energy, d_latency))
 
     def path_costs(self, positions: tuple[int, ...], setting: DvfsSetting):
         """Public ``(exit_energy, exit_latency, full_energy, full_latency)``.
@@ -416,7 +508,23 @@ class DynamicEvaluator:
         proxies do not punish redundancy; the paper's Fig. 7 ablation shows
         the same failure).  Deployment metrics (``energy_gain`` etc.) are
         still the physical ideal-mapping aggregates.
+
+        With ``use_fused_objectives`` the vector was already computed (and
+        memoised) inside the fused population finalisation, so the search
+        hot path lands on a dict read; the scalar computation below serves
+        cold keys (per-placement :meth:`evaluate` callers, fallback modes)
+        and is the bit-identity reference for the fused reductions.
         """
+        fused = self.use_fused_objectives
+        if fused:
+            key = (
+                evaluation.placement.key,
+                evaluation.setting.core_ghz,
+                evaluation.setting.emc_ghz,
+            )
+            cached = self._objectives_cache.get(key)
+            if cached is not None:
+                return cached
         stats = evaluation.exit_stats
         dissim = stats.dissimilarity**self.gamma
         d_acc = float(np.mean(stats.n_i * dissim))
@@ -428,4 +536,7 @@ class DynamicEvaluator:
         else:
             d_energy = float(np.mean(np.clip(1.0 - energy_ratio, 0.0, None)))
             d_latency = float(np.mean(np.clip(1.0 - latency_ratio, 0.0, None)))
-        return (d_acc, d_energy, d_latency)
+        result = (d_acc, d_energy, d_latency)
+        if fused:
+            self._objectives_cache[key] = result
+        return result

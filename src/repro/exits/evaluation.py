@@ -82,6 +82,180 @@ class ExitEvaluation:
         return float(self.usage[:-1].sum())
 
 
+@dataclass(frozen=True)
+class PopulationExitStats:
+    """Stacked ideal-mapping statistics of N placements.
+
+    The accuracy-side twin of
+    :class:`~repro.hardware.population_kernel.PopulationPathCosts`: matrices
+    are ``(N, E_max)`` with row ``j`` valid through ``widths[j]`` columns.
+    Every entry is an exact integer count divided by the shared sample count
+    ``n`` — the same quotients :func:`ideal_mapping_stats` produces per
+    placement — so consumers may mix stacked and per-placement reads freely.
+    Pad entries of ``n_i`` and ``usage_head`` are exactly ``0.0`` (which is
+    what lets downstream stacked reductions treat pads as no-ops);
+    ``dissimilarity`` pads are finite and non-negative but otherwise
+    unspecified — mask by width before reducing over them.
+
+    ``evaluations[j]`` is the per-placement :class:`ExitEvaluation` whose
+    arrays are row views of these matrices (or of the memoised originals).
+    """
+
+    widths: np.ndarray  # (N,) exits per placement
+    n_i: np.ndarray  # (N, E_max) marginal correct fractions
+    usage_head: np.ndarray  # (N, E_max) usage[:-1] rows
+    usage_tail: np.ndarray  # (N,) full-network remainder fractions
+    dissimilarity: np.ndarray  # (N, E_max) eq. 7 rows
+    dynamic_accuracy: np.ndarray  # (N,) union accuracies
+    final_accuracy: float
+    evaluations: tuple[ExitEvaluation, ...]
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+
+def _assemble_evaluation(
+    n_i_row: np.ndarray,
+    usage_row: np.ndarray,
+    dissim_row: np.ndarray,
+    final_accuracy: float,
+    dynamic_accuracy: float,
+    tail: float,
+) -> ExitEvaluation:
+    """Build a frozen :class:`ExitEvaluation` without ``__init__``.
+
+    Frozen dataclasses pay one guarded ``object.__setattr__`` per field;
+    ``__new__`` + ``__dict__.update`` builds the identical object, and
+    pre-seeding the ``cached_property`` slots (``dissimilarity``,
+    ``usage_split``) with the already-stacked rows means no lazy per-row
+    recomputation ever runs.  The rows are views into shared population
+    matrices — read-only by the same convention as the cached properties.
+    """
+    evaluation = ExitEvaluation.__new__(ExitEvaluation)
+    evaluation.__dict__.update(
+        n_i=n_i_row,
+        final_accuracy=final_accuracy,
+        dynamic_accuracy=dynamic_accuracy,
+        usage=usage_row,
+        dissimilarity=dissim_row,
+        usage_split=(usage_row[:-1], tail),
+    )
+    return evaluation
+
+
+def _population_dissimilarity(n_i: np.ndarray) -> np.ndarray:
+    """Stacked eq. 7: ``1 - cummax`` rows in one accumulate.
+
+    ``np.maximum.accumulate`` along axis 1 performs the exact per-row
+    comparisons of the per-placement version (maximum takes no rounding),
+    and the cumulative maximum at column ``i`` depends only on columns
+    ``<= i`` — so each valid row prefix is bit-identical to
+    :attr:`ExitEvaluation.dissimilarity` regardless of row pads.
+    """
+    count, e_max = n_i.shape
+    dissim = np.ones((count, e_max))
+    if e_max > 1:
+        dissim[:, 1:] = 1.0 - np.maximum.accumulate(n_i[:, :-1], axis=1)
+    return dissim
+
+
+def ideal_mapping_stats_population(
+    *,
+    take_counts: np.ndarray,
+    tail_counts: np.ndarray,
+    marginal_counts: np.ndarray,
+    union_counts: np.ndarray,
+    final_count: int,
+    n_samples: int,
+    widths: np.ndarray,
+) -> PopulationExitStats:
+    """Population-level :func:`ideal_mapping_stats` from stacked counts.
+
+    All inputs are exact integer sample counts (pads zero): ``take_counts``
+    — samples leaving at each exit under ideal mapping; ``tail_counts`` —
+    samples no exit takes; ``marginal_counts`` — per-exit correct samples
+    (the N_i numerators); ``union_counts`` — samples some head (any exit or
+    the final classifier) classifies.  Every output is ``count / n``, the
+    same quotient the per-placement path computes, so results are
+    bit-identical to :func:`ideal_mapping_stats` row by row.
+    """
+    widths = np.asarray(widths, dtype=np.intp)
+    count = len(widths)
+    n_i = marginal_counts / n_samples
+    usage_head = take_counts / n_samples
+    usage_tail = tail_counts / n_samples
+    dissim = _population_dissimilarity(n_i)
+    dynamic_accuracy = union_counts / n_samples
+    final_accuracy = final_count / n_samples
+    e_max = n_i.shape[1]
+    # usage rows carry the tail at column widths[j]; pads stay 0.0.
+    usage = np.zeros((count, e_max + 1))
+    usage[:, :e_max] = usage_head
+    usage[np.arange(count), widths] = usage_tail
+    width_list = widths.tolist()
+    dyn_list = dynamic_accuracy.tolist()
+    tail_list = usage_tail.tolist()
+    evaluations = tuple(
+        _assemble_evaluation(
+            n_i[j, :w],
+            usage[j, : w + 1],
+            dissim[j, :w],
+            final_accuracy,
+            dyn_list[j],
+            tail_list[j],
+        )
+        for j, w in enumerate(width_list)
+    )
+    return PopulationExitStats(
+        widths=widths,
+        n_i=n_i,
+        usage_head=usage_head,
+        usage_tail=usage_tail,
+        dissimilarity=dissim,
+        dynamic_accuracy=dynamic_accuracy,
+        final_accuracy=final_accuracy,
+        evaluations=evaluations,
+    )
+
+
+def stack_exit_evaluations(evaluations: list[ExitEvaluation]) -> PopulationExitStats:
+    """Stack existing per-placement evaluations into population matrices.
+
+    The restack path for memo-mixed populations: values are copied from each
+    evaluation's (possibly memoised) arrays, so the stacked rows are bitwise
+    the per-placement statistics.  Pads are 0.0 (``dissimilarity`` included,
+    which keeps ``n_i * dissim**gamma`` pads at exactly +0.0 for any gamma).
+    """
+    count = len(evaluations)
+    widths = np.fromiter(
+        (evaluation.num_exits for evaluation in evaluations), dtype=np.intp, count=count
+    )
+    e_max = int(widths.max()) if count else 0
+    n_i = np.zeros((count, e_max))
+    usage_head = np.zeros((count, e_max))
+    dissim = np.zeros((count, e_max))
+    usage_tail = np.zeros(count)
+    dynamic_accuracy = np.zeros(count)
+    for j, evaluation in enumerate(evaluations):
+        w = int(widths[j])
+        n_i[j, :w] = evaluation.n_i
+        dissim[j, :w] = evaluation.dissimilarity
+        head, tail = evaluation.usage_split
+        usage_head[j, :w] = head
+        usage_tail[j] = tail
+        dynamic_accuracy[j] = evaluation.dynamic_accuracy
+    return PopulationExitStats(
+        widths=widths,
+        n_i=n_i,
+        usage_head=usage_head,
+        usage_tail=usage_tail,
+        dissimilarity=dissim,
+        dynamic_accuracy=dynamic_accuracy,
+        final_accuracy=evaluations[0].final_accuracy if count else 0.0,
+        evaluations=tuple(evaluations),
+    )
+
+
 def ideal_mapping_stats(correct: np.ndarray) -> ExitEvaluation:
     """Compute :class:`ExitEvaluation` from a correctness matrix.
 

@@ -41,6 +41,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.arch.cost import LayerCost
+from repro.exits.evaluation import PopulationExitStats
 from repro.hardware.cost_table import CostTableBank, SettingCostTable
 from repro.hardware.dvfs import DvfsSetting
 
@@ -65,6 +66,33 @@ class PopulationPathCosts:
         """(energy, latency) views of row ``n``'s valid exit-path costs."""
         w = int(self.widths[n])
         return self.exit_energy_j[n, :w], self.exit_latency_s[n, :w]
+
+
+@dataclass(frozen=True)
+class FusedPopulationBatch:
+    """Accuracy and cost matrices of one population at one DVFS setting.
+
+    The fusion of the two population kernels: ``stats`` is the oracle's
+    stacked accuracy side (N_i, usage, dissimilarity, union accuracies) and
+    ``costs`` the cost-table side (exit/full path energies and latencies),
+    aligned row for row and padded to the same ``E_max`` — widths are
+    asserted equal at construction.  One :meth:`PopulationKernel.fused_batch`
+    call produces everything eq. 5–7 needs for a whole population.
+    """
+
+    stats: PopulationExitStats
+    costs: PopulationPathCosts
+
+    def __post_init__(self):
+        if not np.array_equal(self.stats.widths, self.costs.widths):
+            raise ValueError("accuracy and cost batches disagree on exit widths")
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.costs.widths
+
+    def __len__(self) -> int:
+        return len(self.costs.widths)
 
 
 class _SettingArrays:
@@ -213,3 +241,16 @@ class PopulationKernel:
             full_energy_j=(full_core + full_mem) + full_static,
             full_latency_s=full_latency,
         )
+
+    def fused_batch(self, placements, setting: DvfsSetting, oracle) -> FusedPopulationBatch:
+        """Accuracy + cost matrices of N placements in one fused call.
+
+        ``oracle`` is any provider exposing ``population_stats(placements)``
+        (a :class:`~repro.accuracy.exit_model.BackboneExitOracle`); its
+        stacked statistics and this kernel's path costs come back aligned
+        and width-checked.  This is the surface
+        :meth:`DynamicEvaluator.evaluate_population` drives.
+        """
+        stats = oracle.population_stats(placements)
+        costs = self.path_costs([p.positions for p in placements], setting)
+        return FusedPopulationBatch(stats=stats, costs=costs)

@@ -6,7 +6,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.metrics.pareto import crowding_distance, dominates, non_dominated_mask
+from repro.metrics.pareto import crowding_distance, non_dominated_mask
 from repro.search.individual import Individual
 
 
@@ -16,12 +16,21 @@ class ParetoArchive:
     Duplicated genomes are kept once (first wins).  When ``max_size`` is set,
     the archive is truncated by crowding distance so the retained subset
     stays spread across the front.
+
+    The archive mirrors its members' objectives in a stacked float matrix
+    so each :meth:`add` is two broadcast comparisons against the whole
+    membership instead of a Python loop of pairwise dominance tests —
+    ``add_all`` over a search history is a hot path at paper budgets.
+    Insertion stays sequential (the key-dedupe/eviction semantics are
+    order-dependent), only the inner dominance scans are batched, so the
+    resulting membership is identical to the scalar loop's.
     """
 
     def __init__(self, max_size: int | None = None):
         self.max_size = max_size
         self._items: list[Individual] = []
         self._keys: set[tuple] = set()
+        self._objs: np.ndarray | None = None  # (capacity, m) mirror; rows [:len] live
 
     def __len__(self) -> int:
         return len(self._items)
@@ -37,7 +46,18 @@ class ParetoArchive:
         """Stacked objective matrix of the archive (n, m)."""
         if not self._items:
             return np.zeros((0, 0))
-        return np.stack([ind.objectives for ind in self._items])
+        assert self._objs is not None
+        return self._objs[: len(self._items)].copy()
+
+    def _append_obj(self, obj: np.ndarray) -> None:
+        n = len(self._items) - 1  # row index for the member just appended
+        if self._objs is None or self._objs.shape[1] != obj.shape[0]:
+            self._objs = np.empty((max(16, n + 1), obj.shape[0]))
+        elif n >= self._objs.shape[0]:
+            grown = np.empty((2 * self._objs.shape[0], self._objs.shape[1]))
+            grown[:n] = self._objs[:n]
+            self._objs = grown
+        self._objs[n] = obj
 
     def add(self, individual: Individual) -> bool:
         """Insert if non-dominated; evict newly dominated members.
@@ -48,18 +68,24 @@ class ParetoArchive:
             raise ValueError("cannot archive an unevaluated individual")
         if individual.key() in self._keys:
             return False
-        obj = individual.objectives
-        survivors = []
-        for member in self._items:
-            if dominates(member.objectives, obj):
+        obj = np.asarray(individual.objectives, dtype=float)
+        if self._items:
+            assert self._objs is not None
+            objs = self._objs[: len(self._items)]
+            ge = (objs >= obj).all(axis=1)  # member >= candidate everywhere
+            le = (objs <= obj).all(axis=1)  # candidate >= member everywhere
+            if bool((ge & ~le).any()):  # some member strictly dominates it
                 return False
-            if not dominates(obj, member.objectives):
-                survivors.append(member)
-        evicted = {m.key() for m in self._items} - {m.key() for m in survivors}
-        self._keys -= evicted
-        survivors.append(individual)
+            dominated = le & ~ge  # members the candidate strictly dominates
+            if bool(dominated.any()):
+                keep = np.flatnonzero(~dominated)
+                evicted_items = [self._items[i] for i in np.flatnonzero(dominated)]
+                self._keys -= {m.key() for m in evicted_items}
+                self._items = [self._items[i] for i in keep]
+                self._objs[: len(self._items)] = objs[keep]
+        self._items.append(individual)
         self._keys.add(individual.key())
-        self._items = survivors
+        self._append_obj(obj)
         self._truncate()
         return True
 
@@ -76,6 +102,8 @@ class ParetoArchive:
         keep = sorted(order.tolist())
         self._items = [self._items[i] for i in keep]
         self._keys = {m.key() for m in self._items}
+        assert self._objs is not None
+        self._objs[: len(keep)] = objs[keep]
 
     def front(self) -> np.ndarray:
         """Objective matrix (already non-dominated by construction)."""

@@ -42,5 +42,14 @@ class Individual:
         return np.array(self.genome, dtype=np.int64, copy=True)
 
     def key(self) -> tuple:
-        """Hashable genome identity (for de-duplication)."""
-        return tuple(int(g) for g in self.genome)
+        """Hashable genome identity (for de-duplication).
+
+        ``ndarray.tolist`` yields the same Python ints as the older
+        per-element ``int(g)`` generator, in one C call — this runs once
+        per archive/dedup touch, which is hundreds of thousands of times
+        in a paper-budget search.
+        """
+        genome = self.genome
+        if isinstance(genome, np.ndarray):
+            return tuple(genome.tolist())
+        return tuple(int(g) for g in genome)

@@ -113,35 +113,25 @@ class _InnerProblem(Problem):
         return np.asarray(self.evaluator.objectives(evaluation)), {"evaluation": evaluation}
 
     def evaluate_batch(self, genomes: list[np.ndarray]):
-        """Population-grouped evaluation: one stacked kernel call per setting.
+        """Generation batches lowered to the fused population kernel.
 
-        A generation's genomes are grouped by their decoded DVFS setting
-        (order-preserving) and each group goes through
-        :meth:`DynamicEvaluator.evaluate_population` — one padded gather
-        over the setting's cost table instead of per-individual Python
-        calls.  Bit-identical to the serial :meth:`evaluate` loop; when the
-        evaluator's population kernel is off this degenerates to exactly
-        that loop.
+        The whole batch goes through
+        :meth:`DynamicEvaluator.evaluate_generation` — grouped by decoded
+        DVFS setting, one fused accuracy+cost kernel call per group — and
+        the objective vectors come back from the evaluator's fused-
+        objectives memo.  Bit-identical to the serial :meth:`evaluate`
+        loop; when the evaluator's kernel flags are off this degenerates to
+        exactly that loop.
         """
         decoded = [self.decode(genome) for genome in genomes]
-        groups: dict[tuple[float, float], list[int]] = {}
-        for i, (_, setting) in enumerate(decoded):
-            groups.setdefault((setting.core_ghz, setting.emc_ghz), []).append(i)
         trace.count("ioe.population_batches")
         trace.count("ioe.population_genomes", len(genomes))
-        trace.count("ioe.setting_groups", len(groups))
-        results: list = [None] * len(genomes)
-        for indices in groups.values():
-            setting = decoded[indices[0]][1]
-            evaluations = self.evaluator.evaluate_population(
-                [decoded[i][0] for i in indices], setting
-            )
-            for i, evaluation in zip(indices, evaluations):
-                results[i] = (
-                    np.asarray(self.evaluator.objectives(evaluation)),
-                    {"evaluation": evaluation},
-                )
-        return results
+        evaluations = self.evaluator.evaluate_generation(decoded)
+        objectives = self.evaluator.objectives
+        return [
+            (np.asarray(objectives(evaluation)), {"evaluation": evaluation})
+            for evaluation in evaluations
+        ]
 
     def crossover(self, a, b, rng):
         return operators.uniform_crossover(a, b, rng)
@@ -189,6 +179,16 @@ class InnerEngine:
         population kernel, grouped by DVFS setting (default).  ``False``
         keeps per-individual evaluation — the population bench's "before"
         comparator; results are bit-identical either way.
+    use_batched_oracle:
+        Route the exit oracle's ideal-mapping statistics through the
+        batched accuracy kernel (stacked packed-column masking with
+        shared-prefix reuse; default).  ``False`` keeps the per-placement
+        popcount loop; results are bit-identical either way.
+    use_fused_objectives:
+        Compute IOE objective vectors inside the fused population
+        finalisation (memoised per candidate; default).  ``False``
+        recomputes them per individual per generation — the accuracy-side
+        bench's "before" comparator; results are bit-identical either way.
     """
 
     def __init__(
@@ -206,6 +206,8 @@ class InnerEngine:
         cache=None,
         use_tables: bool = True,
         use_population_kernel: bool = True,
+        use_batched_oracle: bool = True,
+        use_fused_objectives: bool = True,
     ):
         self.config = config
         self.nsga_config = nsga or Nsga2Config(population=20, generations=8)
@@ -218,6 +220,7 @@ class InnerEngine:
             n_samples=oracle_samples,
             seed=seed,
             cache=cache,
+            use_batched_stats=use_batched_oracle,
         )
         self.evaluator = DynamicEvaluator(
             config=config,
@@ -230,6 +233,7 @@ class InnerEngine:
             literal_ratios=literal_ratios,
             use_tables=use_tables,
             use_population_kernel=use_population_kernel,
+            use_fused_objectives=use_fused_objectives,
         )
         self.problem = _InnerProblem(
             exit_space=ExitSpace(config.total_mbconv_layers),

@@ -6,6 +6,12 @@ tournament mating selection and elitist environmental selection.  Both HADAS
 engines (OOE and IOE) instantiate it with their own problems; the OOE
 additionally intercepts the loop for its two-stage selection (see
 :mod:`repro.search.ooe`).
+
+Generation batches flow through :func:`evaluate_genomes` →
+:meth:`Problem.evaluate_batch`, which is how population-fused problems (the
+IOE's fused accuracy+cost kernel) receive whole generations; the sorting/
+crowding bookkeeping itself runs on the vectorized dominance-matrix
+primitives in :mod:`repro.metrics.pareto`.
 """
 
 from __future__ import annotations
@@ -159,9 +165,9 @@ class NSGA2:
         Results are bit-identical to genome-by-genome evaluation because
         evaluation consumes no engine RNG and tasks are pure.
         """
+        keys = [individual.key() for individual in individuals]
         fresh: dict[tuple, np.ndarray] = {}
-        for individual in individuals:
-            key = individual.key()
+        for key, individual in zip(keys, individuals):
             if key not in self._eval_cache and key not in fresh:
                 fresh[key] = individual.genome
         if fresh:
@@ -172,8 +178,8 @@ class NSGA2:
             self.num_evaluations += len(fresh)
             trace.count("nsga.evaluations", len(fresh))
             trace.count("nsga.memoized", len(individuals) - len(fresh))
-        for individual in individuals:
-            objectives, payload = self._eval_cache[individual.key()]
+        for key, individual in zip(keys, individuals):
+            objectives, payload = self._eval_cache[key]
             individual.objectives = objectives.copy()
             individual.payload = dict(payload)
         return individuals

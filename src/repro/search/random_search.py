@@ -48,14 +48,17 @@ class RandomSearch:
         # no-op (as with the pre-batching evaluate-as-you-go loop).
         while len(genomes) < self.budget - self.num_evaluations:
             genome = np.asarray(self.problem.sample(self.rng), dtype=np.int64)
-            key = tuple(int(g) for g in genome)
+            key = tuple(genome.tolist())
             retries = 0
             while key in self._seen and retries < 10:
                 genome = np.asarray(self.problem.sample(self.rng), dtype=np.int64)
-                key = tuple(int(g) for g in genome)
+                key = tuple(genome.tolist())
                 retries += 1
             self._seen.add(key)
             genomes.append(genome)
+        # The whole budget lands in the problem's batch hook — for the IOE
+        # problem that is one fused accuracy+cost kernel pass per distinct
+        # DVFS setting, not per-candidate oracle calls.
         outputs = evaluate_genomes(self.problem, genomes, self.service)
         for genome, (objectives, payload) in zip(genomes, outputs):
             self.history.append(

@@ -1,0 +1,362 @@
+"""Batched exit-oracle accuracy kernel: bit-identity and fusion contracts.
+
+``BackboneExitOracle.evaluate_placements`` lowers a whole population's
+ideal-mapping statistics to one stacked pass over the bit-packed column
+matrix with shared-prefix reuse.  Its contract is absolute: every field of
+every returned :class:`ExitEvaluation` equals the per-placement popcount
+loop *bit for bit* — across population sizes (N=1, duplicates, heavily
+overlapping prefixes), cross-batch prefix-cache reuse and LRU eviction
+pressure — so search trajectories and golden artifacts are unchanged no
+matter which kernel produced them.  Alongside it: the stacked
+:class:`PopulationExitStats` rows, the fused-objectives memo of the
+dynamic evaluator, ``evaluate_generation`` grouping, and the flag-on/off
+equivalence of whole search engines (IOE, random search).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accuracy.exit_model import BackboneExitOracle, _LruCache
+from repro.arch.cost import estimate_cost
+from repro.baselines.attentivenas import attentivenas_model
+from repro.eval.dynamic import DynamicEvaluator
+from repro.exits.placement import MIN_EXIT_POSITION, ExitPlacement
+from repro.hardware.dvfs import DvfsSpace
+from repro.hardware.energy import EnergyModel
+from repro.hardware.platform import get_platform
+
+PLATFORM_KEYS = ("tx2-gpu", "carmel-cpu")
+
+_CONFIG = attentivenas_model("a3")
+_LAYERS = _CONFIG.total_mbconv_layers
+
+
+def _oracle(**kwargs) -> BackboneExitOracle:
+    defaults = dict(
+        backbone_key=_CONFIG.key,
+        total_layers=_LAYERS,
+        backbone_accuracy=0.87,
+        seed=0,
+        n_samples=512,
+    )
+    defaults.update(kwargs)
+    return BackboneExitOracle(**defaults)
+
+
+def _placement(positions) -> ExitPlacement:
+    return ExitPlacement(_LAYERS, tuple(sorted(positions)))
+
+
+def _placements_strategy():
+    one = st.sets(
+        st.integers(min_value=MIN_EXIT_POSITION, max_value=_LAYERS - 1),
+        min_size=1,
+        max_size=6,
+    ).map(_placement)
+    return st.lists(one, min_size=1, max_size=12)
+
+
+def _assert_stats_identical(got, want):
+    """Every field of an ExitEvaluation, compared bit for bit."""
+    assert np.array_equal(got.n_i, want.n_i)
+    assert np.array_equal(got.usage, want.usage)
+    assert np.array_equal(got.dissimilarity, want.dissimilarity)
+    assert got.final_accuracy == want.final_accuracy
+    assert got.dynamic_accuracy == want.dynamic_accuracy
+    head_g, tail_g = got.usage_split
+    head_w, tail_w = want.usage_split
+    assert np.array_equal(head_g, head_w) and tail_g == tail_w
+
+
+class TestLruCache:
+    def test_eviction_order_and_counters(self):
+        cache = _LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b" (least recent)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 3 and stats["misses"] == 1
+        assert stats["size"] == 2 and stats["maxsize"] == 2
+
+    def test_peek_uncounted(self):
+        cache = _LruCache(4)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1 and cache.peek("x") is None
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_stores_falsy_values(self):
+        cache = _LruCache(4)
+        cache.put("zero", 0)
+        assert cache.get("zero") == 0
+
+
+class TestBatchedOracleBitIdentity:
+    """evaluate_placements == [evaluate_placement(p) ...], bitwise."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(placements=_placements_strategy())
+    def test_matches_reference_oracle(self, placements):
+        batched = _oracle()
+        reference = _oracle(use_batched_stats=False)
+        got = batched.evaluate_placements(placements)
+        want = reference.evaluate_placements(placements)
+        for g, w in zip(got, want):
+            _assert_stats_identical(g, w)
+
+    def test_single_placement(self):
+        batched = _oracle()
+        placement = _placement([MIN_EXIT_POSITION, _LAYERS - 1])
+        (got,) = batched.evaluate_placements([placement])
+        _assert_stats_identical(got, _oracle(use_batched_stats=False).evaluate_placement(placement))
+
+    def test_duplicates_share_memoised_instance(self):
+        batched = _oracle()
+        placement = _placement([6, 9, 12])
+        a, b = batched.evaluate_placements([placement, placement])
+        assert a is b
+        # A later per-placement call returns the same instance too.
+        assert batched.evaluate_placement(placement) is a
+
+    def test_overlapping_prefixes_share_trie_levels(self):
+        """Placements sharing early exits resolve through shared prefix
+        nodes — fewer nodes than (placement, exit) pairs — with no effect
+        on the counts."""
+        batched = _oracle()
+        reference = _oracle(use_batched_stats=False)
+        base = [6, 8, 10]
+        family = [_placement(base[:k] + [tail]) for k in (1, 2, 3) for tail in (13, 15, 17)]
+        got = batched.evaluate_placements(family)
+        for g, placement in zip(got, family):
+            _assert_stats_identical(g, reference.evaluate_placement(placement))
+        stats = batched.memo_stats()
+        total_exits = sum(p.num_exits for p in family)
+        assert stats["prefix"]["size"] < total_exits
+
+    def test_cross_batch_prefix_reuse(self):
+        """A second batch extending the first's placements hits the prefix
+        cache and still matches the reference."""
+        batched = _oracle()
+        reference = _oracle(use_batched_stats=False)
+        first = [_placement([6, 9]), _placement([7, 11])]
+        batched.evaluate_placements(first)
+        hits_before = batched.memo_stats()["prefix"]["hits"]
+        second = [_placement([6, 9, 14]), _placement([7, 11, 16])]
+        got = batched.evaluate_placements(second)
+        assert batched.memo_stats()["prefix"]["hits"] > hits_before
+        for g, placement in zip(got, second):
+            _assert_stats_identical(g, reference.evaluate_placement(placement))
+
+    @settings(max_examples=15, deadline=None)
+    @given(placements=_placements_strategy())
+    def test_identical_under_lru_eviction(self, placements):
+        """Tiny memo/prefix caps force constant eviction; results must not
+        change (entries rebuild from the packed columns)."""
+        tiny = _oracle(stats_memo_size=2, prefix_cache_size=2)
+        reference = _oracle(use_batched_stats=False)
+        got = tiny.evaluate_placements(placements)
+        for g, placement in zip(got, placements):
+            _assert_stats_identical(g, reference.evaluate_placement(placement))
+
+    def test_eviction_counter_visible(self):
+        tiny = _oracle(stats_memo_size=2, prefix_cache_size=2)
+        placements = [
+            _placement([p, p + 2]) for p in range(MIN_EXIT_POSITION, _LAYERS - 2)
+        ]
+        tiny.evaluate_placements(placements)
+        stats = tiny.memo_stats()
+        assert stats["stats"]["evictions"] > 0
+        assert stats["stats"]["size"] <= 2 and stats["prefix"]["size"] <= 2
+
+    def test_memo_stats_shape(self):
+        oracle = _oracle()
+        oracle.evaluate_placements([_placement([6, 9])])
+        stats = oracle.memo_stats()
+        for name in ("stats", "prefix", "counts", "packed"):
+            for key in ("size", "maxsize", "hits", "misses", "evictions"):
+                assert isinstance(stats[name][key], int)
+
+    def test_layer_mismatch_rejected(self):
+        oracle = _oracle()
+        wrong = ExitPlacement(_LAYERS + 4, (6, 9))
+        with pytest.raises(ValueError):
+            oracle.evaluate_placements([wrong])
+
+
+class TestPopulationStats:
+    """Stacked rows mirror the per-placement evaluations exactly."""
+
+    def test_rows_match_evaluations(self):
+        oracle = _oracle()
+        placements = [
+            _placement([6]),
+            _placement([6, 9, 12]),
+            _placement([7, 8, 9, 10, 11]),
+        ]
+        stats = oracle.population_stats(placements)
+        assert len(stats) == len(placements)
+        for row, (placement, evaluation) in enumerate(
+            zip(placements, stats.evaluations)
+        ):
+            w = placement.num_exits
+            assert stats.widths[row] == w
+            assert np.array_equal(stats.n_i[row, :w], evaluation.n_i)
+            assert np.array_equal(stats.usage_head[row, :w], evaluation.usage[:-1])
+            assert stats.usage_tail[row] == evaluation.usage[-1]
+            assert np.array_equal(
+                stats.dissimilarity[row, :w], evaluation.dissimilarity
+            )
+            assert stats.dynamic_accuracy[row] == evaluation.dynamic_accuracy
+            # Padding stays zero beyond each row's width.
+            assert not stats.n_i[row, w:].any()
+
+    def test_empty_population(self):
+        stats = _oracle().population_stats([])
+        assert len(stats) == 0
+
+
+class _EvalContext:
+    """Fused vs reference evaluators sharing one oracle per platform."""
+
+    def __init__(self, platform_key: str):
+        platform = get_platform(platform_key)
+        model = EnergyModel(platform)
+        cost = estimate_cost(_CONFIG)
+        self.dvfs = DvfsSpace(platform)
+        oracle = _oracle()
+        base = model.network_report(cost, self.dvfs.default_setting())
+        kwargs = dict(
+            config=_CONFIG,
+            cost=cost,
+            oracle=oracle,
+            energy_model=model,
+            baseline_energy_j=base.energy_j,
+            baseline_latency_s=base.latency_s,
+        )
+        self.fused = DynamicEvaluator(**kwargs)
+        self.reference = DynamicEvaluator(**kwargs, use_fused_objectives=False)
+
+
+_EVAL_CONTEXTS: dict[str, _EvalContext] = {}
+
+
+def _context(platform_key: str) -> _EvalContext:
+    if platform_key not in _EVAL_CONTEXTS:
+        _EVAL_CONTEXTS[platform_key] = _EvalContext(platform_key)
+    return _EVAL_CONTEXTS[platform_key]
+
+
+class TestFusedObjectives:
+    """Fused objective vectors equal the scalar objectives() bitwise."""
+
+    @pytest.mark.parametrize("platform_key", PLATFORM_KEYS)
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_objectives_bitwise(self, platform_key, data):
+        ctx = _context(platform_key)
+        placements = data.draw(_placements_strategy())
+        setting = ctx.dvfs.all_settings()[
+            data.draw(st.integers(0, len(ctx.dvfs.all_settings()) - 1))
+        ]
+        fused_evals = ctx.fused.evaluate_population(placements, setting)
+        ref_evals = ctx.reference.evaluate_population(placements, setting)
+        for fe, re_ in zip(fused_evals, ref_evals):
+            got = ctx.fused.objectives(fe)
+            want = ctx.reference.objectives(re_)
+            assert got == want
+
+    @pytest.mark.parametrize("platform_key", PLATFORM_KEYS)
+    def test_generation_matches_per_call(self, platform_key):
+        """evaluate_generation == [evaluate(p, s) ...] across mixed
+        settings, order-preserving."""
+        ctx = _context(platform_key)
+        settings_list = ctx.dvfs.all_settings()
+        decoded = [
+            (_placement([6, 9]), settings_list[0]),
+            (_placement([7, 12, 15]), settings_list[-1]),
+            (_placement([6, 9]), settings_list[-1]),
+            (_placement([8]), settings_list[0]),
+            (_placement([6, 9]), settings_list[0]),  # duplicate pair
+        ]
+        got = ctx.fused.evaluate_generation(decoded)
+        assert len(got) == len(decoded)
+        for evaluation, (placement, setting) in zip(got, decoded):
+            want = ctx.reference.evaluate(placement, setting)
+            assert evaluation.placement == placement
+            assert evaluation.setting == setting
+            assert np.array_equal(evaluation.scores, want.scores)
+            assert evaluation.dynamic_energy_j == want.dynamic_energy_j
+            assert evaluation.dynamic_latency_s == want.dynamic_latency_s
+            assert evaluation.energy_gain == want.energy_gain
+            assert evaluation.latency_gain == want.latency_gain
+            assert evaluation.d_score == want.d_score
+
+    def test_objectives_memo_populated(self):
+        ctx = _context("tx2-gpu")
+        setting = ctx.dvfs.default_setting()
+        before = len(ctx.fused._objectives_cache)
+        ctx.fused.evaluate_population([_placement([6, 10, 14])], setting)
+        assert len(ctx.fused._objectives_cache) > before
+
+
+class TestEngineEquivalence:
+    """Whole-engine archives are unchanged by the batched/fused flags."""
+
+    def _engines(self, static_evaluator, surrogate, **off_flags):
+        from repro.search.ioe import InnerEngine
+        from repro.search.nsga2 import Nsga2Config
+
+        backbone = attentivenas_model("a0")
+        fraction = surrogate.accuracy_fraction(backbone)
+        nsga = Nsga2Config(population=8, generations=3)
+        on = InnerEngine(
+            backbone, static_evaluator, fraction, nsga=nsga, seed=11
+        )
+        off = InnerEngine(
+            backbone, static_evaluator, fraction, nsga=nsga, seed=11, **off_flags
+        )
+        return on, off
+
+    def test_ioe_archive_unchanged(self, static_evaluator, surrogate):
+        on, off = self._engines(
+            static_evaluator,
+            surrogate,
+            use_batched_oracle=False,
+            use_fused_objectives=False,
+        )
+        result_on, result_off = on.run(), off.run()
+        assert [i.key() for i in result_on.explored] == [
+            i.key() for i in result_off.explored
+        ]
+        for a, b in zip(result_on.explored, result_off.explored):
+            assert np.array_equal(a.objectives, b.objectives)
+        assert sorted(i.key() for i in result_on.pareto) == sorted(
+            i.key() for i in result_off.pareto
+        )
+
+    def test_random_search_archive_unchanged(self, static_evaluator, surrogate):
+        from repro.search.random_search import RandomSearch
+
+        on, off = self._engines(
+            static_evaluator,
+            surrogate,
+            use_batched_oracle=False,
+            use_fused_objectives=False,
+        )
+        search_on = RandomSearch(on.problem, budget=20, rng=5)
+        search_off = RandomSearch(off.problem, budget=20, rng=5)
+        history_on, history_off = search_on.run(), search_off.run()
+        assert [i.key() for i in history_on] == [i.key() for i in history_off]
+        for a, b in zip(history_on, history_off):
+            assert np.array_equal(a.objectives, b.objectives)
+        assert sorted(i.key() for i in search_on.pareto()) == sorted(
+            i.key() for i in search_off.pareto()
+        )

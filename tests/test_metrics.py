@@ -14,7 +14,9 @@ from repro.metrics.pareto import (
     crowding_distance,
     dominates,
     non_dominated_mask,
+    non_dominated_mask_reference,
     non_dominated_sort,
+    non_dominated_sort_reference,
     pareto_front,
 )
 
@@ -91,6 +93,46 @@ class TestNonDominatedSort:
         fronts = non_dominated_sort(pts)
         mask = non_dominated_mask(pts)
         assert sorted(fronts[0].tolist()) == sorted(np.flatnonzero(mask).tolist())
+
+
+class TestVectorizedMatchesReference:
+    """The matrix-peel sort/mask equal the double-loop reference exactly.
+
+    Dominance is a pure comparison, so the vectorized partitions must match
+    index for index and order for order — the NSGA-II trajectory depends on
+    the in-front index order, not just the partition sets.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_arrays)
+    def test_sort_identical(self, points):
+        got = non_dominated_sort(points)
+        want = non_dominated_sort_reference(points)
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert g.tolist() == list(w)
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_arrays)
+    def test_mask_identical(self, points):
+        np.testing.assert_array_equal(
+            non_dominated_mask(points), non_dominated_mask_reference(points)
+        )
+
+    def test_duplicate_rows_share_front(self):
+        pts = np.asarray([[1.0, 1.0], [1.0, 1.0], [0.0, 2.0], [0.0, 0.0]])
+        got = non_dominated_sort(pts)
+        want = non_dominated_sort_reference(pts)
+        assert [g.tolist() for g in got] == [list(w) for w in want]
+
+    def test_all_equal_rows_single_front(self):
+        pts = np.ones((7, 3))
+        fronts = non_dominated_sort(pts)
+        assert len(fronts) == 1 and fronts[0].tolist() == list(range(7))
+
+    def test_empty(self):
+        assert non_dominated_mask(np.zeros((0, 3))).shape == (0,)
+        assert non_dominated_sort(np.zeros((0, 3))) == []
 
 
 class TestCrowding:
