@@ -74,6 +74,29 @@ class AdmissionPolicy:
             )
 
 
+def admit_prefix(
+    position: np.ndarray, critical: np.ndarray, space: int, critical_bypass: bool
+) -> np.ndarray:
+    """Closed form of the per-arrival queue-depth cap over a no-dispatch stretch.
+
+    Between two dispatches the queue only grows, so evaluating the cap at
+    each arrival instant collapses to a prefix rule: an arrival is admitted
+    iff its position among the stretch's arrivals is below the ``space``
+    the queue had when the stretch began, or it is latency-critical under
+    ``critical_bypass``.  (Criticals admitted past the cap still occupy
+    queue space, but any later best-effort arrival then sits at a position
+    ≥ ``space`` anyway, so the two formulations decide identically.)
+
+    Shared by :class:`ArrayBatcher` (one queue, arrivals gated in cutoff
+    order) and the fleet's block admission (per-lane positions within one
+    routed arrival block).
+    """
+    admit = position < space
+    if critical_bypass:
+        admit = admit | critical
+    return admit
+
+
 class MicroBatcher:
     """Deterministically forms micro-batches from a timestamped trace.
 
@@ -301,10 +324,9 @@ class ArrayBatcher:
             admit = np.ones(len(new), dtype=bool)
         else:
             space = admission.max_queue - len(self._crit) - len(self._be)
-            position = np.arange(len(new))
-            admit = position < space
-            if admission.critical_bypass:
-                admit |= critical
+            admit = admit_prefix(
+                np.arange(len(new)), critical, space, admission.critical_bypass
+            )
         for index, crit, ok in zip(new.tolist(), critical.tolist(), admit.tolist()):
             if ok:
                 (self._crit if crit else self._be).append(index)

@@ -36,9 +36,11 @@ results persisted under the ``fleet`` cache namespace.
 from __future__ import annotations
 
 import dataclasses
+import gc
 from bisect import bisect_left, bisect_right
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 import numpy as np
 
@@ -66,9 +68,19 @@ from repro.serving.harness import (
     build_serving_stack,
     reference_config,
 )
-from repro.serving.router import ROUTER_NAMES, FleetRouter, make_router
+from repro.serving.router import (
+    ROUTER_NAMES,
+    BlockLaneState,
+    FleetRouter,
+    make_router,
+)
 from repro.serving.scenarios import Scenario, ThermalState, get_scenario
-from repro.serving.simulator import CompiledStream, _CompiledConfig, compile_stream
+from repro.serving.simulator import (
+    ENGINE_NAMES,
+    CompiledStream,
+    _CompiledConfig,
+    compile_stream,
+)
 from repro.serving.stream import ServingStream
 from repro.serving.telemetry import class_latency_stats, percentile_ms
 from repro.serving.workload import (
@@ -81,7 +93,7 @@ from repro.serving.workload import (
 from repro.utils.validation import check_positive
 
 #: Bump when fleet-cell semantics change; orphans persisted fleet entries.
-FLEET_CELL_VERSION = "2"
+FLEET_CELL_VERSION = "3"
 
 
 @dataclass(frozen=True)
@@ -116,6 +128,8 @@ class FleetSpec:
     critical_fraction: float = 0.0  # share of latency-critical arrivals
     admission_max_queue: int | None = None  # per-lane cap; None = unbounded
     admission_critical_bypass: bool = True
+    engine: str = "indexed"  # "indexed" (block-routed) or "reference"
+    steal: bool = False  # work-stealing re-routing (indexed engine only)
 
     def __post_init__(self):
         if not self.platforms:
@@ -141,6 +155,15 @@ class FleetSpec:
             raise ValueError("critical_fraction must lie in [0, 1]")
         if self.admission_max_queue is not None:
             check_positive("admission_max_queue", self.admission_max_queue)
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; valid: {ENGINE_NAMES}"
+            )
+        if self.steal and self.engine != "indexed":
+            raise ValueError(
+                "work stealing needs the indexed engine: the reference loop "
+                "is the executable specification and takes no extensions"
+            )
 
     def device_spec(self, platform: str, rate_hz: float | None = None) -> ServingSpec:
         """The single-device spec a fleet member is built from."""
@@ -205,6 +228,8 @@ class DeviceTelemetry:
     peak_temperature_c: float = 0.0
     critical_requests: int = 0  # latency-critical requests served here
     num_dropped: int = 0  # admission drops at this lane's door
+    stolen_in: int = 0  # queued requests migrated onto this lane (steal)
+    stolen_out: int = 0  # queued requests migrated off this lane (steal)
 
 
 @dataclass(frozen=True)
@@ -250,6 +275,7 @@ class FleetReport:
     num_deferred: int = 0  # always 0: fleet admission is drop-only
     drop_rate: float = 0.0
     class_stats: dict[str, dict] = field(default_factory=dict)  # per SLO class
+    num_stolen: int = 0  # queued requests migrated between lanes (steal)
 
     @property
     def met_slo_rate(self) -> float:
@@ -275,6 +301,10 @@ class DeviceLane:
         self.reference = reference_config(stack.ladder)
         self.coolest = min(stack.ladder, key=lambda c: c.expected_power_w)
         self.max_power_w = max(c.expected_power_w for c in stack.ladder)
+        # The reference capacity is a pure function of the (frozen) reference
+        # config and batch policy; routers read it per decision, so it is
+        # computed once instead of chasing the config property chain per call.
+        self.reference_capacity_rps = self.reference.capacity_rps(stack.batch_policy)
         # Live queue: routed-but-undispatched request indices, FIFO by arrival.
         self._queue: deque[int] = deque()
         self._queue_arrivals: deque[float] = deque()
@@ -284,6 +314,7 @@ class DeviceLane:
         self._popped = 0  # dispatched prefix of _admitted_times
         self._crit_popped = 0  # dispatched prefix of _crit_times
         self._routed_times: list[float] = []  # every routed arrival (rate window)
+        self._rate_cursor = 0  # left bisect bound for the trailing rate window
         # Device clocks.
         self.t_free = 0.0
         self.clock = 0.0
@@ -303,6 +334,8 @@ class DeviceLane:
         self.governor_decisions = 0
         self.critical_requests = 0
         self.num_dropped = 0
+        self.stolen_in = 0
+        self.stolen_out = 0
         self.config_usage: dict[str, int] = {}
         self.exit_counts = np.zeros(stack.placement.num_exits + 1, dtype=np.int64)
 
@@ -310,10 +343,6 @@ class DeviceLane:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
-
-    @property
-    def reference_capacity_rps(self) -> float:
-        return self.reference.capacity_rps(self.stack.batch_policy)
 
     @property
     def reference_energy_j(self) -> float:
@@ -352,21 +381,42 @@ class DeviceLane:
         (a batch start or later) the count is exactly (admitted arrivals ≤
         now) − (popped); querying an earlier instant clamps at zero.
         """
-        return max(bisect_right(self._admitted_times, now_s) - self._popped, 0)
+        # Starting the search at the popped prefix keeps the bisect inside
+        # the (short, cache-warm) backlog region instead of the whole book.
+        # Exact on sorted input: if the prefix itself reaches past ``now_s``
+        # both forms clamp to zero.
+        popped = self._popped
+        return max(bisect_right(self._admitted_times, now_s, popped) - popped, 0)
 
     def critical_backlog_at(self, now_s: float) -> int:
         """Latency-critical share of :meth:`backlog_at`."""
         if not self._crit_times:
             return 0
-        return max(bisect_right(self._crit_times, now_s) - self._crit_popped, 0)
+        popped = self._crit_popped
+        return max(bisect_right(self._crit_times, now_s, popped) - popped, 0)
 
     def arrival_rate_hz(self, now_s: float, window_s: float, fallback: float) -> float:
         """Routed arrivals/second (admitted or dropped) over the trailing window."""
         if now_s <= 0:
             return fallback
         window_start = max(0.0, now_s - window_s)
-        lo = bisect_left(self._routed_times, window_start)
-        hi = bisect_right(self._routed_times, now_s)
+        routed = self._routed_times
+        n = len(routed)
+        # Observation instants are monotone per lane, so the window's left
+        # edge only moves right: resume the bisect at the last cursor.  A
+        # tail rollback can strand the cursor past valid ground — the sorted
+        # book makes that a single comparison to detect, then redo in full.
+        lo = self._rate_cursor
+        if lo > n:
+            lo = n
+        if lo > 0 and routed[lo - 1] >= window_start:
+            lo = 0
+        lo = bisect_left(routed, window_start, lo)
+        self._rate_cursor = lo
+        if n and routed[n - 1] <= now_s:
+            hi = n
+        else:
+            hi = bisect_right(routed, now_s)
         return (hi - lo) / max(now_s - window_start, 1e-9)
 
     def pending_start_s(self) -> float | None:
@@ -419,6 +469,48 @@ class DeviceLane:
         self._popped += size
         self._crit_popped = crit_popped
         return start, batch
+
+    # ------------------------------------------------------- work stealing
+    def steal_tail(self, limit: int, slo_class) -> list[int]:
+        """Pop up to ``limit`` best-effort requests off the queue tail.
+
+        The queue tail is the only place all four parallel per-lane books
+        (``_queue``, ``_queue_arrivals``, ``_admitted_times``,
+        ``request_indices``) stay aligned, so tail pops keep every sorted
+        invariant and the dispatched-prefix counters untouched.  Stops at
+        the first latency-critical entry from the tail — criticals stay
+        where admission placed them.  Returns the stolen request indices in
+        their original FIFO order.
+        """
+        stolen: list[int] = []
+        queue = self._queue
+        while len(stolen) < limit and queue:
+            index = queue[-1]
+            if slo_class is not None and slo_class[index] == LATENCY_CRITICAL:
+                break
+            queue.pop()
+            self._queue_arrivals.pop()
+            self._admitted_times.pop()
+            self.request_indices.pop()
+            stolen.append(index)
+        stolen.reverse()
+        self.stolen_out += len(stolen)
+        return stolen
+
+    def receive_stolen(self, indices: list[int], now_s: float) -> None:
+        """Adopt stolen requests, re-stamped as arriving at the steal instant.
+
+        Re-stamping keeps every arrival book sorted (``now_s`` is the
+        current simulated time, ≥ every recorded arrival) and makes the
+        batcher treat migrations like fresh arrivals; latency telemetry
+        still measures from the original trace arrival.
+        """
+        for index in indices:
+            self._queue.append(index)
+            self._queue_arrivals.append(now_s)
+            self._admitted_times.append(now_s)
+            self.request_indices.append(index)
+        self.stolen_in += len(indices)
 
     # ---------------------------------------------------------- config state
     def profiles_of(self, config: RuntimeConfig) -> list[PathProfile]:
@@ -507,6 +599,9 @@ class FleetSimulator:
         self.lanes = [
             DeviceLane(i, stack, self._policy_for(stack)) for i, stack in enumerate(stacks)
         ]
+        self._total_capacity_rps = sum(
+            lane.reference_capacity_rps for lane in self.lanes
+        )
 
     def _policy_for(self, stack: ServingStack) -> ServingPolicy:
         if self.spec.policy == "static":
@@ -533,9 +628,7 @@ class FleetSimulator:
         battery_budget_j: float | None,
         battery_spent_j: float,
     ) -> GovernorObservation:
-        share = lane.reference_capacity_rps / sum(
-            l.reference_capacity_rps for l in self.lanes
-        )
+        share = lane.reference_capacity_rps / self._total_capacity_rps
         rate = lane.arrival_rate_hz(
             now_s, self.window_s, fallback=trace.mean_rate_hz * share
         )
@@ -581,8 +674,6 @@ class FleetSimulator:
         completion = np.full(n, np.nan)
         correct = np.zeros(n, dtype=bool)
         battery_budget = self._battery_budget_j(trace)
-        battery_spent = 0.0
-        battery_exhausted = False
 
         fleet_capacity = sum(lane.reference_capacity_rps for lane in self.lanes)
         for lane in self.lanes:
@@ -607,6 +698,47 @@ class FleetSimulator:
             )
             lane.governor_decisions += 1
             lane.next_decision = self.window_s
+
+        if self.spec.engine == "reference":
+            return self._run_reference(
+                trace, router, cstream, completion, correct, battery_budget
+            )
+        # The indexed engine allocates acyclically (flat books, batch lists
+        # freed as they are priced), so cycle collection has nothing to find
+        # — but generational collections still traverse the ever-growing
+        # books, costing seconds per million requests.  Pause the collector
+        # for the run.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return self._run_indexed(
+                trace, router, cstream, completion, correct, battery_budget
+            )
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _run_reference(
+        self,
+        trace: Trace,
+        router: FleetRouter,
+        cstream: CompiledStream,
+        completion: np.ndarray,
+        correct: np.ndarray,
+        battery_budget: float | None,
+    ) -> FleetReport:
+        """The original per-request loop — the executable specification.
+
+        Every routing, admission, batching and governor decision here is
+        the contract the indexed engine must reproduce bit-for-bit (with
+        stealing off).  Arrival columns convert to Python floats lazily,
+        one chunk at a time, instead of materialising three full
+        million-entry lists upfront.
+        """
+        n = trace.num_requests
+        battery_spent = 0.0
+        battery_exhausted = False
 
         def dispatch(lane: DeviceLane, start: float, batch: list[int]) -> None:
             nonlocal battery_spent, battery_exhausted
@@ -670,28 +802,634 @@ class FleetSimulator:
                 dispatch(best, *formed)
 
         admission = self.admission
-        times = trace.arrival_s.tolist()
-        difficulties = trace.difficulty.tolist()
-        classes = trace.slo_class.tolist()
         lanes = self.lanes
-        for i in range(n):
-            arrival = times[i]
-            slo_class = classes[i]
-            lane = lanes[router.route(difficulties[i], slo_class, arrival, lanes)]
-            critical = slo_class == LATENCY_CRITICAL
-            if (
-                admission is not None
-                and lane.queue_depth >= admission.max_queue
-                and not (critical and admission.critical_bypass)
-            ):
-                lane.reject(arrival)
-            else:
-                lane.push(i, arrival, critical)
-            drain(times[i + 1] if i + 1 < n else float("inf"))
+        # Arrival columns convert lazily per chunk: same Python floats as a
+        # full .tolist(), without ~24 MB of boxed floats resident at 10⁶.
+        chunk = 65536
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            times = trace.arrival_s[lo:hi].tolist()
+            difficulties = trace.difficulty[lo:hi].tolist()
+            classes = trace.slo_class[lo:hi].tolist()
+            for k in range(hi - lo):
+                i = lo + k
+                arrival = times[k]
+                slo_class = classes[k]
+                lane = lanes[router.route(difficulties[k], slo_class, arrival, lanes)]
+                critical = slo_class == LATENCY_CRITICAL
+                if (
+                    admission is not None
+                    and lane.queue_depth >= admission.max_queue
+                    and not (critical and admission.critical_bypass)
+                ):
+                    lane.reject(arrival)
+                else:
+                    lane.push(i, arrival, critical)
+                if k + 1 < hi - lo:
+                    drain(times[k + 1])
+                elif hi < n:
+                    drain(float(trace.arrival_s[hi]))
+                else:
+                    drain(float("inf"))
         drain(float("inf"))
 
         return self._report(trace, completion, correct, battery_budget,
                             battery_spent, battery_exhausted)
+
+    def _run_indexed(
+        self,
+        trace: Trace,
+        router: FleetRouter,
+        cstream: CompiledStream,
+        completion: np.ndarray,
+        correct: np.ndarray,
+        battery_budget: float | None,
+    ) -> FleetReport:
+        """Block-routed fleet loop: bit-identical reports, one block at a time.
+
+        Between two fleet dispatch horizons no lane's queue drains, so
+        every routing decision in that window sees lane state that only
+        changes through the block's own pushes — which is exactly what the
+        router block kernels model.  The loop therefore:
+
+        * takes the next **arrival block** — all arrivals up to the
+          earliest pending batch start (the horizon) — and routes it in one
+          :meth:`~repro.serving.router.FleetRouter.route_block` call;
+        * applies the routed pushes while watching for a **mid-block
+          violation**: a push that creates a batch trigger earlier than a
+          later in-block arrival (only a *new* trigger can do that — old
+          pendings sit at or past the horizon).  The block truncates at the
+          violating arrival, the tail is re-routed after the dispatch it
+          conflicted with, and the scalar dispatch order is preserved
+          exactly;
+        * drains through a **lazy min-heap** of (pending start, lane)
+          entries instead of scanning every lane per request: every pending
+          change pushes an entry, stale entries are skipped on pop.
+
+        Dispatch pricing goes through
+        :meth:`~repro.serving.simulator._CompiledConfig.price_indices` (the
+        same Python-float tables as the single-device span engine), and
+        completion/correctness scatters happen once at the end.  With
+        ``spec.steal`` set, governor decisions on an unloaded lane may
+        migrate queued best-effort requests off a stalled lane — the one
+        intentional (opt-in) departure from reference behavior.
+        """
+        n = trace.num_requests
+        lanes = self.lanes
+        num_lanes = len(lanes)
+        admission = self.admission
+        state = BlockLaneState(
+            lanes,
+            max_queue=admission.max_queue if admission is not None else None,
+            critical_bypass=admission.critical_bypass if admission is not None else True,
+        )
+        bounded = admission is not None
+        t_free = state.t_free
+        depth = state.depth
+        route_block = router.route_block
+        rollback = router.rollback
+        begin_block = state.begin_block
+
+        times_np = trace.arrival_s
+        difficulty_np = trace.difficulty
+        any_crit = trace.num_critical > 0
+        slo_class_arr = trace.slo_class if any_crit else None
+
+        recorder = tracing.active()
+        observe = self._observe
+        window_s = self.window_s
+        emergency = self.emergency_backlog
+        switch_cost = self.switch_cost_j
+        steal_on = self.spec.steal
+        battery_spent = 0.0
+        battery_exhausted = False
+        has_battery = battery_budget is not None
+        num_stolen = 0
+
+        heap: list[tuple[float, int]] = []
+        heap_push = heappush
+        heap_pop = heappop
+        br = bisect_right
+        inf = float("inf")
+
+        # Per-lane hot state as parallel lists indexed by lane: one list
+        # lookup replaces two attribute hops everywhere the per-request
+        # loop touches a lane, and pure-accumulator meters fold back into
+        # the lane objects once at the end (same per-lane accumulation
+        # order, hence bit-identical sums).
+        queues = [lane._queue for lane in lanes]
+        qarrs = [lane._queue_arrivals for lane in lanes]
+        q_append = [lane._queue.append for lane in lanes]
+        qa_append = [lane._queue_arrivals.append for lane in lanes]
+        adm_lists = [lane._admitted_times for lane in lanes]
+        adm_append = [lane._admitted_times.append for lane in lanes]
+        routed_append = [lane._routed_times.append for lane in lanes]
+        ridx_append = [lane.request_indices.append for lane in lanes]
+        max_batch = [lane.stack.batch_policy.max_batch for lane in lanes]
+        timeout = [lane.stack.batch_policy.timeout_s for lane in lanes]
+        policies = [lane.policy for lane in lanes]
+        thermals = [lane.thermal for lane in lanes]
+        usages = [lane.config_usage for lane in lanes]
+        compiled_maps = [lane._compiled for lane in lanes]
+        configs = [lane.config for lane in lanes]
+        last_active: list[RuntimeConfig | None] = [None] * num_lanes
+        last_compiled: list[_CompiledConfig | None] = [None] * num_lanes
+        last_count = [0] * num_lanes
+        next_decision = [lane.next_decision for lane in lanes]
+        clocks = [lane.clock for lane in lanes]
+        popped = [lane._popped for lane in lanes]
+        energy_acc = [lane.energy_j for lane in lanes]
+        busy_acc = [lane.busy_s for lane in lanes]
+        switch_acc = [lane.switching_energy_j for lane in lanes]
+        nbatch_acc = [lane.num_batches for lane in lanes]
+        ndecision_acc = [lane.governor_decisions for lane in lanes]
+        nthrottle_acc = [lane.throttled for lane in lanes]
+        lane_counter = [
+            f"fleet.lane.{lane.stack.spec.platform}.batches" for lane in lanes
+        ]
+
+        # Dispatch log: per-batch index lists and completion times, scattered
+        # into the report arrays once at the end (a numpy fancy write per
+        # two-request batch costs more than the batch itself).
+        # Served requests accumulate *flat* (indices + per-batch sizes), not
+        # as retained batch lists: a million retained small lists keeps the
+        # GC-tracked heap growing all run and generational collections go
+        # quadratic.  Flat int/float lists are opaque to the GC.
+        served_flat: list[int] = []
+        served_sizes: list[int] = []
+        served_ends: list[float] = []
+        sf_extend = served_flat.extend
+        ss_append = served_sizes.append
+        se_append = served_ends.append
+        # Correctness groups by compiled config (correct[i] depends on which
+        # config served request i).
+        correct_groups: dict[int, tuple[_CompiledConfig, list[list[int]]]] = {}
+        # Exit tallies as plain int lists; folded into the numpy meters once.
+        exit_lists = [[0] * len(lane.exit_counts) for lane in lanes]
+
+        # Per-block violation tracking, epoch-stamped so nothing is reset
+        # between blocks: count/expiry/filled only mean something for lanes
+        # whose epoch matches the current block.
+        lane_epoch = [0] * num_lanes
+        blk_count = [0] * num_lanes
+        blk_expiry = [0.0] * num_lanes
+        blk_filled = [False] * num_lanes
+        epoch = 0
+
+        def dispatch(li: int, start: float, batch: list[int]) -> None:
+            nonlocal battery_spent, battery_exhausted, num_stolen
+            lane = lanes[li]
+            thermal = thermals[li]
+            if thermal is not None and start > clocks[li]:
+                thermal.advance(0.0, start - clocks[li])  # idle: device cools
+            size = len(batch)
+            # Spike check counts the in-flight batch: it was popped already
+            # but it is still unserved work.  The queue length bounds the
+            # backlog from above (it ignores the arrival cutoff), so a short
+            # queue rules a spike out without the bisect.
+            if len(queues[li]) + size <= emergency:
+                spike = False
+            else:
+                backlog = br(adm_lists[li], start, popped[li]) - popped[li]
+                spike = backlog + size > emergency
+            if start >= next_decision[li] or spike:
+                lane._popped = popped[li]  # the observation reads the meter
+                obs = observe(lane, start, trace, battery_budget, battery_spent)
+                configs[li] = policies[li].select(obs)
+                ndecision_acc[li] += 1
+                if recorder is not None:
+                    recorder.count("fleet.governor_decisions")
+                next_decision[li] = start + window_s
+                if steal_on:
+                    num_stolen += self._try_steal(
+                        lane, start, state, heap, slo_class_arr, recorder
+                    )
+            active = configs[li]
+            if thermal is not None and thermal.throttled:
+                active = lane.coolest  # hardware throttle overrides the policy
+                nthrottle_acc[li] += 1
+            if recorder is not None:
+                recorder.count("fleet.batches")
+                recorder.count(lane_counter[li])
+                recorder.observe("fleet.batch_size", size)
+
+            # The active config changes only at governor decisions, so the
+            # usage tally and compiled lookup run cached between changes and
+            # flush on switch (and once at fold-back).
+            if active is last_active[li]:
+                last_count[li] += 1
+                compiled = last_compiled[li]
+            else:
+                prev = last_active[li]
+                if prev is not None:
+                    usage = usages[li]
+                    usage[prev.name] = usage.get(prev.name, 0) + last_count[li]
+                last_active[li] = active
+                last_count[li] = 1
+                compiled = compiled_maps[li].get(active.name)
+                if compiled is None:
+                    compiled = lane.compiled_of(active, cstream, switch_cost)
+                if compiled._dec_req is None:
+                    compiled.ensure_span_tables()
+                last_compiled[li] = compiled
+            latency, energy, switch = compiled.price_indices(batch, exit_lists[li])
+            switch_acc[li] += switch
+
+            end = start + latency
+            sf_extend(batch)
+            ss_append(size)
+            se_append(end)
+            group = correct_groups.get(id(compiled))
+            if group is None:
+                correct_groups[id(compiled)] = (compiled, list(batch))
+            else:
+                group[1].extend(batch)
+
+            energy_acc[li] += energy
+            busy_acc[li] += latency
+            battery_spent += energy
+            if has_battery and battery_spent > battery_budget:
+                battery_exhausted = True
+            if thermal is not None and latency > 0:
+                thermal.advance(energy / latency, latency)
+            clocks[li] = end
+            t_free[li] = end
+            depth[li] = len(queues[li])
+            nbatch_acc[li] += 1
+            qa = qarrs[li]
+            if qa:
+                expiry = qa[0] + timeout[li]
+                mb = max_batch[li]
+                if len(qa) >= mb:
+                    t = qa[mb - 1]
+                    trigger = t if t <= expiry else expiry
+                else:
+                    trigger = expiry
+                heap_push(heap, (end if end > trigger else trigger, li))
+
+        # Speculative block cap.  Routing past a mid-block violation is wasted
+        # work that gets rolled back, so the cap tracks the accepted block
+        # size actually observed: it halves toward what survives and doubles
+        # when a full block goes through clean.  Without it, an empty heap
+        # (horizon = inf) would route the entire remaining chunk only to
+        # truncate at the first push's timeout trigger — quadratic.
+        cap = 16
+        chunk = 65536
+        chunk_lo = 0
+        chunk_hi = 0
+        a_chunk: list[float] = []
+        d_chunk: list[float] = []
+        c_chunk: list[int] | None = None
+        i = 0
+        while i < n:
+            if i >= chunk_hi:
+                chunk_lo = i
+                chunk_hi = min(i + chunk, n)
+                a_chunk = times_np[chunk_lo:chunk_hi].tolist()
+                d_chunk = difficulty_np[chunk_lo:chunk_hi].tolist()
+                if any_crit:
+                    c_chunk = slo_class_arr[chunk_lo:chunk_hi].tolist()
+            # The horizon: earliest pending batch start across lanes.  The
+            # unvalidated heap top is a *lower bound* on the true horizon
+            # (every pending change pushed its then-true start; pendings
+            # only move later afterwards), and ending a block early is
+            # always exact — the extra drain in between is a no-op — so the
+            # bound serves without the validation walk.
+            horizon = heap[0][0] if heap else inf
+            rel = i - chunk_lo
+            if horizon == inf:
+                j = chunk_hi
+            else:
+                j = chunk_lo + br(a_chunk, horizon, rel, chunk_hi - chunk_lo)
+                if j <= i:
+                    j = i + 1  # unreachable: pendings sit at/past arrival[i]
+            if j - i > cap:
+                j = i + cap
+            jrel = j - chunk_lo
+            a_blk = a_chunk[rel:jrel]
+            d_blk = d_chunk[rel:jrel]
+            c_blk = c_chunk[rel:jrel] if any_crit else None
+
+            if bounded:
+                begin_block()
+            assignments, admitted = route_block(d_blk, c_blk, a_blk, state)
+
+            size = len(a_blk)
+            accepted = size
+            if size == 1:
+                # Single-request block: no later in-block arrival exists, so
+                # no violation is possible — push and refresh the lane's
+                # pending without the block-tracking machinery.
+                arrival = a_blk[0]
+                li = assignments[0]
+                if admitted[0]:
+                    q_append[li](i)
+                    qa_append[li](arrival)
+                    adm_append[li](arrival)
+                    routed_append[li](arrival)
+                    ridx_append[li](i)
+                    if any_crit and c_blk[0] == LATENCY_CRITICAL:
+                        lane = lanes[li]
+                        lane._crit_times.append(arrival)
+                        lane.critical_requests += 1
+                    qa = qarrs[li]
+                    expiry = qa[0] + timeout[li]
+                    mb = max_batch[li]
+                    if len(qa) >= mb:
+                        t = qa[mb - 1]
+                        trigger = t if t <= expiry else expiry
+                    else:
+                        trigger = expiry
+                    tf = t_free[li]
+                    heap_push(heap, (tf if tf > trigger else trigger, li))
+                else:
+                    routed_append[li](arrival)
+                    lanes[li].num_dropped += 1
+            elif min(t_free) >= a_blk[size - 1]:
+                # Violation-free block: every lane is busy past the last
+                # arrival, so every pending — max(t_free, trigger) — lands
+                # at or after every in-block arrival.  No mid-block dispatch
+                # is possible and the pushes are pure appends.
+                epoch += 1
+                touched = []
+                t_append = touched.append
+                for m in range(size):
+                    arrival = a_blk[m]
+                    li = assignments[m]
+                    if admitted[m]:
+                        q_append[li](i + m)
+                        qa_append[li](arrival)
+                        adm_append[li](arrival)
+                        routed_append[li](arrival)
+                        ridx_append[li](i + m)
+                        if any_crit and c_blk[m] == LATENCY_CRITICAL:
+                            lane = lanes[li]
+                            lane._crit_times.append(arrival)
+                            lane.critical_requests += 1
+                        if lane_epoch[li] != epoch:
+                            lane_epoch[li] = epoch
+                            t_append(li)
+                    else:
+                        routed_append[li](arrival)
+                        lanes[li].num_dropped += 1
+                if size == cap and cap < chunk:
+                    cap <<= 1
+                for lx in touched:
+                    qa = qarrs[lx]
+                    if qa:
+                        expiry = qa[0] + timeout[lx]
+                        mb = max_batch[lx]
+                        if len(qa) >= mb:
+                            t = qa[mb - 1]
+                            trigger = t if t <= expiry else expiry
+                        else:
+                            trigger = expiry
+                        tf = t_free[lx]
+                        heap_push(heap, (tf if tf > trigger else trigger, lx))
+            else:
+                min_pend = inf
+                epoch += 1
+                touched: list[int] = []
+                for m in range(size):
+                    arrival = a_blk[m]
+                    li = assignments[m]
+                    if admitted[m]:
+                        # Track whether this push creates a batch trigger that
+                        # lands before a later in-block arrival (a violation).
+                        # Runs before the appends: the live queue length at a
+                        # lane's first touch IS its depth at the block start.
+                        if lane_epoch[li] != epoch:
+                            lane_epoch[li] = epoch
+                            touched.append(li)
+                            q0 = len(queues[li])
+                            mb = max_batch[li]
+                            if q0 >= mb:
+                                blk_filled[li] = True  # trigger set by old queue
+                            else:
+                                blk_filled[li] = False
+                                blk_count[li] = q0 + 1
+                                expiry = (
+                                    qarrs[li][0] if q0 else arrival
+                                ) + timeout[li]
+                                blk_expiry[li] = expiry
+                                if q0 == 0:
+                                    # Empty lane: this push *sets* the timeout
+                                    # trigger (was None before).
+                                    tf = t_free[li]
+                                    pend = tf if tf > expiry else expiry
+                                    if pend < min_pend:
+                                        min_pend = pend
+                                if q0 + 1 >= mb and arrival <= expiry:
+                                    blk_filled[li] = True
+                                    tf = t_free[li]
+                                    pend = tf if tf > arrival else arrival
+                                    if pend < min_pend:
+                                        min_pend = pend
+                        elif not blk_filled[li]:
+                            count = blk_count[li] + 1
+                            blk_count[li] = count
+                            if count >= max_batch[li]:
+                                blk_filled[li] = True
+                                if arrival <= blk_expiry[li]:
+                                    # Full-batch trigger moved up to this fill.
+                                    tf = t_free[li]
+                                    pend = tf if tf > arrival else arrival
+                                    if pend < min_pend:
+                                        min_pend = pend
+                        q_append[li](i + m)
+                        qa_append[li](arrival)
+                        adm_append[li](arrival)
+                        routed_append[li](arrival)
+                        ridx_append[li](i + m)
+                        if any_crit and c_blk[m] == LATENCY_CRITICAL:
+                            lane = lanes[li]
+                            lane._crit_times.append(arrival)
+                            lane.critical_requests += 1
+                    else:
+                        routed_append[li](arrival)
+                        lanes[li].num_dropped += 1
+                    if m + 1 < size and min_pend < a_blk[m + 1]:
+                        accepted = m + 1  # a dispatch lands mid-block: truncate
+                        break
+
+                if accepted < size:
+                    rollback(size - accepted)
+                    for lx in range(num_lanes):
+                        depth[lx] = len(queues[lx])
+                    cap = accepted + (accepted >> 1) + 1
+                elif size == cap and cap < chunk:
+                    cap <<= 1
+                for lx in touched:
+                    qa = qarrs[lx]
+                    if qa:
+                        expiry = qa[0] + timeout[lx]
+                        mb = max_batch[lx]
+                        if len(qa) >= mb:
+                            t = qa[mb - 1]
+                            trigger = t if t <= expiry else expiry
+                        else:
+                            trigger = expiry
+                        tf = t_free[lx]
+                        heap_push(heap, (tf if tf > trigger else trigger, lx))
+            if recorder is not None:
+                recorder.count("fleet.blocks")
+                recorder.observe("fleet.block_size", accepted)
+
+            i += accepted
+            if i >= n:
+                until = inf
+            elif i < chunk_hi:
+                until = a_chunk[i - chunk_lo]
+            else:
+                until = float(times_np[i])
+            # Drain: pop-validate-dispatch until the next arrival.  Same
+            # dispatch order as the reference scan — ascending start, ties on
+            # lane index — via the heap's tuple ordering.  Entries validate
+            # lazily: every pending change pushed one, so a mismatch with the
+            # lane's current pending start means "stale, skip".
+            while heap:
+                start, li = heap[0]
+                if start >= until:
+                    break
+                heap_pop(heap)
+                qa = qarrs[li]
+                if not qa:
+                    continue
+                expiry = qa[0] + timeout[li]
+                mb = max_batch[li]
+                if len(qa) >= mb:
+                    t = qa[mb - 1]
+                    trigger = t if t <= expiry else expiry
+                else:
+                    trigger = expiry
+                tf = t_free[li]
+                if (tf if tf > trigger else trigger) != start:
+                    continue
+                # Form the batch at its dispatch instant: arrival-ordered
+                # prefix, opportunistic fill up to the start (same two-trigger
+                # semantics as DeviceLane.next_ready_batch, inlined).
+                bsize = 0
+                for arrival in qa:
+                    if bsize >= mb or arrival > start:
+                        break
+                    bsize += 1
+                q = queues[li]
+                batch = [q.popleft() for _ in range(bsize)]
+                if any_crit:
+                    lane = lanes[li]
+                    crit_times = lane._crit_times
+                    crit_popped = lane._crit_popped
+                    for _ in range(bsize):
+                        arrival = qa.popleft()
+                        if (
+                            crit_popped < len(crit_times)
+                            and crit_times[crit_popped] <= arrival
+                        ):
+                            crit_popped += 1
+                    lane._crit_popped = crit_popped
+                else:
+                    for _ in range(bsize):
+                        qa.popleft()
+                popped[li] += bsize
+                dispatch(li, start, batch)
+
+        # Fold the hot-state accumulators back into the lane objects.
+        for li, lane in enumerate(lanes):
+            prev = last_active[li]
+            if prev is not None and last_count[li]:
+                usage = usages[li]
+                usage[prev.name] = usage.get(prev.name, 0) + last_count[li]
+            lane.config = configs[li]
+            lane.next_decision = next_decision[li]
+            lane.clock = clocks[li]
+            lane.t_free = t_free[li]
+            lane._popped = popped[li]
+            lane.energy_j = energy_acc[li]
+            lane.busy_s = busy_acc[li]
+            lane.switching_energy_j = switch_acc[li]
+            lane.num_batches = nbatch_acc[li]
+            lane.governor_decisions = ndecision_acc[li]
+            lane.throttled = nthrottle_acc[li]
+            lane.exit_counts += np.asarray(exit_lists[li], dtype=np.int64)
+
+        # One scatter for completion/correctness instead of per-batch writes.
+        if served_ends:
+            flat = np.asarray(served_flat, dtype=np.int64)
+            sizes = np.asarray(served_sizes, dtype=np.int64)
+            completion[flat] = np.repeat(np.asarray(served_ends), sizes)
+        for compiled, idx_list in correct_groups.values():
+            idx = np.asarray(idx_list, dtype=np.int64)
+            correct[idx] = compiled.correct[idx]
+
+        return self._report(trace, completion, correct, battery_budget,
+                            battery_spent, battery_exhausted,
+                            num_stolen=num_stolen)
+
+    def _try_steal(
+        self,
+        thief: DeviceLane,
+        now_s: float,
+        state: BlockLaneState,
+        heap: list[tuple[float, int]],
+        slo_class,
+        recorder,
+    ) -> int:
+        """Opportunistic work stealing at a governor horizon (indexed only).
+
+        When the lane that just re-decided has comfortable headroom
+        (estimated wait under half the SLO) and some other lane is stalled
+        past the SLO, up to one batch of queued *best-effort* requests
+        migrates from the stalled lane's queue tail to the thief,
+        re-stamped as arriving now.  Returns how many requests moved.
+        """
+        t_free = state.t_free
+        depth = state.depth
+        capacity = state.capacity
+        li = thief.index
+        residual = t_free[li] - now_s
+        thief_wait = (residual if residual > 0.0 else 0.0) + depth[li] / capacity[li]
+        if thief_wait > 0.5 * self.slo_s:
+            return 0
+        victim = None
+        worst = self.slo_s  # a lane must be stalled *past* the SLO to rob
+        for lane in self.lanes:
+            other = lane.index
+            if other == li:
+                continue
+            residual = t_free[other] - now_s
+            wait = (residual if residual > 0.0 else 0.0) + depth[other] / capacity[other]
+            if wait > worst:
+                worst = wait
+                victim = lane
+        if victim is None:
+            return 0
+        limit = min(victim.queue_depth // 2, thief.stack.batch_policy.max_batch)
+        if limit <= 0:
+            return 0
+        stolen = victim.steal_tail(limit, slo_class)
+        if not stolen:
+            return 0
+        thief.receive_stolen(stolen, now_s)
+        moved = len(stolen)
+        vi = victim.index
+        depth[vi] = len(victim._queue)
+        depth[li] = len(thief._queue)
+        for lane in (victim, thief):
+            lx = lane.index
+            qa = lane._queue_arrivals
+            if qa:
+                policy = lane.stack.batch_policy
+                expiry = qa[0] + policy.timeout_s
+                mb = policy.max_batch
+                if len(qa) >= mb and qa[mb - 1] <= expiry:
+                    trigger = qa[mb - 1]
+                else:
+                    trigger = expiry
+                tf = t_free[lx]
+                heappush(heap, (tf if tf > trigger else trigger, lx))
+        if recorder is not None:
+            recorder.count("fleet.steals", moved)
+        return moved
 
     # -------------------------------------------------------------- telemetry
     def _report(
@@ -702,6 +1440,7 @@ class FleetSimulator:
         battery_budget: float | None,
         battery_spent: float,
         battery_exhausted: bool,
+        num_stolen: int = 0,
     ) -> FleetReport:
         n = trace.num_requests
         arrivals = trace.arrival_s
@@ -741,6 +1480,8 @@ class FleetSimulator:
                     peak_temperature_c=lane.thermal.peak_c if lane.thermal is not None else 0.0,
                     critical_requests=lane.critical_requests,
                     num_dropped=lane.num_dropped,
+                    stolen_in=lane.stolen_in,
+                    stolen_out=lane.stolen_out,
                 )
             )
 
@@ -789,6 +1530,7 @@ class FleetSimulator:
             class_stats=class_latency_stats(
                 trace.slo_class, SLO_CLASSES, arrivals, completion, self.slo_s
             ),
+            num_stolen=num_stolen,
         )
 
 

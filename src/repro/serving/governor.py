@@ -25,6 +25,7 @@ Two policies consume the ladder:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
 import numpy as np
@@ -100,10 +101,31 @@ class RuntimeConfig:
             cache[batch_size] = value
         return value
 
+    def _batch_times(self, max_batch: int) -> tuple[float, ...]:
+        """``batch_time(b)`` for b = 1..``max_batch``, memoized.
+
+        ``b * expected_busy_s + expected_shared_overhead_s(b)`` is pure in
+        ``(self, b)``; the governor evaluates it for every candidate config
+        on every window decision, so precomputing the ladder once turns the
+        per-decision cost into float comparisons.
+        """
+        cache = getattr(self, "_batch_time_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_batch_time_cache", cache)
+        times = cache.get(max_batch)
+        if times is None:
+            times = tuple(
+                b * self.expected_busy_s + self.expected_shared_overhead_s(b)
+                for b in range(1, max_batch + 1)
+            )
+            cache[max_batch] = times
+        return times
+
     def capacity_rps(self, batch_policy: BatchPolicy) -> float:
         """Sustainable throughput at full micro-batches (requests/second)."""
         b = batch_policy.max_batch
-        batch_time = b * self.expected_busy_s + self.expected_shared_overhead_s(b)
+        batch_time = self._batch_times(b)[b - 1]
         if batch_time <= 0:
             return float("inf")
         return b / batch_time
@@ -115,8 +137,8 @@ class RuntimeConfig:
         keep up — this is the batch size the system settles at (``max_batch``
         when even full batches cannot keep up).
         """
-        for b in range(1, batch_policy.max_batch + 1):
-            batch_time = b * self.expected_busy_s + self.expected_shared_overhead_s(b)
+        times = self._batch_times(batch_policy.max_batch)
+        for b, batch_time in enumerate(times, start=1):
             if batch_time <= 0 or b / batch_time >= demand_rps:
                 return b
         return batch_policy.max_batch
@@ -129,17 +151,29 @@ class RuntimeConfig:
         capacity alone hides: a config can be stable yet sojourn-miserable.
         """
         b = self.equilibrium_batch(demand_rps, batch_policy)
-        batch_time = b * self.expected_busy_s + self.expected_shared_overhead_s(b)
-        return 1.5 * batch_time
+        return 1.5 * self._batch_times(batch_policy.max_batch)[b - 1]
 
     def slo_miss_floor(self, slo_s: float, queue_margin: float = 0.7) -> float:
         """Structural deadline-miss fraction: requests routed to paths whose
         *stand-alone* latency already exceeds ``queue_margin``·SLO cannot
         make the deadline once queueing and batch wait are added — no
-        capacity fixes that, only a different config."""
-        usage = np.asarray(self.expected_usage)
-        latencies = np.asarray(self.path_latencies_s)
-        return float(usage[latencies > slo_s * queue_margin].sum())
+        capacity fixes that, only a different config.
+
+        Pure in ``(self, slo_s, queue_margin)`` and probed for every
+        candidate on every governor decision, so memoized per instance.
+        """
+        cache = getattr(self, "_miss_floor_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_miss_floor_cache", cache)
+        key = (slo_s, queue_margin)
+        value = cache.get(key)
+        if value is None:
+            usage = np.asarray(self.expected_usage)
+            latencies = np.asarray(self.path_latencies_s)
+            value = float(usage[latencies > slo_s * queue_margin].sum())
+            cache[key] = value
+        return value
 
 
 def _profiles_for(
@@ -384,6 +418,7 @@ class AdaptiveGovernor(ServingPolicy):
         self.rate_smoothing = rate_smoothing
         self._capacity = {c.name: c.capacity_rps(batch_policy) for c in self.ladder}
         self._rate_ewma: float | None = None
+        self._demand_tables: dict[float, tuple[list[float], list[RuntimeConfig]]] = {}
 
     def _allowed(self, obs: GovernorObservation) -> list[RuntimeConfig]:
         allowed = [
@@ -414,9 +449,59 @@ class AdaptiveGovernor(ServingPolicy):
             # the window to leave queueing headroom under the SLO, so the
             # governor provisions as if each critical request were two.
             demand += obs.critical_backlog / obs.window_s
+        if obs.power_cap_w is None and obs.energy_cap_j is None:
+            # No caps: every ladder config is allowed, and the selection is a
+            # piecewise-constant function of demand — one bisect replaces the
+            # full feasibility scan (see _demand_table).
+            breakpoints, configs = self._demand_table(obs.slo_s)
+            return configs[bisect_left(breakpoints, demand)]
         return _best_sustaining(
             self._allowed(obs), self._capacity, demand, obs.slo_s, self.batch_policy
         )
+
+    def _demand_table(self, slo_s: float) -> tuple[list[float], list[RuntimeConfig]]:
+        """Uncapped selection as a lookup table over demand intervals.
+
+        With no power/energy caps, ``_best_sustaining`` depends on demand
+        only through ``>=`` comparisons against a fixed set of thresholds:
+        each config's full-batch capacity (the sustaining test) and each
+        ``b / batch_time(b)`` throughput rung (the equilibrium-batch scan
+        behind the sojourn estimate).  Between consecutive thresholds every
+        comparison is constant, so the selected config is too.  The table
+        evaluates the exact ``_best_sustaining`` once per interval — at the
+        interval's inclusive right endpoint, since ``thr >= demand`` flips
+        as demand crosses *above* a threshold, making intervals
+        ``(prev, thr]`` — and ``select`` reduces to one ``bisect_left``.
+        Bit-identical to the scan by construction.
+        """
+        table = self._demand_tables.get(slo_s)
+        if table is None:
+            inf = float("inf")
+            thresholds: set[float] = set()
+            for c in self.ladder:
+                cap = self._capacity[c.name]
+                if cap != inf:
+                    thresholds.add(cap)
+                for b, bt in enumerate(
+                    c._batch_times(self.batch_policy.max_batch), start=1
+                ):
+                    if bt > 0:
+                        rung = b / bt
+                        if rung != inf:
+                            thresholds.add(rung)
+            breakpoints = sorted(thresholds)
+            probes = breakpoints + [
+                (breakpoints[-1] * 2.0 + 1.0) if breakpoints else 1.0
+            ]
+            configs = [
+                _best_sustaining(
+                    self.ladder, self._capacity, demand, slo_s, self.batch_policy
+                )
+                for demand in probes
+            ]
+            table = (breakpoints, configs)
+            self._demand_tables[slo_s] = table
+        return table
 
 
 def static_config_for(

@@ -278,6 +278,66 @@ class _CompiledConfig:
             switch = transitions * self._switch_cost_j
         return latency, energy + switch, switch
 
+    def price_indices(
+        self, indices: list[int], counts: list[int] | None = None
+    ) -> tuple[float, float, float]:
+        """:meth:`price` for an explicit request-index batch (fleet lanes).
+
+        Fleet lanes dispatch non-contiguous index batches, so this is
+        :meth:`price_span` generalised to an index list, off the same
+        Python-float tables: sequential left-to-right sums and a strict
+        first-maximum, which makes it bit-identical to calling
+        :meth:`price` on the gathered decisions.  ``counts``, when given,
+        tallies per-exit decisions in the same pass (the fleet's per-lane
+        exit usage meters).  Call :meth:`ensure_span_tables` first.
+        """
+        dec = self._dec_req
+        if len(indices) == 1:
+            d = dec[indices[0]]
+            if counts is not None:
+                counts[d] += 1
+            return self._lat_one[d], self._energy_one[d], 0.0
+        busy = self._busy_l
+        over = self._over_l
+        unit = self._unit_l
+        busy_sum = 0.0
+        energy = 0.0
+        peak = -1.0
+        longest = indices[0]
+        if counts is None:
+            for t in indices:
+                d = dec[t]
+                busy_sum += busy[d]
+                energy += unit[d]
+                o = over[d]
+                if o > peak:  # strict: keeps the first maximum, like argmax
+                    peak = o
+                    longest = t
+        else:
+            for t in indices:
+                d = dec[t]
+                counts[d] += 1
+                busy_sum += busy[d]
+                energy += unit[d]
+                o = over[d]
+                if o > peak:
+                    peak = o
+                    longest = t
+        latency = busy_sum + peak
+        energy += self._passive_l[dec[longest]] * peak
+        switch = 0.0
+        if self._switch_cost_j:
+            sids = self._sid_l
+            prev = sids[dec[indices[0]]]
+            transitions = 0
+            for t in indices[1:]:
+                cur = sids[dec[t]]
+                if cur != prev:
+                    transitions += 1
+                    prev = cur
+            switch = transitions * self._switch_cost_j
+        return latency, energy + switch, switch
+
     def price(self, decisions: np.ndarray) -> tuple[float, float, float]:
         """(latency_s, energy_j incl. switching, switching_j) for one batch."""
         busy_sum = sum(self._busy[decisions].tolist())

@@ -8,6 +8,8 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.engine.cache import ResultCache
 from repro.search.hadas import HadasConfig, HadasSearch
@@ -532,3 +534,124 @@ class TestFleetRegressions:
         )
         with pytest.raises(ValueError, match="exit heads"):
             FleetSimulator(spec, stacks).run(trace, wrong)
+
+
+# ---------------------------------------------------------- engine identity
+class TestEngineIdentity:
+    """The block-routed indexed engine reproduces the reference loop
+    field-for-field across routers, admission settings, and SLO mixes."""
+
+    @pytest.mark.parametrize(
+        "router,max_queue,bypass,crit",
+        [
+            ("round_robin", None, True, 0.0),
+            ("round_robin", 2, False, 1.0),
+            ("least_backlog", 6, True, 0.3),
+            ("least_backlog", None, True, 1.0),
+            ("difficulty_aware", None, True, 0.0),
+            ("difficulty_aware", 6, True, 0.3),
+            ("difficulty_aware", 2, False, 1.0),
+        ],
+    )
+    def test_indexed_matches_reference(self, router, max_queue, bypass, crit):
+        base = dict(
+            platforms=("tx2-gpu", "agx-gpu"),
+            pattern="bursty",
+            router=router,
+            duration_s=3.0,
+            critical_fraction=crit,
+            admission_max_queue=max_queue,
+            admission_critical_bypass=bypass,
+        )
+        ref = run_fleet_cell(FleetSpec(engine="reference", **base))
+        idx = run_fleet_cell(FleetSpec(engine="indexed", **base))
+        assert idx == ref
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        pattern=st.sampled_from(("poisson", "bursty")),
+        router=st.sampled_from(
+            ("round_robin", "least_backlog", "difficulty_aware")
+        ),
+        crit=st.sampled_from((0.0, 0.25, 1.0)),
+        max_queue=st.sampled_from((None, 3, 8)),
+    )
+    def test_random_cells_identical(self, seed, pattern, router, crit, max_queue):
+        base = dict(
+            platforms=("tx2-gpu", "agx-gpu"),
+            pattern=pattern,
+            router=router,
+            seed=seed,
+            duration_s=2.0,
+            critical_fraction=crit,
+            admission_max_queue=max_queue,
+        )
+        ref = run_fleet_cell(FleetSpec(engine="reference", **base))
+        idx = run_fleet_cell(FleetSpec(engine="indexed", **base))
+        assert idx == ref
+
+
+# ------------------------------------------------------------ band caching
+class TestBandCache:
+    def test_route_does_not_rebuild_bands_per_call(self):
+        """Band edges are cached per fleet composition: steady-state route()
+        calls never re-read lane capacities (the sort key), so there is no
+        per-call sorting."""
+
+        class _CountingLane:
+            def __init__(self, index, capacity):
+                self.index = index
+                self._capacity = capacity
+                self.capacity_reads = 0
+                self.queue_depth = 0
+                self.t_free = 0.0
+
+            @property
+            def reference_capacity_rps(self):
+                self.capacity_reads += 1
+                return self._capacity
+
+            def estimated_wait_s(self, now_s):
+                return 0.0
+
+        lanes = [_CountingLane(0, 10.0), _CountingLane(1, 30.0)]
+        router = DifficultyAwareRouter(lanes, slo_s=0.075)
+        baseline = [lane.capacity_reads for lane in lanes]
+        for k in range(64):
+            router.route(k / 64.0, BEST_EFFORT, 0.0, lanes)
+        assert [lane.capacity_reads for lane in lanes] == baseline
+
+    def test_band_cache_rebuilds_on_new_fleet(self):
+        lanes = [_FakeLane(0, 10.0, 0.1, 0.0), _FakeLane(1, 30.0, 0.3, 0.0)]
+        router = DifficultyAwareRouter(lanes, slo_s=0.075)
+        assert router.banded_lane(0.9) == 1
+        other = [_FakeLane(0, 30.0, 0.3, 0.0), _FakeLane(1, 10.0, 0.1, 0.0)]
+        assert router.route(0.9, BEST_EFFORT, 0.0, other) == 0
+
+
+# ------------------------------------------------------------ work stealing
+class TestWorkStealing:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            FleetSpec(platforms=("tx2-gpu",), engine="warp")
+
+    def test_steal_requires_indexed_engine(self):
+        with pytest.raises(ValueError, match="indexed engine"):
+            FleetSpec(platforms=("tx2-gpu",), engine="reference", steal=True)
+
+    def test_steal_cell_stays_consistent(self):
+        report = run_fleet_cell(
+            FleetSpec(
+                platforms=("tx2-gpu", "agx-gpu"),
+                pattern="bursty",
+                duration_s=5.0,
+                utilization=0.95,
+                steal=True,
+            )
+        )
+        assert report.num_stolen >= 0
+        assert sum(d.stolen_in for d in report.devices) == report.num_stolen
+        assert sum(d.stolen_out for d in report.devices) == report.num_stolen
+        assert sum(d.requests for d in report.devices) == report.num_requests
+        assert report.latency_ms_p50 <= report.latency_ms_p95 <= report.latency_ms_p99

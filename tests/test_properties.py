@@ -302,3 +302,116 @@ class TestBatcherLaws:
             assert len(indices) <= max_batch
             # no batch starts before its last member arrives
             assert start >= trace.arrival_s[indices[-1]]
+
+
+class TestRouterBlockLaws:
+    """The vectorized route_block kernels reproduce the scalar route() loop.
+
+    The scalar side steps request-by-request exactly like the reference
+    fleet engine: route, then the live queue-depth admission check, then
+    the depth increment later routing decisions observe.  The block side
+    routes the whole arrival block through one route_block call against a
+    BlockLaneState.  Assignments, admissions, and final depths must agree
+    float-for-float — including single-lane fleets, equal-backlog ties,
+    and all-critical blocks.
+    """
+
+    class _Lane:
+        def __init__(self, index, capacity, t_free, depth):
+            self.index = index
+            self.reference_capacity_rps = capacity
+            self.t_free = t_free
+            self.queue_depth = depth
+
+        def estimated_wait_s(self, now_s):
+            residual = self.t_free - now_s
+            return (residual if residual > 0.0 else 0.0) + (
+                self.queue_depth / self.reference_capacity_rps
+            )
+
+    @staticmethod
+    def _scalar(router, lanes, difficulty, slo_class, arrival, max_queue, bypass):
+        from repro.serving.workload import LATENCY_CRITICAL
+
+        assignments, admitted = [], []
+        for m, now in enumerate(arrival):
+            chosen = router.route(difficulty[m], slo_class[m], now, lanes)
+            critical = slo_class[m] == LATENCY_CRITICAL
+            lane = lanes[chosen]
+            ok = (
+                max_queue is None
+                or lane.queue_depth < max_queue
+                or (bypass and critical)
+            )
+            if ok:
+                lane.queue_depth += 1
+            assignments.append(chosen)
+            admitted.append(ok)
+        return assignments, admitted
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_route_block_matches_scalar_loop(self, data):
+        from repro.serving.router import BlockLaneState, ROUTER_NAMES, make_router
+        from repro.serving.workload import BEST_EFFORT, LATENCY_CRITICAL
+
+        name = data.draw(st.sampled_from(ROUTER_NAMES))
+        num_lanes = data.draw(st.integers(1, 4))
+        caps = data.draw(
+            st.lists(
+                st.sampled_from((5.0, 10.0, 25.0)),
+                min_size=num_lanes,
+                max_size=num_lanes,
+            )
+        )
+        frees = data.draw(
+            st.lists(st.floats(0.0, 0.2), min_size=num_lanes, max_size=num_lanes)
+        )
+        depths = data.draw(
+            st.lists(st.integers(0, 10), min_size=num_lanes, max_size=num_lanes)
+        )
+        size = data.draw(st.integers(1, 16))
+        gaps = data.draw(st.lists(st.floats(0.0, 0.02), min_size=size, max_size=size))
+        arrival = []
+        now = 0.0
+        for gap in gaps:
+            now += gap
+            arrival.append(now)
+        difficulty = data.draw(
+            st.lists(st.floats(0.0, 1.0), min_size=size, max_size=size)
+        )
+        crit = data.draw(st.lists(st.booleans(), min_size=size, max_size=size))
+        if data.draw(st.booleans()):
+            crit = [True] * size  # all-critical block
+        slo_class = [LATENCY_CRITICAL if c else BEST_EFFORT for c in crit]
+        max_queue = data.draw(st.one_of(st.none(), st.integers(0, 12)))
+        bypass = data.draw(st.booleans())
+
+        def build():
+            return [
+                self._Lane(i, caps[i], frees[i], depths[i]) for i in range(num_lanes)
+            ]
+
+        scalar_lanes = build()
+        block_lanes = build()
+        scalar_router = make_router(name, scalar_lanes, slo_s=0.075)
+        block_router = make_router(name, block_lanes, slo_s=0.075)
+
+        expected = self._scalar(
+            scalar_router, scalar_lanes, difficulty, slo_class, arrival,
+            max_queue, bypass,
+        )
+        state = BlockLaneState(
+            block_lanes, max_queue=max_queue, critical_bypass=bypass
+        )
+        state.begin_block()
+        # The fleet loop hands the kernels None when the block carries no
+        # latency-critical request; exercise that contract too.
+        slo_arg = slo_class
+        if not any(crit) and data.draw(st.booleans()):
+            slo_arg = None
+        assignments, admitted = block_router.route_block(
+            difficulty, slo_arg, arrival, state
+        )
+        assert (list(assignments), list(admitted)) == expected
+        assert state.depth == [lane.queue_depth for lane in scalar_lanes]
